@@ -1,0 +1,195 @@
+// Command sqlpp-bench regenerates the paper's artifacts:
+//
+//	sqlpp-bench -listings    re-execute every paper listing and diff the results
+//	sqlpp-bench -kit         run the full Core SQL++ compatibility kit
+//	sqlpp-bench -perf        run the performance experiments (claims C1/C3/C4/C6 + ablations)
+//	sqlpp-bench -formats     run the format-independence experiment (claim C5)
+//	sqlpp-bench              all of the above
+//
+// The output tables are the ones recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"sqlpp/internal/bench"
+	"sqlpp/internal/compat"
+	"sqlpp/internal/value"
+)
+
+func main() {
+	listings := flag.Bool("listings", false, "reproduce the paper listings")
+	kit := flag.Bool("kit", false, "run the compatibility kit")
+	perf := flag.Bool("perf", false, "run the performance experiments")
+	formats := flag.Bool("formats", false, "run the format-independence experiment")
+	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
+	flag.Parse()
+
+	all := !*listings && !*kit && !*perf && !*formats
+	failed := false
+	if *listings || all {
+		failed = runListings() || failed
+	}
+	if *kit || all {
+		failed = runKit() || failed
+	}
+	if *perf || all {
+		runPerf(*scale)
+	}
+	if *formats || all {
+		failed = runFormats(*scale) || failed
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runListings re-executes every paper listing; it reports whether any
+// failed.
+func runListings() bool {
+	fmt.Println("== Paper listings (queries re-executed, results diffed against the paper) ==")
+	fmt.Printf("%-36s %-7s %s\n", "LISTING", "MODE", "STATUS")
+	failed := false
+	for _, c := range compat.PaperCases() {
+		for _, r := range compat.Run(c) {
+			status := "PASS"
+			if !r.Pass {
+				status = "FAIL: " + r.Detail
+				failed = true
+			}
+			fmt.Printf("%-36s %-7s %s\n", c.Name, r.ModeName, status)
+		}
+	}
+	fmt.Println()
+	return failed
+}
+
+func runKit() bool {
+	fmt.Println("== Core SQL++ compatibility kit ==")
+	all, failures := compat.RunSuite(compat.Suite())
+	fmt.Printf("%d checks, %d failures\n\n", len(all), len(failures))
+	for _, f := range failures {
+		fmt.Printf("FAIL %s [%s]: %s\n", f.Case.Name, f.ModeName, f.Detail)
+	}
+	return len(failures) > 0
+}
+
+func runPerf(scale int) {
+	fmt.Println("== Performance experiments ==")
+	fmt.Println("(ns/op measured via testing.Benchmark; rows = result cardinality)")
+	for _, exp := range bench.StandardExperiments(scale) {
+		fmt.Printf("\n%s\n  claim: %s\n", exp.ID, exp.Claim)
+		var base float64
+		for i, v := range exp.Variants {
+			if v.ExpectError {
+				_, err := v.Run()
+				status := "did not fail"
+				if err != nil {
+					status = "fails fast: " + firstLine(err.Error())
+				}
+				fmt.Printf("  %-20s %s\n", v.Name, status)
+				continue
+			}
+			rows, err := v.Run()
+			if err != nil {
+				fmt.Printf("  %-20s ERROR %v\n", v.Name, err)
+				continue
+			}
+			prepared, err := v.Prepare()
+			if err != nil {
+				fmt.Printf("  %-20s ERROR %v\n", v.Name, err)
+				continue
+			}
+			runtime.GC() // isolate variants from one another's garbage
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := prepared.Exec(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			perOp := float64(res.NsPerOp())
+			if i == 0 {
+				base = perOp
+			}
+			rel := ""
+			if i > 0 && base > 0 {
+				rel = fmt.Sprintf("  (%.2fx of %s)", perOp/base, exp.Variants[0].Name)
+			}
+			fmt.Printf("  %-20s %12.0f ns/op  %6d rows%s\n", v.Name, perOp, rows, rel)
+		}
+	}
+	fmt.Println()
+}
+
+// runFormats checks claim C5: the same query over the same data in four
+// formats returns identical results, and reports decode throughput.
+func runFormats(scale int) bool {
+	fmt.Println("== Format independence (C5) ==")
+	payload, err := bench.BuildFormatPayload(50*scale, 20)
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	query := `SELECT sp.symbol AS symbol, AVG(sp.price) AS avg_price
+	          FROM stock_prices AS sp GROUP BY sp.symbol`
+	var reference value.Value
+	failed := false
+	sizes := map[string]int{
+		"sion": len(payload.SION), "json": len(payload.JSON),
+		"cbor": len(payload.CBOR), "csv": len(payload.CSV),
+	}
+	for _, format := range []string{"sion", "json", "cbor", "csv"} {
+		f := format
+		v, err := bench.DecodeFormat(payload, f)
+		if err != nil {
+			fmt.Printf("  %-5s decode ERROR: %v\n", f, err)
+			failed = true
+			continue
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(sizes[f]))
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.DecodeFormat(payload, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		got, err := compatQuery(v, query)
+		if err != nil {
+			fmt.Printf("  %-5s query ERROR: %v\n", f, err)
+			failed = true
+			continue
+		}
+		same := "reference"
+		if reference == nil {
+			reference = got
+		} else if value.Equivalent(reference, got) {
+			same = "identical result"
+		} else {
+			same = "RESULT MISMATCH"
+			failed = true
+		}
+		mbps := float64(sizes[f]) / (float64(res.NsPerOp()) / 1e9) / (1 << 20)
+		fmt.Printf("  %-5s %8d bytes  decode %10.0f ns/op (%7.1f MiB/s)  %s\n",
+			f, sizes[f], float64(res.NsPerOp()), mbps, same)
+	}
+	fmt.Println()
+	return failed
+}
+
+func compatQuery(data value.Value, query string) (value.Value, error) {
+	return compat.ExecuteValues(map[string]value.Value{"stock_prices": data}, query, false, false)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,254 @@
+// Command sqlpp is an interactive SQL++ shell and script runner.
+//
+// Usage:
+//
+//	sqlpp [flags] [query]
+//
+// Flags:
+//
+//	-data name=path   register a data file as a named value (repeatable);
+//	                  the format is inferred from the extension:
+//	                  .json, .jsonl/.ndjson, .csv, .cbor, .sion (object notation)
+//	-ddl path         declare schemas from a DDL file (CREATE TABLE ...)
+//	-f path           execute the query in the file and exit
+//	-compat           enable SQL compatibility mode
+//	-strict           enable stop-on-error typing
+//	-out format       output format: sion (default), json, pretty
+//	-core             print the SQL++ Core rewriting instead of executing
+//
+// With no query and no -f, sqlpp starts a REPL. REPL commands:
+//
+//	\names            list registered named values
+//	\schema <name>    show the declared or inferred schema of a value
+//	\core <query>     show the SQL++ Core form of a query
+//	\mode             show the current modes
+//	\q                quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sqlpp"
+	"sqlpp/internal/datafmt"
+	"sqlpp/internal/types"
+	"sqlpp/internal/value"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlpp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var data dataFlags
+	flag.Var(&data, "data", "name=path of a data file to register (repeatable)")
+	ddlPath := flag.String("ddl", "", "path to a DDL file of CREATE TABLE schema declarations")
+	queryFile := flag.String("f", "", "path to a query file to execute")
+	compat := flag.Bool("compat", false, "enable SQL compatibility mode")
+	strict := flag.Bool("strict", false, "enable stop-on-error typing")
+	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
+	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
+	flag.Parse()
+
+	db := sqlpp.New(&sqlpp.Options{Compat: *compat, StopOnError: *strict})
+	for _, spec := range data {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-data wants name=path, got %q", spec)
+		}
+		if err := loadFile(db, name, path); err != nil {
+			return err
+		}
+	}
+	if *ddlPath != "" {
+		src, err := os.ReadFile(*ddlPath)
+		if err != nil {
+			return err
+		}
+		for _, stmt := range splitStatements(string(src)) {
+			if _, err := db.DeclareSchema(stmt); err != nil {
+				return err
+			}
+		}
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if *queryFile != "" {
+		src, err := os.ReadFile(*queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(src)
+	}
+	if strings.TrimSpace(query) != "" {
+		return runOne(db, query, *outFormat, *showCore)
+	}
+	return repl(db, *outFormat)
+}
+
+// loadFile registers path under name, inferring the format from the
+// extension.
+func loadFile(db *sqlpp.Engine, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		return db.RegisterJSON(name, f)
+	case ".jsonl", ".ndjson":
+		return db.RegisterJSONLines(name, f)
+	case ".csv":
+		return db.RegisterCSV(name, f)
+	case ".cbor":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return db.RegisterCBOR(name, data)
+	case ".sion", ".sqlpp", ".txt":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return db.RegisterSION(name, string(data))
+	}
+	return fmt.Errorf("unknown data format for %s (want .json, .jsonl, .csv, .cbor, or .sion)", path)
+}
+
+func splitStatements(src string) []string {
+	var out []string
+	for _, part := range strings.Split(src, ";") {
+		if strings.TrimSpace(part) != "" {
+			out = append(out, part+";")
+		}
+	}
+	return out
+}
+
+func runOne(db *sqlpp.Engine, query, outFormat string, showCore bool) error {
+	if showCore {
+		p, err := db.Prepare(query)
+		if err != nil {
+			return err
+		}
+		fmt.Println(p.Core())
+		return nil
+	}
+	v, err := db.Query(query)
+	if err != nil {
+		return err
+	}
+	return emit(v, outFormat)
+}
+
+func emit(v value.Value, format string) error {
+	switch format {
+	case "json":
+		s, err := datafmt.JSONString(v)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	case "pretty":
+		fmt.Println(value.Pretty(v))
+	default:
+		fmt.Println(v.String())
+	}
+	return nil
+}
+
+func repl(db *sqlpp.Engine, outFormat string) error {
+	fmt.Println("sqlpp shell — SQL++ per Carey et al., ICDE 2024. \\q quits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := "sqlpp> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := sc.Text()
+		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), "\\") {
+			if done := command(db, strings.TrimSpace(line), outFormat); done {
+				return nil
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		text := pending.String()
+		// Execute on ';' or on a blank line.
+		if !strings.Contains(text, ";") && strings.TrimSpace(line) != "" {
+			prompt = "   ... "
+			continue
+		}
+		pending.Reset()
+		prompt = "sqlpp> "
+		q := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(text), ";"))
+		if q == "" {
+			continue
+		}
+		if err := runOne(db, q, outFormat, false); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+// command handles a backslash REPL command; it reports whether the REPL
+// should exit.
+func command(db *sqlpp.Engine, line, outFormat string) bool {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "\\q", "\\quit":
+		return true
+	case "\\names":
+		for _, n := range db.Names() {
+			fmt.Println(n)
+		}
+	case "\\schema":
+		if rest == "" {
+			fmt.Fprintln(os.Stderr, "usage: \\schema <name>")
+			return false
+		}
+		if t, ok := db.SchemaOf(rest); ok {
+			fmt.Println(t)
+			return false
+		}
+		if v, ok := db.Lookup(rest); ok {
+			fmt.Println(types.Infer(v), "(inferred)")
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "no named value %q\n", rest)
+	case "\\core":
+		if err := runOne(db, rest, outFormat, true); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	case "\\mode":
+		o := db.Options()
+		fmt.Printf("compat=%v strict=%v\n", o.Compat, o.StopOnError)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s\n", cmd)
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sqlpp"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.json":  `[{"x": 1}, {"x": 2}]`,
+		"b.jsonl": "{\"x\": 1}\n{\"x\": 2}\n",
+		"c.csv":   "x\n1\n2\n",
+		"d.sion":  "{{ {'x': 1}, {'x': 2} }}",
+	}
+	db := sqlpp.New(nil)
+	for name, content := range files {
+		path := write(t, dir, name, content)
+		key := strings.TrimSuffix(name, filepath.Ext(name))
+		if err := loadFile(db, key, path); err != nil {
+			t.Fatalf("loadFile(%s): %v", name, err)
+		}
+		v, err := db.Query("SELECT VALUE SUM(r.x) FROM " + key + " AS r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.String() != "{{3}}" {
+			t.Errorf("%s: sum = %s", name, v)
+		}
+	}
+	if err := loadFile(db, "bad", write(t, dir, "e.xyz", "")); err == nil {
+		t.Error("unknown extension should fail")
+	}
+	if err := loadFile(db, "ghost", filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadRepoTestdata(t *testing.T) {
+	db := sqlpp.New(nil)
+	for name, path := range map[string]string{
+		"emp":         "../../testdata/emp.json",
+		"prices":      "../../testdata/prices.csv",
+		"emp_missing": "../../testdata/emp.sion",
+	} {
+		if err := loadFile(db, name, path); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	v, err := db.Query(`SELECT e.name AS n FROM emp AS e, e.projects AS p
+	                    WHERE p.name LIKE '%Security%' GROUP BY e.name AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "Bob Smith") {
+		t.Errorf("query over testdata = %s", v)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	stmts := splitStatements("CREATE TABLE a (x INT);\nCREATE TABLE b (y INT);\n")
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %v", stmts)
+	}
+	if len(splitStatements("  \n ")) != 0 {
+		t.Error("blank input should have no statements")
+	}
+}
+
+func TestCommandDispatch(t *testing.T) {
+	db := sqlpp.New(nil)
+	if err := db.RegisterSION("t", "{{1}}"); err != nil {
+		t.Fatal(err)
+	}
+	if command(db, "\\q", "sion") != true {
+		t.Error("\\q should quit")
+	}
+	for _, line := range []string{"\\names", "\\schema t", "\\schema ghost", "\\schema", "\\core SELECT VALUE 1", "\\mode", "\\bogus"} {
+		if command(db, line, "sion") {
+			t.Errorf("%q should not quit", line)
+		}
+	}
+}
+
+func TestRunOneOutputs(t *testing.T) {
+	db := sqlpp.New(nil)
+	if err := db.RegisterSION("t", "{{ {'a': 1} }}"); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"sion", "json", "pretty"} {
+		if err := runOne(db, "SELECT VALUE r.a FROM t AS r", format, false); err != nil {
+			t.Errorf("runOne(%s): %v", format, err)
+		}
+	}
+	if err := runOne(db, "SELECT r.a FROM t AS r", "sion", true); err != nil {
+		t.Errorf("runOne core: %v", err)
+	}
+	if err := runOne(db, "SELEC nope", "sion", false); err == nil {
+		t.Error("bad query should error")
+	}
+}

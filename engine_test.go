@@ -1,0 +1,95 @@
+package sqlpp
+
+import (
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+const empNestTuples = `{{
+  {'id': 3, 'name': 'Bob Smith', 'title': null,
+   'projects': [{'name': 'Serverless Query'},
+                {'name': 'OLAP Security'},
+                {'name': 'OLTP Security'}]},
+  {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+  {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+   'projects': [{'name': 'OLTP Security'}]}
+}}`
+
+func TestSmokeListing2(t *testing.T) {
+	db := New(nil)
+	if err := db.RegisterSION("hr.emp_nest_tuples", empNestTuples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(`
+		SELECT e.name AS emp_name, p.name AS proj_name
+		FROM hr.emp_nest_tuples AS e, e.projects AS p
+		WHERE p.name LIKE '%Security%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseValue(`{{
+	  {'emp_name': 'Bob Smith', 'proj_name': 'OLAP Security'},
+	  {'emp_name': 'Bob Smith', 'proj_name': 'OLTP Security'},
+	  {'emp_name': 'Jane Smith', 'proj_name': 'OLTP Security'}
+	}}`)
+	if !value.Equivalent(got, want) {
+		t.Fatalf("got %s\nwant %s", value.Pretty(got), value.Pretty(want))
+	}
+}
+
+func TestSmokeGroupAs(t *testing.T) {
+	db := New(nil)
+	if err := db.RegisterSION("hr.emp_nest_scalars", `{{
+	  {'id': 3, 'name': 'Bob Smith', 'title': null,
+	   'projects': ['Serverless Querying', 'OLAP Security', 'OLTP Security']},
+	  {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+	  {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+	   'projects': ['OLTP Security']}
+	}}`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(`
+		FROM hr.emp_nest_scalars AS e, e.projects AS p
+		WHERE p LIKE '%Security%'
+		GROUP BY LOWER(p) AS p GROUP AS g
+		SELECT p AS proj_name,
+		       (FROM g AS v SELECT VALUE v.e.name) AS employees`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseValue(`{{
+	  {'proj_name': 'olap security', 'employees': {{'Bob Smith'}}},
+	  {'proj_name': 'oltp security', 'employees': {{'Bob Smith', 'Jane Smith'}}}
+	}}`)
+	if !value.Equivalent(got, want) {
+		t.Fatalf("got %s\nwant %s", value.Pretty(got), value.Pretty(want))
+	}
+}
+
+func TestSmokeAggregates(t *testing.T) {
+	db := New(nil)
+	if err := db.RegisterSION("hr.emp", `{{
+	  {'name': 'a', 'deptno': 1, 'title': 'Engineer', 'salary': 100},
+	  {'name': 'b', 'deptno': 1, 'title': 'Engineer', 'salary': 200},
+	  {'name': 'c', 'deptno': 2, 'title': 'Engineer', 'salary': 400},
+	  {'name': 'd', 'deptno': 2, 'title': 'Manager',  'salary': 900}
+	}}`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(`
+		SELECT e.deptno, AVG(e.salary) AS avgsal
+		FROM hr.emp AS e
+		WHERE e.title = 'Engineer'
+		GROUP BY e.deptno`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseValue(`{{
+	  {'deptno': 1, 'avgsal': 150.0},
+	  {'deptno': 2, 'avgsal': 400.0}
+	}}`)
+	if !value.Equivalent(got, want) {
+		t.Fatalf("got %s\nwant %s", value.Pretty(got), value.Pretty(want))
+	}
+}

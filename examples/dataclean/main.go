@@ -1,0 +1,119 @@
+// The dataclean scenario shows Section IV in practice: querying
+// heterogeneous, schema-optional sensor readings in permissive mode
+// (healthy data flows, type errors become MISSING), failing fast in
+// stop-on-error mode, declaring a union-typed schema for the
+// heterogeneity (the paper's Listing 5 pattern), and checking query
+// stability: imposing the schema does not change the query's result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlpp"
+	"sqlpp/internal/value"
+)
+
+// readings mixes shapes the way real ingestion pipelines do: numeric
+// temperatures, string temperatures from a misconfigured sensor, missing
+// fields, and a nested batch reading.
+const readings = `{{
+  {'sensor': 'a', 'temp': 21.5},
+  {'sensor': 'b', 'temp': '22.1'},
+  {'sensor': 'c'},
+  {'sensor': 'd', 'temp': null},
+  {'sensor': 'e', 'temp': [20.9, 21.3]},
+  {'sensor': 'f', 'temp': 23.0}
+}}`
+
+func main() {
+	permissive := sqlpp.New(nil)
+	if err := permissive.RegisterSION("readings", readings); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Permissive mode: the mistyped rows lose their derived
+	// attribute; the healthy rows flow through (§IV).
+	analyze := `
+		SELECT r.sensor AS sensor, r.temp * 1.8 + 32 AS fahrenheit
+		FROM readings AS r`
+	fmt.Println("-- Permissive mode: type errors become MISSING, healthy data flows")
+	show(permissive, analyze)
+
+	// 2. Cleaning pass: use TYPE and CAST to normalize the mess, turning
+	// string temperatures back into numbers and averaging batches.
+	clean := `
+		SELECT r.sensor AS sensor,
+		       CASE TYPE(r.temp)
+		         WHEN 'float'   THEN r.temp
+		         WHEN 'integer' THEN r.temp
+		         WHEN 'string'  THEN CAST(r.temp AS DOUBLE)
+		         WHEN 'array'   THEN COLL_AVG(r.temp)
+		         ELSE MISSING
+		       END AS temp
+		FROM readings AS r`
+	fmt.Println("-- Cleaning pass: normalize heterogeneous temp values")
+	show(permissive, clean)
+
+	// 3. Stop-on-error mode: the same analysis query fails fast instead.
+	strict := permissive.WithOptions(sqlpp.Options{StopOnError: true})
+	fmt.Println("-- Stop-on-error mode: the same query fails fast")
+	if _, err := strict.Query(analyze); err != nil {
+		fmt.Println("=> error:", firstLine(err.Error()))
+	} else {
+		fmt.Println("=> unexpectedly succeeded")
+	}
+	fmt.Println()
+
+	// 4. Declare the heterogeneity with a union type (Listing 5's
+	// pattern) — the schema documents reality instead of rejecting it.
+	ddl := `CREATE TABLE readings (
+	          sensor STRING,
+	          temp UNIONTYPE<DOUBLE, STRING, ARRAY<DOUBLE>, NULL>?
+	        );`
+	before, err := permissive.Query(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := permissive.DeclareSchema(ddl); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- Declared schema:", mustSchema(permissive, "readings"))
+
+	// 5. Query stability (§I tenet): the cleaned result is identical
+	// with the schema imposed.
+	after, err := permissive.Query(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if value.Equivalent(before, after) {
+		fmt.Println("-- Query stability holds: same result before and after imposing the schema")
+	} else {
+		log.Fatal("query stability violated!")
+	}
+}
+
+func show(db *sqlpp.Engine, query string) {
+	v, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+	fmt.Println("=>", value.Pretty(v))
+	fmt.Println()
+}
+
+func mustSchema(db *sqlpp.Engine, name string) string {
+	t, ok := db.SchemaOf(name)
+	if !ok {
+		log.Fatalf("no schema for %s", name)
+	}
+	return t.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

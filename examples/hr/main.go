@@ -1,0 +1,119 @@
+// The HR scenario walks through Sections III–V of the paper end to end
+// on one engine: nested tuples and scalars, NULL versus MISSING, result
+// construction with SELECT VALUE, GROUP AS, and the SQL-to-Core
+// aggregate rewriting (shown live via Prepared.Core).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlpp"
+	"sqlpp/internal/value"
+)
+
+func main() {
+	db := sqlpp.New(nil)
+	mustRegister(db, "hr.emp_nest_tuples", `{{
+	  {'id': 3, 'name': 'Bob Smith', 'title': null,
+	   'projects': [{'name': 'Serverless Query'},
+	                {'name': 'OLAP Security'},
+	                {'name': 'OLTP Security'}]},
+	  {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+	  {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+	   'projects': [{'name': 'OLTP Security'}]}
+	}}`)
+	mustRegister(db, "hr.emp_nest_scalars", `{{
+	  {'id': 3, 'name': 'Bob Smith', 'title': null,
+	   'projects': ['Serverless Querying', 'OLAP Security', 'OLTP Security']},
+	  {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+	  {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+	   'projects': ['OLAP Security']}
+	}}`)
+	mustRegister(db, "hr.emp_missing", `{{
+	  {'id': 3, 'name': 'Bob Smith'},
+	  {'id': 4, 'name': 'Susan Smith', 'title': 'Manager'},
+	  {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer'}
+	}}`)
+	mustRegister(db, "hr.emp", `{{
+	  {'name': 'Alice', 'deptno': 1, 'title': 'Engineer', 'salary': 100000},
+	  {'name': 'Bob',   'deptno': 1, 'title': 'Engineer', 'salary': 90000},
+	  {'name': 'Clara', 'deptno': 2, 'title': 'Engineer', 'salary': 110000},
+	  {'name': 'Dan',   'deptno': 2, 'title': 'Manager',  'salary': 150000}
+	}}`)
+
+	// §III: accessing nested data via left correlation (Listing 2).
+	show(db, "Listing 2 — joining employees with their nested projects", `
+		SELECT e.name AS emp_name, p.name AS proj_name
+		FROM hr.emp_nest_tuples AS e, e.projects AS p
+		WHERE p.name LIKE '%Security%'`)
+
+	// §III-A: variables bind to scalars just as well (Listing 4).
+	show(db, "Listing 4 — variables range over scalar arrays", `
+		SELECT e.name AS emp_name, p AS proj_name
+		FROM hr.emp_nest_scalars AS e, e.projects AS p
+		WHERE p LIKE '%Security%'`)
+
+	// §IV-B: MISSING flows through queries and vanishes from output
+	// tuples (Listing 8/9).
+	show(db, "Listing 8 — a missing title is filtered, not an error", `
+		SELECT e.id, e.name AS emp_name, e.title AS title
+		FROM hr.emp_missing AS e
+		WHERE e.title = 'Manager'`)
+	show(db, "Listing 9 — CASE over MISSING propagates MISSING", `
+		SELECT e.id, e.name AS emp_name,
+		       CASE WHEN e.title LIKE 'Chief %' THEN 'Executive'
+		            ELSE 'Worker' END AS category
+		FROM hr.emp_missing AS e`)
+
+	// §V-A: nested results with SELECT VALUE (Listing 10).
+	show(db, "Listing 10 — projecting a filtered nested collection", `
+		SELECT e.id AS id, e.name AS emp_name, e.title AS emp_title,
+		       (SELECT VALUE p FROM e.projects AS p
+		        WHERE p LIKE '%Security%') AS security_proj
+		FROM hr.emp_nest_scalars AS e`)
+
+	// §V-B: GROUP AS inverts the hierarchy (Listing 12).
+	show(db, "Listing 12 — inverting the hierarchy with GROUP AS", `
+		FROM hr.emp_nest_scalars AS e, e.projects AS p
+		WHERE p LIKE '%Security%'
+		GROUP BY LOWER(p) AS p GROUP AS g
+		SELECT p AS proj_name,
+		       (FROM g AS v SELECT VALUE v.e.name) AS employees`)
+
+	// §V-C: watch the SQL aggregate become a composable COLL_AVG.
+	sql := `
+		SELECT e.deptno, AVG(e.salary) AS avgsal
+		FROM hr.emp AS e
+		WHERE e.title = 'Engineer'
+		GROUP BY e.deptno`
+	p, err := db.Prepare(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- Listing 17 — and its SQL++ Core rewriting (Listing 18):")
+	fmt.Println("   ", p.Core())
+	v, err := p.Exec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=>", value.Pretty(v))
+}
+
+func mustRegister(db *sqlpp.Engine, name, src string) {
+	if err := db.RegisterSION(name, src); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func show(db *sqlpp.Engine, title, query string) {
+	fmt.Println("--", title)
+	fmt.Println("   ", strings.Join(strings.Fields(query), " "))
+	v, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+	fmt.Println("=>", value.Pretty(v))
+	fmt.Println()
+}

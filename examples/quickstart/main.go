@@ -1,0 +1,80 @@
+// Quickstart: load JSON documents, run SQL++ over them, and see how the
+// same query handles flat and nested data without a schema.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlpp"
+	"sqlpp/internal/value"
+)
+
+const ordersJSON = `[
+  {"id": 1, "customer": "Ada",
+   "items": [{"sku": "chair", "qty": 2, "price": 120.0},
+             {"sku": "desk",  "qty": 1, "price": 300.0}]},
+  {"id": 2, "customer": "Linus",
+   "items": [{"sku": "lamp", "qty": 3, "price": 40.0}]},
+  {"id": 3, "customer": "Grace", "items": []}
+]`
+
+func main() {
+	db := sqlpp.New(nil)
+	if err := db.RegisterJSON("orders", strings.NewReader(ordersJSON)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Plain SQL keeps working: SQL++ is a backward-compatible
+	// extension.
+	run(db, "Plain SQL over the top level", `
+		SELECT o.id, o.customer
+		FROM orders AS o
+		WHERE o.id < 3`)
+
+	// 2. Left correlation unnests the line items — the paper's key FROM
+	// relaxation: a FROM item can range over an earlier variable's data.
+	run(db, "Unnesting nested line items", `
+		SELECT o.customer, i.sku, i.qty * i.price AS line_total
+		FROM orders AS o, o.items AS i
+		WHERE i.qty * i.price >= 100`)
+
+	// 3. SELECT VALUE constructs results of any shape, here one nested
+	// document per customer with a computed total.
+	run(db, "Constructing nested results", `
+		SELECT VALUE {
+		  'customer': o.customer,
+		  'total': COALESCE(COLL_SUM(SELECT VALUE i.qty * i.price
+		                             FROM o.items AS i), 0),
+		  'skus': (SELECT VALUE i.sku FROM o.items AS i)
+		}
+		FROM orders AS o`)
+
+	// 4. Grouping with GROUP AS exposes the group itself, not just
+	// aggregates of it.
+	run(db, "GROUP AS: groups as first-class collections", `
+		FROM orders AS o, o.items AS i
+		GROUP BY i.sku AS sku GROUP AS g
+		SELECT sku AS sku,
+		       COLL_SUM(SELECT VALUE v.i.qty FROM g AS v) AS units,
+		       (SELECT VALUE v.o.customer FROM g AS v) AS buyers`)
+}
+
+func run(db *sqlpp.Engine, title, query string) {
+	fmt.Printf("-- %s\n%s\n", title, strings.TrimSpace(dedent(query)))
+	v, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+	fmt.Println("=>", value.Pretty(v))
+	fmt.Println()
+}
+
+func dedent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(l)
+	}
+	return strings.Join(lines, "\n  ")
+}

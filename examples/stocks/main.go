@@ -1,0 +1,88 @@
+// The stocks scenario exercises Section VI: PIVOT and UNPIVOT turn
+// attribute names into data and back, over data loaded from CSV — the
+// same queries the paper writes over its object-notation listings run
+// unchanged over a different format (format independence).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlpp"
+	"sqlpp/internal/value"
+)
+
+const closingPricesCSV = `date,amzn,goog,fb
+4/1/2019,1900,1120,180
+4/2/2019,1902,1119,183
+4/3/2019,1910,1125,179
+`
+
+const tallPricesCSV = `date,symbol,price
+4/1/2019,amzn,1900
+4/1/2019,goog,1120
+4/1/2019,fb,180
+4/2/2019,amzn,1902
+4/2/2019,goog,1119
+4/2/2019,fb,183
+`
+
+func main() {
+	db := sqlpp.New(nil)
+	if err := db.RegisterCSV("closing_prices", strings.NewReader(closingPricesCSV)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.RegisterCSV("stock_prices", strings.NewReader(tallPricesCSV)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Listing 20: UNPIVOT makes the ticker attribute names data.
+	show(db, "UNPIVOT — wide rows become (date, symbol, price) triples", `
+		SELECT c."date" AS "date", sym AS symbol, price AS price
+		FROM closing_prices AS c, UNPIVOT c AS price AT sym
+		WHERE NOT sym = 'date'`)
+
+	// Listing 22: once unpivoted, ordinary grouping applies.
+	show(db, "Average price per symbol over the unpivoted data", `
+		SELECT sym AS symbol, AVG(price) AS avg_price
+		FROM closing_prices c, UNPIVOT c AS price AT sym
+		WHERE NOT sym = 'date'
+		GROUP BY sym`)
+
+	// Listing 24: PIVOT builds a tuple from a collection.
+	show(db, "PIVOT — one day's rows become a single tuple", `
+		PIVOT sp.price AT sp.symbol
+		FROM stock_prices AS sp
+		WHERE sp."date" = '4/1/2019'`)
+
+	// Listing 26: grouping composed with pivoting: one price tuple per
+	// date.
+	show(db, "GROUP BY + nested PIVOT — a price tuple per date", `
+		SELECT sp."date" AS "date",
+		       (PIVOT dp.sp.price AT dp.sp.symbol
+		        FROM dates_prices AS dp) AS prices
+		FROM stock_prices AS sp
+		GROUP BY sp."date" GROUP AS dates_prices`)
+
+	// Round trip: unpivot the pivoted-by-date result back into triples
+	// and check we recover the original rows.
+	show(db, "Round trip — pivot then unpivot recovers the triples", `
+		SELECT d."date" AS "date", sym AS symbol, price AS price
+		FROM (SELECT sp."date" AS "date",
+		             (PIVOT dp.sp.price AT dp.sp.symbol
+		              FROM dates_prices AS dp) AS prices
+		      FROM stock_prices AS sp
+		      GROUP BY sp."date" GROUP AS dates_prices) AS d,
+		     UNPIVOT d.prices AS price AT sym`)
+}
+
+func show(db *sqlpp.Engine, title, query string) {
+	fmt.Println("--", title)
+	v, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+	fmt.Println("=>", value.Pretty(v))
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module sqlpp
+
+go 1.22

@@ -1,0 +1,233 @@
+package ast
+
+// CloneExpr returns a deep copy of e. The rewriter substitutes
+// subexpressions into multiple positions; cloning keeps each occurrence
+// independently rewritable.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *x
+		return &c
+	case *VarRef:
+		c := *x
+		return &c
+	case *NamedRef:
+		c := *x
+		return &c
+	case *FieldAccess:
+		c := *x
+		c.Base = CloneExpr(x.Base)
+		return &c
+	case *IndexAccess:
+		c := *x
+		c.Base = CloneExpr(x.Base)
+		c.Index = CloneExpr(x.Index)
+		return &c
+	case *Unary:
+		c := *x
+		c.Operand = CloneExpr(x.Operand)
+		return &c
+	case *Binary:
+		c := *x
+		c.L = CloneExpr(x.L)
+		c.R = CloneExpr(x.R)
+		return &c
+	case *Like:
+		c := *x
+		c.Target = CloneExpr(x.Target)
+		c.Pattern = CloneExpr(x.Pattern)
+		c.Escape = CloneExpr(x.Escape)
+		return &c
+	case *Between:
+		c := *x
+		c.Target = CloneExpr(x.Target)
+		c.Lo = CloneExpr(x.Lo)
+		c.Hi = CloneExpr(x.Hi)
+		return &c
+	case *In:
+		c := *x
+		c.Target = CloneExpr(x.Target)
+		c.Set = CloneExpr(x.Set)
+		c.List = cloneExprs(x.List)
+		return &c
+	case *Is:
+		c := *x
+		c.Target = CloneExpr(x.Target)
+		return &c
+	case *Quantified:
+		c := *x
+		c.Target = CloneExpr(x.Target)
+		c.Set = CloneExpr(x.Set)
+		return &c
+	case *Case:
+		c := *x
+		c.Operand = CloneExpr(x.Operand)
+		c.Whens = make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			c.Whens[i] = When{Cond: CloneExpr(w.Cond), Result: CloneExpr(w.Result)}
+		}
+		c.Else = CloneExpr(x.Else)
+		return &c
+	case *Call:
+		c := *x
+		c.Args = cloneExprs(x.Args)
+		return &c
+	case *TupleCtor:
+		c := *x
+		c.Fields = make([]TupleField, len(x.Fields))
+		for i, f := range x.Fields {
+			c.Fields[i] = TupleField{Name: CloneExpr(f.Name), Value: CloneExpr(f.Value)}
+		}
+		return &c
+	case *ArrayCtor:
+		c := *x
+		c.Elems = cloneExprs(x.Elems)
+		return &c
+	case *BagCtor:
+		c := *x
+		c.Elems = cloneExprs(x.Elems)
+		return &c
+	case *Exists:
+		c := *x
+		c.Operand = CloneExpr(x.Operand)
+		return &c
+	case *SFW:
+		return cloneSFW(x)
+	case *PivotQuery:
+		c := *x
+		c.Value = CloneExpr(x.Value)
+		c.Name = CloneExpr(x.Name)
+		c.From = cloneFromItems(x.From)
+		c.Lets = cloneLets(x.Lets)
+		c.Where = CloneExpr(x.Where)
+		c.GroupBy = cloneGroupBy(x.GroupBy)
+		c.Having = CloneExpr(x.Having)
+		return &c
+	case *SetOp:
+		c := *x
+		c.L = CloneExpr(x.L)
+		c.R = CloneExpr(x.R)
+		return &c
+	case *With:
+		c := *x
+		c.Bindings = make([]WithBinding, len(x.Bindings))
+		for i, b := range x.Bindings {
+			c.Bindings[i] = WithBinding{Name: b.Name, Expr: CloneExpr(b.Expr)}
+		}
+		c.Body = CloneExpr(x.Body)
+		return &c
+	case *Window:
+		c := *x
+		c.Fn = CloneExpr(x.Fn).(*Call)
+		c.Spec = cloneWindowSpec(x.Spec)
+		return &c
+	}
+	panic("ast: CloneExpr of unknown node type")
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}
+
+func cloneSFW(q *SFW) *SFW {
+	c := *q
+	c.Select.Value = CloneExpr(q.Select.Value)
+	c.Select.Items = make([]SelectItem, len(q.Select.Items))
+	for i, it := range q.Select.Items {
+		c.Select.Items[i] = SelectItem{
+			Expr:     CloneExpr(it.Expr),
+			Alias:    it.Alias,
+			HasAlias: it.HasAlias,
+			StarOf:   CloneExpr(it.StarOf),
+		}
+	}
+	c.From = cloneFromItems(q.From)
+	c.Lets = cloneLets(q.Lets)
+	c.Where = CloneExpr(q.Where)
+	c.GroupBy = cloneGroupBy(q.GroupBy)
+	c.Having = CloneExpr(q.Having)
+	c.OrderBy = make([]OrderItem, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		c.OrderBy[i] = OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc, NullsFirst: o.NullsFirst}
+	}
+	c.Limit = CloneExpr(q.Limit)
+	c.Offset = CloneExpr(q.Offset)
+	c.Windows = make([]NamedWindow, len(q.Windows))
+	for i, w := range q.Windows {
+		c.Windows[i] = NamedWindow{Name: w.Name, Fn: CloneExpr(w.Fn).(*Call), Spec: cloneWindowSpec(w.Spec)}
+	}
+	return &c
+}
+
+func cloneFromItems(items []FromItem) []FromItem {
+	if items == nil {
+		return nil
+	}
+	out := make([]FromItem, len(items))
+	for i, f := range items {
+		out[i] = cloneFromItem(f)
+	}
+	return out
+}
+
+func cloneFromItem(f FromItem) FromItem {
+	switch x := f.(type) {
+	case *FromExpr:
+		c := *x
+		c.Expr = CloneExpr(x.Expr)
+		return &c
+	case *FromUnpivot:
+		c := *x
+		c.Expr = CloneExpr(x.Expr)
+		return &c
+	case *FromJoin:
+		c := *x
+		c.Left = cloneFromItem(x.Left)
+		c.Right = cloneFromItem(x.Right)
+		c.On = CloneExpr(x.On)
+		return &c
+	}
+	panic("ast: cloneFromItem of unknown node type")
+}
+
+func cloneLets(ls []LetBinding) []LetBinding {
+	if ls == nil {
+		return nil
+	}
+	out := make([]LetBinding, len(ls))
+	for i, l := range ls {
+		out[i] = LetBinding{Name: l.Name, Expr: CloneExpr(l.Expr)}
+	}
+	return out
+}
+
+func cloneWindowSpec(w WindowSpec) WindowSpec {
+	out := WindowSpec{}
+	out.PartitionBy = cloneExprs(w.PartitionBy)
+	out.OrderBy = make([]OrderItem, len(w.OrderBy))
+	for i, o := range w.OrderBy {
+		out.OrderBy[i] = OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc, NullsFirst: o.NullsFirst}
+	}
+	return out
+}
+
+func cloneGroupBy(g *GroupBy) *GroupBy {
+	if g == nil {
+		return nil
+	}
+	c := *g
+	c.Keys = make([]GroupKey, len(g.Keys))
+	for i, k := range g.Keys {
+		c.Keys[i] = GroupKey{Expr: CloneExpr(k.Expr), Alias: k.Alias}
+	}
+	return &c
+}

@@ -1,0 +1,436 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlpp/internal/lexer"
+)
+
+// Format renders an expression (including query blocks) back to SQL++
+// text. The output is valid SQL++ that parses to an equivalent tree; it
+// is used by error messages, the rewriter's tests, and EXPLAIN in the
+// CLI.
+func Format(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e)
+	return sb.String()
+}
+
+func printExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		sb.WriteString("<nil>")
+	case *Literal:
+		sb.WriteString(x.Val.String())
+	case *VarRef:
+		sb.WriteString(quoteIdent(x.Name))
+	case *NamedRef:
+		for i, part := range strings.Split(x.Name, ".") {
+			if i > 0 {
+				sb.WriteByte('.')
+			}
+			sb.WriteString(quoteIdent(part))
+		}
+	case *FieldAccess:
+		printExpr(sb, x.Base)
+		sb.WriteByte('.')
+		sb.WriteString(quoteIdent(x.Name))
+	case *IndexAccess:
+		printExpr(sb, x.Base)
+		sb.WriteByte('[')
+		printExpr(sb, x.Index)
+		sb.WriteByte(']')
+	case *Unary:
+		sb.WriteString(x.Op)
+		if x.Op == "NOT" {
+			sb.WriteByte(' ')
+		}
+		printExpr(sb, x.Operand)
+	case *Binary:
+		sb.WriteByte('(')
+		printExpr(sb, x.L)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		sb.WriteByte(' ')
+		printExpr(sb, x.R)
+		sb.WriteByte(')')
+	case *Like:
+		printExpr(sb, x.Target)
+		if x.Negate {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" LIKE ")
+		printExpr(sb, x.Pattern)
+		if x.Escape != nil {
+			sb.WriteString(" ESCAPE ")
+			printExpr(sb, x.Escape)
+		}
+	case *Between:
+		printExpr(sb, x.Target)
+		if x.Negate {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" BETWEEN ")
+		printExpr(sb, x.Lo)
+		sb.WriteString(" AND ")
+		printExpr(sb, x.Hi)
+	case *In:
+		printExpr(sb, x.Target)
+		if x.Negate {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN ")
+		if x.List != nil {
+			sb.WriteByte('(')
+			for i, e := range x.List {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				printExpr(sb, e)
+			}
+			sb.WriteByte(')')
+		} else {
+			printExpr(sb, x.Set)
+		}
+	case *Quantified:
+		printExpr(sb, x.Target)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		if x.All {
+			sb.WriteString(" ALL ")
+		} else {
+			sb.WriteString(" ANY ")
+		}
+		printExpr(sb, x.Set)
+	case *Is:
+		printExpr(sb, x.Target)
+		sb.WriteString(" IS ")
+		if x.Negate {
+			sb.WriteString("NOT ")
+		}
+		sb.WriteString(x.What)
+	case *Case:
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteByte(' ')
+			printExpr(sb, x.Operand)
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN ")
+			printExpr(sb, w.Cond)
+			sb.WriteString(" THEN ")
+			printExpr(sb, w.Result)
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE ")
+			printExpr(sb, x.Else)
+		}
+		sb.WriteString(" END")
+	case *Call:
+		// CAST has dedicated syntax: CAST(expr AS TYPE).
+		if x.Name == "CAST" && len(x.Args) == 2 {
+			if lit, ok := x.Args[1].(*Literal); ok {
+				sb.WriteString("CAST(")
+				printExpr(sb, x.Args[0])
+				sb.WriteString(" AS ")
+				sb.WriteString(strings.Trim(lit.Val.String(), "'"))
+				sb.WriteByte(')')
+				return
+			}
+		}
+		sb.WriteString(x.Name)
+		sb.WriteByte('(')
+		if x.Star {
+			sb.WriteByte('*')
+		}
+		if x.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, a)
+		}
+		sb.WriteByte(')')
+	case *TupleCtor:
+		sb.WriteByte('{')
+		for i, f := range x.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, f.Name)
+			sb.WriteString(": ")
+			printExpr(sb, f.Value)
+		}
+		sb.WriteByte('}')
+	case *ArrayCtor:
+		sb.WriteByte('[')
+		for i, e := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, e)
+		}
+		sb.WriteByte(']')
+	case *BagCtor:
+		sb.WriteString("<<")
+		for i, e := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, e)
+		}
+		sb.WriteString(">>")
+	case *Exists:
+		sb.WriteString("EXISTS ")
+		printExpr(sb, x.Operand)
+	case *SFW:
+		sb.WriteByte('(')
+		printSFW(sb, x)
+		sb.WriteByte(')')
+	case *PivotQuery:
+		sb.WriteString("(PIVOT ")
+		printExpr(sb, x.Value)
+		sb.WriteString(" AT ")
+		printExpr(sb, x.Name)
+		printFromWhere(sb, x.From, x.Lets, x.Where)
+		printGroupHaving(sb, x.GroupBy, x.Having)
+		sb.WriteByte(')')
+	case *With:
+		sb.WriteString("WITH ")
+		for i, b := range x.Bindings {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(b.Name))
+			sb.WriteString(" AS ")
+			printExpr(sb, b.Expr)
+		}
+		sb.WriteByte(' ')
+		printExpr(sb, x.Body)
+	case *Window:
+		printExpr(sb, x.Fn)
+		sb.WriteString(" OVER (")
+		printWindowSpec(sb, x.Spec)
+		sb.WriteByte(')')
+	case *SetOp:
+		sb.WriteByte('(')
+		printExpr(sb, x.L)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		if x.All {
+			sb.WriteString(" ALL")
+		}
+		sb.WriteByte(' ')
+		printExpr(sb, x.R)
+		sb.WriteByte(')')
+	default:
+		fmt.Fprintf(sb, "<unknown %T>", e)
+	}
+}
+
+func printSFW(sb *strings.Builder, q *SFW) {
+	printSelect := func() {
+		sb.WriteString("SELECT ")
+		if q.Select.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		switch {
+		case q.Select.Value != nil:
+			sb.WriteString("VALUE ")
+			printExpr(sb, q.Select.Value)
+		case q.Select.Star:
+			sb.WriteByte('*')
+		default:
+			for i, it := range q.Select.Items {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				if it.StarOf != nil {
+					printExpr(sb, it.StarOf)
+					sb.WriteString(".*")
+					continue
+				}
+				printExpr(sb, it.Expr)
+				if it.HasAlias {
+					sb.WriteString(" AS ")
+					sb.WriteString(quoteIdent(it.Alias))
+				}
+			}
+		}
+	}
+	if !q.SelectLast {
+		printSelect()
+	}
+	printFromWhere(sb, q.From, q.Lets, q.Where)
+	printGroupHaving(sb, q.GroupBy, q.Having)
+	if q.SelectLast {
+		sb.WriteByte(' ')
+		printSelect()
+	}
+	for i, o := range q.OrderBy {
+		if i == 0 {
+			sb.WriteString(" ORDER BY ")
+		} else {
+			sb.WriteString(", ")
+		}
+		printExpr(sb, o.Expr)
+		if o.Desc {
+			sb.WriteString(" DESC")
+		}
+		if o.NullsFirst != nil {
+			if *o.NullsFirst {
+				sb.WriteString(" NULLS FIRST")
+			} else {
+				sb.WriteString(" NULLS LAST")
+			}
+		}
+	}
+	if q.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		printExpr(sb, q.Limit)
+	}
+	if q.Offset != nil {
+		sb.WriteString(" OFFSET ")
+		printExpr(sb, q.Offset)
+	}
+}
+
+func printFromWhere(sb *strings.Builder, from []FromItem, lets []LetBinding, where Expr) {
+	for i, f := range from {
+		if i == 0 {
+			sb.WriteString(" FROM ")
+		} else {
+			sb.WriteString(", ")
+		}
+		printFromItem(sb, f)
+	}
+	for _, l := range lets {
+		sb.WriteString(" LET ")
+		sb.WriteString(quoteIdent(l.Name))
+		sb.WriteString(" = ")
+		printExpr(sb, l.Expr)
+	}
+	if where != nil {
+		sb.WriteString(" WHERE ")
+		printExpr(sb, where)
+	}
+}
+
+func printGroupHaving(sb *strings.Builder, g *GroupBy, having Expr) {
+	if g != nil {
+		sb.WriteString(" GROUP BY ")
+		for i, k := range g.Keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, k.Expr)
+			if k.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(quoteIdent(k.Alias))
+			}
+		}
+		if g.GroupAs != "" {
+			sb.WriteString(" GROUP AS ")
+			sb.WriteString(quoteIdent(g.GroupAs))
+		}
+	}
+	if having != nil {
+		sb.WriteString(" HAVING ")
+		printExpr(sb, having)
+	}
+}
+
+func printFromItem(sb *strings.Builder, f FromItem) {
+	switch x := f.(type) {
+	case *FromExpr:
+		printExpr(sb, x.Expr)
+		if x.As != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(quoteIdent(x.As))
+		}
+		if x.AtVar != "" {
+			sb.WriteString(" AT ")
+			sb.WriteString(quoteIdent(x.AtVar))
+		}
+	case *FromUnpivot:
+		sb.WriteString("UNPIVOT ")
+		printExpr(sb, x.Expr)
+		sb.WriteString(" AS ")
+		sb.WriteString(quoteIdent(x.ValueVar))
+		sb.WriteString(" AT ")
+		sb.WriteString(quoteIdent(x.NameVar))
+	case *FromJoin:
+		printFromItem(sb, x.Left)
+		switch x.Kind {
+		case JoinInner:
+			sb.WriteString(" JOIN ")
+		case JoinLeft:
+			sb.WriteString(" LEFT JOIN ")
+		case JoinCross:
+			sb.WriteString(" CROSS JOIN ")
+		}
+		printFromItem(sb, x.Right)
+		if x.On != nil {
+			sb.WriteString(" ON ")
+			printExpr(sb, x.On)
+		}
+	}
+}
+
+func printWindowSpec(sb *strings.Builder, w WindowSpec) {
+	for i, e := range w.PartitionBy {
+		if i == 0 {
+			sb.WriteString("PARTITION BY ")
+		} else {
+			sb.WriteString(", ")
+		}
+		printExpr(sb, e)
+	}
+	for i, o := range w.OrderBy {
+		if i == 0 {
+			if len(w.PartitionBy) > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString("ORDER BY ")
+		} else {
+			sb.WriteString(", ")
+		}
+		printExpr(sb, o.Expr)
+		if o.Desc {
+			sb.WriteString(" DESC")
+		}
+		if o.NullsFirst != nil {
+			if *o.NullsFirst {
+				sb.WriteString(" NULLS FIRST")
+			} else {
+				sb.WriteString(" NULLS LAST")
+			}
+		}
+	}
+}
+
+// quoteIdent renders an identifier, double-quoting it when it is a
+// reserved word or contains characters that would not re-lex as a bare
+// identifier.
+func quoteIdent(name string) string {
+	if name == "" {
+		return `""`
+	}
+	plain := true
+	for i, r := range name {
+		ok := r == '_' || r == '$' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && !lexer.IsKeyword(name) {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}

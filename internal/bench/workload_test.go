@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := HR(HROptions{N: 50, ScalarProjects: true, AbsentTitleRate: 30, Seed: 1})
+	b := HR(HROptions{N: 50, ScalarProjects: true, AbsentTitleRate: 30, Seed: 1})
+	if !value.Equivalent(a, b) {
+		t.Error("HR generator must be deterministic for a fixed seed")
+	}
+	c := HR(HROptions{N: 50, ScalarProjects: true, AbsentTitleRate: 30, Seed: 2})
+	if value.Equivalent(a, c) {
+		t.Error("different seeds should differ")
+	}
+	if !value.Equivalent(FlatEmp(20, 3, 7), FlatEmp(20, 3, 7)) {
+		t.Error("FlatEmp must be deterministic")
+	}
+	if !value.Equivalent(StockPrices(5, 4, 7), StockPrices(5, 4, 7)) {
+		t.Error("StockPrices must be deterministic")
+	}
+}
+
+func TestHRShapes(t *testing.T) {
+	tuples := HR(HROptions{N: 30, Seed: 3, AbsentTitleRate: 100})
+	if len(tuples) != 30 {
+		t.Fatalf("N = %d", len(tuples))
+	}
+	for _, e := range tuples {
+		tup := e.(*value.Tuple)
+		// Null-style: absent titles are nulls.
+		title, present := tup.Get("title")
+		if !present || title.Kind() != value.KindNull {
+			t.Fatalf("null-style title = %v (present=%v)", title, present)
+		}
+		projects, _ := tup.Get("projects")
+		elems, ok := value.Elements(projects)
+		if !ok {
+			t.Fatal("projects should be a collection")
+		}
+		for _, p := range elems {
+			if _, ok := p.(*value.Tuple); !ok {
+				t.Fatal("tuple-style projects expected")
+			}
+		}
+	}
+	missing := HR(HROptions{N: 30, Seed: 3, AbsentTitleRate: 100, MissingStyle: true, ScalarProjects: true})
+	for _, e := range missing {
+		tup := e.(*value.Tuple)
+		if _, present := tup.Get("title"); present {
+			t.Fatal("missing-style should omit the title attribute")
+		}
+	}
+}
+
+func TestFlatEmpProjects(t *testing.T) {
+	nested := HR(HROptions{N: 40, Seed: 5})
+	emps, memberships := FlatEmpProjects(nested)
+	if len(emps) != 40 {
+		t.Fatalf("emps = %d", len(emps))
+	}
+	// Membership count equals total nested project count.
+	total := 0
+	for _, e := range nested {
+		projects, _ := e.(*value.Tuple).Get("projects")
+		elems, _ := value.Elements(projects)
+		total += len(elems)
+	}
+	if len(memberships) != total {
+		t.Errorf("memberships = %d, want %d", len(memberships), total)
+	}
+	// Flat employees carry no projects attribute.
+	for _, e := range emps {
+		if _, ok := e.(*value.Tuple).Get("projects"); ok {
+			t.Fatal("flat employees should not embed projects")
+		}
+	}
+}
+
+func TestDirtyRates(t *testing.T) {
+	clean := Dirty(200, 0, 1)
+	for _, e := range clean {
+		x, present := e.(*value.Tuple).Get("x")
+		if !present || x.Kind() != value.KindInt {
+			t.Fatal("0% dirty data must be all integers")
+		}
+	}
+	dirty := Dirty(400, 50, 1)
+	nonInt := 0
+	for _, e := range dirty {
+		if x, present := e.(*value.Tuple).Get("x"); !present || x.Kind() != value.KindInt {
+			nonInt++
+		}
+	}
+	if nonInt < 120 || nonInt > 280 {
+		t.Errorf("50%% dirty rate produced %d/400 dirty rows", nonInt)
+	}
+}
+
+func TestStockGenerators(t *testing.T) {
+	wide := ClosingPrices(3, 4, 1)
+	if len(wide) != 3 {
+		t.Fatalf("days = %d", len(wide))
+	}
+	// Each wide row: date + one attribute per symbol.
+	if wide[0].(*value.Tuple).Len() != 5 {
+		t.Errorf("wide row fields = %d", wide[0].(*value.Tuple).Len())
+	}
+	tall := StockPrices(3, 4, 1)
+	if len(tall) != 12 {
+		t.Errorf("tall rows = %d", len(tall))
+	}
+	syms := StockSymbols(10)
+	if len(syms) != 10 || syms[0] != "amzn" || syms[9] != "t009" {
+		t.Errorf("symbols = %v", syms)
+	}
+}
+
+// The two GROUP AS experiment formulations must agree on results — the
+// benchmark compares equivalent queries or it compares nothing.
+func TestGroupAsVariantsAgree(t *testing.T) {
+	exp := GroupAsExperiment(60)
+	a, err := exp.Variants[0].DB.Query(exp.Variants[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Variants[1].DB.Query(exp.Variants[1].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(a, b) {
+		t.Errorf("GROUP AS and nested-subquery formulations disagree:\n  %s\n  %s", a, b)
+	}
+}
+
+func TestUnnestVsJoinVariantsAgree(t *testing.T) {
+	exp := UnnestVsJoinExperiment(50)
+	a, err := exp.Variants[0].DB.Query(exp.Variants[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Variants[1].DB.Query(exp.Variants[1].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(a, b) {
+		t.Errorf("unnest and join formulations disagree")
+	}
+}
+
+func TestCompatVariantsAgree(t *testing.T) {
+	exp := CompatOverheadExperiment(500)
+	a, err := exp.Variants[0].DB.Query(exp.Variants[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Variants[1].DB.Query(exp.Variants[1].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(a, b) {
+		t.Error("the SQL query must give the same result in both modes (claim C1)")
+	}
+}
+
+func TestFormatPayloadEquivalence(t *testing.T) {
+	p, err := BuildFormatPayload(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DecodeFormat(p, "sion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"json", "cbor", "csv"} {
+		v, err := DecodeFormat(p, f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !value.Equivalent(ref, v) {
+			t.Errorf("%s decoding differs from sion", f)
+		}
+	}
+	if _, err := DecodeFormat(p, "nope"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestPivotUnpivotExperimentRuns(t *testing.T) {
+	exp := PivotUnpivotExperiment(5, 4)
+	for _, v := range exp.Variants {
+		if _, err := v.Run(); err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+		}
+	}
+}
+
+func TestTypingModesExperimentShape(t *testing.T) {
+	exp := TypingModesExperiment(200, 30)
+	for _, v := range exp.Variants {
+		_, err := v.Run()
+		if v.ExpectError && err == nil {
+			t.Errorf("%s should fail", v.Name)
+		}
+		if !v.ExpectError && err != nil {
+			t.Errorf("%s failed: %v", v.Name, err)
+		}
+	}
+}
+
+func TestNullMissingExperimentAgree(t *testing.T) {
+	// Under the C3 guarantee (compat mode), the two styles agree up to
+	// dropped null attributes; spot-check row counts.
+	exp := NullMissingExperiment(300)
+	a, err := exp.Variants[0].DB.Query(exp.Variants[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Variants[1].DB.Query(exp.Variants[1].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := value.Elements(a)
+	eb, _ := value.Elements(b)
+	if len(ea) != len(eb) {
+		t.Errorf("row counts differ: %d vs %d", len(ea), len(eb))
+	}
+}

@@ -1,0 +1,97 @@
+// Package catalog manages SQL++ named values: top-level bindings of
+// (possibly dotted/namespaced) identifiers to values, as in the paper's
+// hr.emp_nest_tuples. It is safe for concurrent readers with exclusive
+// writers, matching the read-mostly usage of a query engine.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqlpp/internal/value"
+)
+
+// Catalog is a set of named values. The zero value is not usable; call
+// New.
+type Catalog struct {
+	mu    sync.RWMutex
+	named map[string]value.Value
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{named: make(map[string]value.Value)}
+}
+
+// Register binds name (which may be dotted, e.g. "hr.emp") to v,
+// replacing any existing binding. A nil value panics: the data plane is
+// nil-free.
+func (c *Catalog) Register(name string, v value.Value) error {
+	if v == nil {
+		panic("catalog: nil value for " + name)
+	}
+	if name == "" {
+		return fmt.Errorf("catalog: empty name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.named[name] = v
+	return nil
+}
+
+// Drop removes a named value; dropping an unknown name is a no-op.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.named, name)
+}
+
+// LookupValue implements eval.NameSource.
+func (c *Catalog) LookupValue(name string) (value.Value, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.named[name]
+	return v, ok
+}
+
+// HasName reports whether name is registered; the resolver uses it to
+// match dotted identifier chains.
+func (c *Catalog) HasName(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.named[name]
+	return ok
+}
+
+// Names returns all registered names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.named))
+	for n := range c.named {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Namespaces returns the distinct dotted prefixes in use (e.g. "hr" for
+// "hr.emp"), sorted; useful for CLI completion and listing.
+func (c *Catalog) Namespaces() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := map[string]bool{}
+	for n := range c.named {
+		if i := strings.LastIndex(n, "."); i > 0 {
+			seen[n[:i]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

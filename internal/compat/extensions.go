@@ -1,0 +1,86 @@
+package compat
+
+// ExtensionCases cover the features the paper names as composing with
+// SQL++ beyond its core walkthrough: window functions (§V-B notes OVER
+// "wholly compatible" with SQL++, operating over nested and
+// heterogeneous data) and WITH common table expressions.
+
+// ExtensionCases returns the extension conformance cases.
+func ExtensionCases() []*Case {
+	sales := map[string]string{"sales": `{{
+	  {'region': 'east', 'rep': 'a', 'amount': 100},
+	  {'region': 'east', 'rep': 'b', 'amount': 300},
+	  {'region': 'west', 'rep': 'c', 'amount': 500},
+	  {'region': 'west', 'rep': 'd', 'amount': 500}
+	}}`}
+	return []*Case{
+		{
+			Name: "ext/window-row-number",
+			Data: sales,
+			Query: `SELECT s.rep AS rep,
+			               ROW_NUMBER() OVER (PARTITION BY s.region ORDER BY s.amount DESC) AS rn
+			        FROM sales AS s`,
+			Mode: Both,
+			Expect: `{{ {'rep':'a','rn':2}, {'rep':'b','rn':1},
+			            {'rep':'c','rn':1}, {'rep':'d','rn':2} }}`,
+			Notes: "§V-B: window functions compose with SQL++ unchanged.",
+		},
+		{
+			Name: "ext/window-rank-ties",
+			Data: sales,
+			Query: `SELECT s.rep AS rep,
+			               RANK() OVER (ORDER BY s.amount DESC) AS r
+			        FROM sales AS s`,
+			Mode: Both,
+			Expect: `{{ {'rep':'c','r':1}, {'rep':'d','r':1},
+			            {'rep':'b','r':3}, {'rep':'a','r':4} }}`,
+		},
+		{
+			Name: "ext/window-partition-aggregate",
+			Data: sales,
+			Query: `SELECT s.rep AS rep,
+			               s.amount / SUM(s.amount) OVER (PARTITION BY s.region) AS share
+			        FROM sales AS s WHERE s.region = 'west'`,
+			Mode:   Both,
+			Expect: `{{ {'rep':'c','share':0}, {'rep':'d','share':0} }}`,
+			Notes:  "Integer division; the point is the partition total (1000) in the denominator.",
+		},
+		{
+			Name: "ext/window-over-nested-data",
+			Data: hrData(),
+			Query: `SELECT e.name AS name, p AS proj,
+			               COUNT(*) OVER (PARTITION BY p) AS popularity
+			        FROM hr.emp_nest_scalars AS e, e.projects AS p
+			        WHERE p LIKE '%Security%'`,
+			Mode: Both,
+			Expect: `{{
+			  {'name': 'Bob Smith', 'proj': 'OLAP Security', 'popularity': 2},
+			  {'name': 'Bob Smith', 'proj': 'OLTP Security', 'popularity': 1},
+			  {'name': 'Jane Smith', 'proj': 'OLAP Security', 'popularity': 2}
+			}}`,
+			Notes: "The §V-B claim in action: a window over unnested (originally nested) bindings.",
+		},
+		{
+			Name: "ext/with-cte",
+			Data: hrData(),
+			Query: `WITH sec AS (SELECT e.name AS name, p AS proj
+			                     FROM hr.emp_nest_scalars AS e, e.projects AS p
+			                     WHERE p LIKE '%Security%')
+			        SELECT s.proj AS proj, COUNT(*) AS n
+			        FROM sec AS s GROUP BY s.proj`,
+			Mode: Both,
+			Expect: `{{ {'proj': 'OLAP Security', 'n': 2},
+			            {'proj': 'OLTP Security', 'n': 1} }}`,
+		},
+		{
+			Name: "ext/with-chained",
+			Data: map[string]string{"t": "{{1, 2, 3, 4}}"},
+			Query: `WITH evens AS (SELECT VALUE x FROM t AS x WHERE x % 2 = 0),
+			             doubled AS (SELECT VALUE e * 2 FROM evens AS e)
+			        SELECT VALUE d FROM doubled AS d`,
+			Mode:   Both,
+			Expect: `{{4, 8}}`,
+			Notes:  "Later CTEs see earlier ones.",
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package compat
+
+import (
+	"strings"
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+func TestCoreForm(t *testing.T) {
+	core, err := CoreForm(hrData(), `
+		SELECT e.deptno, AVG(e.salary) AS avgsal
+		FROM hr.emp AS e GROUP BY e.deptno`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"SELECT VALUE", "COLL_AVG(", "GROUP AS"} {
+		if !strings.Contains(core, frag) {
+			t.Errorf("core form should contain %q: %s", frag, core)
+		}
+	}
+	if _, err := CoreForm(nil, "SELEC", false); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := CoreForm(map[string]string{"t": "{{"}, "SELECT VALUE 1", false); err == nil {
+		t.Error("bad data should fail")
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	if _, err := Execute(map[string]string{"t": "{{"}, "SELECT VALUE 1", false, false); err == nil {
+		t.Error("bad fixture should fail")
+	}
+	if _, err := Execute(nil, "SELECT VALUE ghost", false, false); err == nil {
+		t.Error("unresolved name should fail")
+	}
+}
+
+func TestExecuteValuesMatchesExecute(t *testing.T) {
+	data := map[string]string{"t": "{{1, 2, 3}}"}
+	a, err := Execute(data, "SELECT VALUE SUM(x) FROM t AS x", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]value.Value{"t": value.Bag{value.Int(1), value.Int(2), value.Int(3)}}
+	b, err := ExecuteValues(vals, "SELECT VALUE SUM(x) FROM t AS x", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(a, b) {
+		t.Errorf("Execute (%s) and ExecuteValues (%s) disagree", a, b)
+	}
+}
+
+func TestRunModesAndFailures(t *testing.T) {
+	// A case marked Core runs once; Both runs twice.
+	c := &Case{Name: "x", Data: map[string]string{"t": "{{1}}"},
+		Query: "SELECT VALUE v FROM t AS v", Mode: Core, Expect: "{{1}}"}
+	if rs := Run(c); len(rs) != 1 || !rs[0].Pass || rs[0].ModeName != "core" {
+		t.Errorf("Core mode run = %+v", rs)
+	}
+	c.Mode = Both
+	if rs := Run(c); len(rs) != 2 {
+		t.Errorf("Both mode should run twice, got %d", len(rs))
+	}
+	// A failing expectation is reported with a diff.
+	bad := &Case{Name: "bad", Data: c.Data, Query: c.Query, Mode: Core, Expect: "{{2}}"}
+	rs := Run(bad)
+	if rs[0].Pass || !strings.Contains(rs[0].Detail, "mismatch") {
+		t.Errorf("failing case = %+v", rs[0])
+	}
+	// ExpectError inverted.
+	errCase := &Case{Name: "err", Data: c.Data, Query: "SELECT VALUE ghost", Mode: Core, ExpectError: true}
+	if rs := Run(errCase); !rs[0].Pass {
+		t.Errorf("expected-error case should pass: %+v", rs[0])
+	}
+	notErr := &Case{Name: "noterr", Data: c.Data, Query: c.Query, Mode: Core, ExpectError: true}
+	if rs := Run(notErr); rs[0].Pass {
+		t.Error("expected-error case that succeeds should fail")
+	}
+	// Malformed expectation.
+	broken := &Case{Name: "broken", Data: c.Data, Query: c.Query, Mode: Core, Expect: "{{"}
+	if rs := Run(broken); rs[0].Pass || !strings.Contains(rs[0].Detail, "bad expectation") {
+		t.Errorf("broken expectation = %+v", rs[0])
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	cases := []*Case{
+		{Name: "a", Data: map[string]string{"t": "{{1}}"}, Query: "SELECT VALUE v FROM t AS v", Mode: Core, Expect: "{{1}}"},
+		{Name: "b", Data: map[string]string{"t": "{{1}}"}, Query: "SELECT VALUE v FROM t AS v", Mode: Core, Expect: "{{9}}"},
+	}
+	all, failures := RunSuite(cases)
+	text := Report(all, failures)
+	if !strings.Contains(text, "2 checks, 1 failures") {
+		t.Errorf("report summary wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "FAIL b") {
+		t.Errorf("report should name the failing case:\n%s", text)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Both.String() != "both" || Core.String() != "core" || Compat.String() != "compat" {
+		t.Error("mode names wrong")
+	}
+}

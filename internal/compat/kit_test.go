@@ -1,0 +1,16 @@
+package compat
+
+import "testing"
+
+// TestSuite runs the complete built-in conformance suite; every case
+// must pass in every mode it declares.
+func TestSuite(t *testing.T) {
+	all, failures := RunSuite(Suite())
+	if len(all) == 0 {
+		t.Fatal("empty suite")
+	}
+	for _, f := range failures {
+		t.Errorf("%s [%s]: %s", f.Case.Name, f.ModeName, f.Detail)
+	}
+	t.Logf("%d conformance checks, %d failures", len(all), len(failures))
+}

@@ -1,0 +1,115 @@
+package compat
+
+import "fmt"
+
+// NullMissingCases check the §IV-B compatibility guarantee: given a
+// working SQL query q over a collection d with null values, and d' where
+// some nulls were replaced by missing attributes, SQL++ (in SQL
+// compatibility mode) delivers q(d') equal to q(d) except that attributes
+// that would be null in q(d) are simply absent in q(d'). Each pair of
+// cases below runs the same query over the null-style and missing-style
+// collections of Listings 6 and 7.
+
+// NullMissingCases returns the guarantee cases.
+func NullMissingCases() []*Case {
+	query := `SELECT e.id, e.name AS emp_name, e.title AS title
+	          FROM %s AS e`
+	filter := `SELECT e.id FROM %s AS e WHERE e.title IS NULL`
+	caseQ := `SELECT e.id,
+	                 CASE WHEN e.title LIKE 'Chief %%' THEN 'Executive'
+	                      ELSE 'Worker' END AS category
+	          FROM %s AS e`
+	return []*Case{
+		{
+			Name:  "nullmissing/project-null",
+			Data:  hrData(),
+			Query: sprintf(query, "hr.emp_null"),
+			Mode:  Both,
+			Expect: `{{
+			  {'id': 3, 'emp_name': 'Bob Smith', 'title': null},
+			  {'id': 4, 'emp_name': 'Susan Smith', 'title': 'Manager'},
+			  {'id': 6, 'emp_name': 'Jane Smith', 'title': 'Engineer'}
+			}}`,
+			Notes: "q(d): Bob's title is null.",
+		},
+		{
+			Name:  "nullmissing/project-missing",
+			Data:  hrData(),
+			Query: sprintf(query, "hr.emp_missing"),
+			Mode:  Both,
+			Expect: `{{
+			  {'id': 3, 'emp_name': 'Bob Smith'},
+			  {'id': 4, 'emp_name': 'Susan Smith', 'title': 'Manager'},
+			  {'id': 6, 'emp_name': 'Jane Smith', 'title': 'Engineer'}
+			}}`,
+			Notes: "q(d'): identical to q(d) except the null-valued title attribute is absent — the guarantee verbatim.",
+		},
+		{
+			Name:   "nullmissing/is-null-null",
+			Data:   hrData(),
+			Query:  sprintf(filter, "hr.emp_null"),
+			Mode:   Both,
+			Expect: `{{ {'id': 3} }}`,
+		},
+		{
+			Name:   "nullmissing/is-null-missing-compat",
+			Data:   hrData(),
+			Query:  sprintf(filter, "hr.emp_missing"),
+			Mode:   Compat,
+			Expect: `{{ {'id': 3} }}`,
+			Notes:  "In compatibility mode IS NULL matches MISSING, so the missing-style data gives the same rows.",
+		},
+		{
+			Name:   "nullmissing/is-null-missing-core",
+			Data:   hrData(),
+			Query:  sprintf(filter, "hr.emp_missing"),
+			Mode:   Core,
+			Expect: `{{ }}`,
+			Notes:  "In flexible mode the two absent values are distinguishable: IS NULL does not match MISSING.",
+		},
+		{
+			Name:   "nullmissing/is-missing",
+			Data:   hrData(),
+			Query:  `SELECT e.id FROM hr.emp_missing AS e WHERE e.title IS MISSING`,
+			Mode:   Both,
+			Expect: `{{ {'id': 3} }}`,
+			Notes:  "IS MISSING retains the distinction in both modes.",
+		},
+		{
+			Name:   "nullmissing/case-null",
+			Data:   hrData(),
+			Query:  sprintf(caseQ, "hr.emp_null"),
+			Mode:   Both,
+			Expect: `{{ {'id':3,'category':'Worker'}, {'id':4,'category':'Worker'}, {'id':6,'category':'Worker'} }}`,
+			Notes:  "SQL semantics: NULL LIKE ... is UNKNOWN, the arm is not taken, ELSE applies.",
+		},
+		{
+			Name:   "nullmissing/case-missing-compat",
+			Data:   hrData(),
+			Query:  sprintf(caseQ, "hr.emp_missing"),
+			Mode:   Compat,
+			Expect: `{{ {'id':3,'category':'Worker'}, {'id':4,'category':'Worker'}, {'id':6,'category':'Worker'} }}`,
+			Notes:  "The guarantee for CASE: the missing-style data gives the same rows in compatibility mode.",
+		},
+		{
+			Name:   "nullmissing/coalesce-exception",
+			Data:   map[string]string{"t": `{{ {'a': 1} }}`},
+			Query:  `SELECT VALUE COALESCE(r.nope, 2) FROM t AS r`,
+			Mode:   Compat,
+			Expect: `{{ 2 }}`,
+			Notes:  "§IV-B rule 3's one exception: COALESCE(MISSING, 2) = 2 in compatibility mode because COALESCE(NULL, 2) = 2 in SQL.",
+		},
+		{
+			Name:   "nullmissing/coalesce-flexible",
+			Data:   map[string]string{"t": `{{ {'a': 1} }}`},
+			Query:  `SELECT VALUE COALESCE(r.nope, 2) FROM t AS r`,
+			Mode:   Core,
+			Expect: `{{ }}`,
+			Notes:  "In flexible mode rule 3 applies unbroken: a MISSING input yields MISSING, which vanishes from the constructed bag.",
+		},
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

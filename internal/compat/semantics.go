@@ -1,0 +1,173 @@
+package compat
+
+// SemanticsCases pin down the relaxations the paper enumerates in §I and
+// the MISSING production rules of §IV-B: navigation into absent
+// attributes, mistyped operations, propagation through operators,
+// FROM-variable binding to arbitrary values, full composability of
+// subqueries, and the stop-on-error typing mode.
+
+// SemanticsCases returns the targeted semantics cases.
+func SemanticsCases() []*Case {
+	hetero := map[string]string{"mixed": `{{
+	  {'id': 1, 'x': 10},
+	  {'id': 2, 'x': 'ten'},
+	  {'id': 3},
+	  {'id': 4, 'x': [1, 2]},
+	  {'id': 5, 'x': null}
+	}}`}
+	return []*Case{
+		{
+			Name:   "semantics/missing-rule1-navigation",
+			Data:   map[string]string{"t": `{{ {'id': 3, 'name': 'Bob Smith'} }}`},
+			Query:  `SELECT VALUE r.title IS MISSING FROM t AS r`,
+			Mode:   Both,
+			Expect: `{{ true }}`,
+			Notes:  "§IV-B case 1: {'id':3,'name':'Bob Smith'}.title is MISSING.",
+		},
+		{
+			Name:   "semantics/missing-rule2-mistyped",
+			Data:   map[string]string{"t": `{{ {'s': 'some string'} }}`},
+			Query:  `SELECT VALUE (2 * r.s) IS MISSING FROM t AS r`,
+			Mode:   Both,
+			Expect: `{{ true }}`,
+			Notes:  "§IV-B case 2: 2 * 'some string' yields MISSING rather than a dynamic type error.",
+		},
+		{
+			Name:   "semantics/missing-rule3-propagation",
+			Data:   map[string]string{"t": `{{ {'id': 1} }}`},
+			Query:  `SELECT VALUE (UPPER(r.nope) || '!') IS MISSING FROM t AS r`,
+			Mode:   Core,
+			Expect: `{{ true }}`,
+			Notes:  "§IV-B case 3: MISSING propagates through a series of transformations.",
+		},
+		{
+			Name:        "semantics/stop-on-error",
+			Data:        map[string]string{"t": `{{ {'s': 'some string'} }}`},
+			Query:       `SELECT VALUE 2 * r.s FROM t AS r`,
+			Mode:        Both,
+			Strict:      true,
+			ExpectError: true,
+			Notes:       "§IV: stop-on-error mode turns the mistyped operation into a query failure.",
+		},
+		{
+			Name:   "semantics/permissive-keeps-healthy-rows",
+			Data:   hetero,
+			Query:  `SELECT r.id AS id, 2 * r.x AS double_x FROM mixed AS r`,
+			Mode:   Core,
+			Expect: `{{ {'id':1,'double_x':20}, {'id':2}, {'id':3}, {'id':4}, {'id':5,'double_x':null} }}`,
+			Notes:  "§IV: processing continues for healthy data; type errors surface as absent attributes.",
+		},
+		{
+			Name:   "semantics/filter-heterogeneous",
+			Data:   hetero,
+			Query:  `SELECT VALUE r.id FROM mixed AS r WHERE r.x = 10`,
+			Mode:   Both,
+			Expect: `{{ 1 }}`,
+			Notes:  "Equality across type classes is FALSE, not an error, so heterogeneous collections filter cleanly.",
+		},
+		{
+			Name:   "semantics/from-binds-scalars",
+			Data:   map[string]string{"nums": `[1, 2, 3]`},
+			Query:  `SELECT VALUE n * n FROM nums AS n`,
+			Mode:   Both,
+			Expect: `{{ 1, 4, 9 }}`,
+			Notes:  "Relaxation 3: FROM variables bind to any value, not just tuples.",
+		},
+		{
+			Name:   "semantics/from-binds-heterogeneous",
+			Data:   map[string]string{"anything": `['a', 1, [2], {'b': 3}]`},
+			Query:  `SELECT VALUE TYPE(v) FROM anything AS v`,
+			Mode:   Both,
+			Expect: `{{ 'string', 'integer', 'array', 'tuple' }}`,
+			Notes:  "Collections need not be homogeneous (relaxation 1).",
+		},
+		{
+			Name:   "semantics/at-ordinals",
+			Data:   map[string]string{"letters": `['a', 'b', 'c']`},
+			Query:  `SELECT VALUE {'i': i, 'v': v} FROM letters AS v AT i`,
+			Mode:   Both,
+			Expect: `{{ {'i':0,'v':'a'}, {'i':1,'v':'b'}, {'i':2,'v':'c'} }}`,
+			Notes:  "AT binds array ordinals, aligned with 0-based indexing v[0].",
+		},
+		{
+			Name:   "semantics/deep-nesting-left-correlation",
+			Data:   map[string]string{"t": `{{ {'rows': [{'cells': [1, 2]}, {'cells': [3]}]} }}`},
+			Query:  `SELECT VALUE c FROM t AS m, m.rows AS r, r.cells AS c`,
+			Mode:   Both,
+			Expect: `{{ 1, 2, 3 }}`,
+			Notes:  "Left correlation chains through multiple nesting levels.",
+		},
+		{
+			Name:   "semantics/select-value-scalar-result",
+			Data:   map[string]string{"t": `{{ {'a': 1}, {'a': 2} }}`},
+			Query:  `SELECT VALUE r.a + 1 FROM t AS r`,
+			Mode:   Both,
+			Expect: `{{ 2, 3 }}`,
+			Notes:  "Relaxation 4/5: results are collections of any value, not only tuples.",
+		},
+		{
+			Name:   "semantics/subquery-in-from",
+			Data:   map[string]string{"t": `{{ {'a': 1}, {'a': 2}, {'a': 3} }}`},
+			Query:  `SELECT VALUE x FROM (SELECT VALUE r.a FROM t AS r WHERE r.a > 1) AS x`,
+			Mode:   Both,
+			Expect: `{{ 2, 3 }}`,
+			Notes:  "Composability: a subquery is a FROM source like any collection.",
+		},
+		{
+			Name:   "semantics/select-clause-last",
+			Data:   map[string]string{"t": `{{ {'a': 1}, {'a': 2} }}`},
+			Query:  `FROM t AS r WHERE r.a > 1 SELECT VALUE r.a`,
+			Mode:   Both,
+			Expect: `{{ 2 }}`,
+			Notes:  "§V-B: the SELECT clause may be written at the end of the query block.",
+		},
+		{
+			Name:   "semantics/tuple-constructor-drops-missing",
+			Data:   map[string]string{"t": `{{ {'id': 1} }}`},
+			Query:  `SELECT VALUE {'id': r.id, 'gone': r.nope} FROM t AS r`,
+			Mode:   Both,
+			Expect: `{{ {'id': 1} }}`,
+			Notes:  "§II: MISSING may not appear as an attribute's value.",
+		},
+		{
+			Name:   "semantics/missing-vs-null-grouping",
+			Data:   map[string]string{"t": `{{ {'k': null, 'v': 1}, {'v': 2}, {'k': null, 'v': 3}, {'v': 4} }}`},
+			Query:  `SELECT g_cnt AS n FROM (SELECT COUNT(*) AS g_cnt FROM t AS r GROUP BY r.k) AS grp`,
+			Mode:   Core,
+			Expect: `{{ {'n': 2}, {'n': 2} }}`,
+			Notes:  "NULL keys group together; MISSING keys form their own group, distinct from NULL.",
+		},
+		{
+			Name:   "semantics/group-as-without-aggregation",
+			Data:   map[string]string{"t": `{{ {'k': 1, 'v': 'a'}, {'k': 1, 'v': 'b'}, {'k': 2, 'v': 'c'} }}`},
+			Query:  `FROM t AS r GROUP BY r.k AS k GROUP AS g SELECT k AS k, (FROM g AS x SELECT VALUE x.r.v) AS vs`,
+			Mode:   Both,
+			Expect: `{{ {'k': 1, 'vs': {{'a','b'}}}, {'k': 2, 'vs': {{'c'}}} }}`,
+			Notes:  "Relaxation 5: groups are directly usable in nested queries, not only inside aggregate functions.",
+		},
+		{
+			Name:   "semantics/unpivot-non-tuple",
+			Data:   map[string]string{"t": `{{ 42 }}`},
+			Query:  `SELECT VALUE {'name': n, 'val': v} FROM t AS r, UNPIVOT r AS v AT n`,
+			Mode:   Core,
+			Expect: `{{ {'name': '_1', 'val': 42} }}`,
+			Notes:  "Permissive UNPIVOT of a non-tuple behaves as UNPIVOT {'_1': v}.",
+		},
+		{
+			Name:   "semantics/bag-and-array-literals",
+			Data:   map[string]string{"t": `{{ 1 }}`},
+			Query:  `SELECT VALUE [ {{1, 2}}, <<3>>, [4] ] FROM t AS r`,
+			Mode:   Both,
+			Expect: `{{ [ {{1, 2}}, {{3}}, [4] ] }}`,
+			Notes:  "Constructors compose: arrays of bags of scalars.",
+		},
+		{
+			Name:   "semantics/order-by-total-order",
+			Data:   map[string]string{"t": `{{ {'v': 'b'}, {'v': 2}, {'v': null}, {'v': true}, {'v': 1.5} }}`},
+			Query:  `SELECT VALUE r.v FROM t AS r ORDER BY r.v`,
+			Mode:   Both,
+			Expect: `[ null, true, 1.5, 2, 'b' ]`,
+			Notes:  "ORDER BY uses the SQL++ total order across type classes: absent < booleans < numbers < strings.",
+		},
+	}
+}

@@ -1,0 +1,245 @@
+package compat
+
+// SQLCompatCases is the plain-SQL battery behind the paper's first tenet:
+// existing SQL queries keep working with identical syntax and semantics
+// in a SQL++ processor. Every case here is standard SQL-92 (plus LIMIT/
+// OFFSET) over flat, homogeneous tables, and each is expected to produce
+// the textbook SQL answer in BOTH engine modes — composability must not
+// break compatibility on tabular data.
+
+const deptTable = `{{
+  {'deptno': 1, 'dname': 'Engineering', 'budget': 500},
+  {'deptno': 2, 'dname': 'Research',    'budget': 900},
+  {'deptno': 3, 'dname': 'Sales',       'budget': 250}
+}}`
+
+const workerTable = `{{
+  {'empno': 1, 'ename': 'Ada',  'deptno': 1, 'sal': 100, 'comm': null},
+  {'empno': 2, 'ename': 'Bert', 'deptno': 1, 'sal': 80,  'comm': 10},
+  {'empno': 3, 'ename': 'Cleo', 'deptno': 2, 'sal': 120, 'comm': null},
+  {'empno': 4, 'ename': 'Dina', 'deptno': 2, 'sal': 95,  'comm': 5},
+  {'empno': 5, 'ename': 'Evan', 'deptno': 3, 'sal': 60,  'comm': 20}
+}}`
+
+func sqlData() map[string]string {
+	return map[string]string{"dept": deptTable, "worker": workerTable}
+}
+
+// SQLCompatCases returns the battery.
+func SQLCompatCases() []*Case {
+	return []*Case{
+		{
+			Name:  "sqlcompat/projection-filter",
+			Data:  sqlData(),
+			Query: `SELECT w.ename, w.sal FROM worker AS w WHERE w.sal >= 95`,
+			Mode:  Both,
+			Expect: `{{ {'ename': 'Ada', 'sal': 100},
+			            {'ename': 'Cleo', 'sal': 120},
+			            {'ename': 'Dina', 'sal': 95} }}`,
+		},
+		{
+			Name:  "sqlcompat/unqualified-columns",
+			Data:  sqlData(),
+			Query: `SELECT ename, sal FROM worker WHERE sal >= 95`,
+			Mode:  Both,
+			Expect: `{{ {'ename': 'Ada', 'sal': 100},
+			            {'ename': 'Cleo', 'sal': 120},
+			            {'ename': 'Dina', 'sal': 95} }}`,
+			Notes: "Implicit FROM alias and unqualified column references, disambiguated by the single range variable.",
+		},
+		{
+			Name: "sqlcompat/inner-join",
+			Data: sqlData(),
+			Query: `SELECT w.ename, d.dname
+			        FROM worker AS w JOIN dept AS d ON w.deptno = d.deptno
+			        WHERE d.budget > 400`,
+			Mode: Both,
+			Expect: `{{ {'ename': 'Ada', 'dname': 'Engineering'},
+			            {'ename': 'Bert', 'dname': 'Engineering'},
+			            {'ename': 'Cleo', 'dname': 'Research'},
+			            {'ename': 'Dina', 'dname': 'Research'} }}`,
+		},
+		{
+			Name: "sqlcompat/left-join",
+			Data: sqlData(),
+			Query: `SELECT d.dname, w.ename
+			        FROM dept AS d LEFT JOIN worker AS w
+			             ON w.deptno = d.deptno AND w.sal > 90`,
+			Mode: Both,
+			Expect: `{{ {'dname': 'Engineering', 'ename': 'Ada'},
+			            {'dname': 'Research', 'ename': 'Cleo'},
+			            {'dname': 'Research', 'ename': 'Dina'},
+			            {'dname': 'Sales', 'ename': null} }}`,
+		},
+		{
+			Name: "sqlcompat/group-by-having",
+			Data: sqlData(),
+			Query: `SELECT w.deptno, COUNT(*) AS n, SUM(w.sal) AS total
+			        FROM worker AS w
+			        GROUP BY w.deptno
+			        HAVING COUNT(*) > 1`,
+			Mode: Both,
+			Expect: `{{ {'deptno': 1, 'n': 2, 'total': 180},
+			            {'deptno': 2, 'n': 2, 'total': 215} }}`,
+		},
+		{
+			Name:   "sqlcompat/aggregate-null-handling",
+			Data:   sqlData(),
+			Query:  `SELECT COUNT(w.comm) AS n, AVG(w.comm) AS avgc FROM worker AS w`,
+			Mode:   Both,
+			Expect: `{{ {'n': 3, 'avgc': 11.666666666666666} }}`,
+			Notes:  "SQL aggregates ignore NULL inputs; COUNT(col) counts non-nulls.",
+		},
+		{
+			Name:   "sqlcompat/count-distinct",
+			Data:   sqlData(),
+			Query:  `SELECT COUNT(DISTINCT w.deptno) AS depts FROM worker AS w`,
+			Mode:   Both,
+			Expect: `{{ {'depts': 3} }}`,
+		},
+		{
+			Name: "sqlcompat/order-limit-offset",
+			Data: sqlData(),
+			Query: `SELECT w.ename FROM worker AS w
+			        ORDER BY w.sal DESC LIMIT 2 OFFSET 1`,
+			Mode:   Both,
+			Expect: `[ {'ename': 'Ada'}, {'ename': 'Dina'} ]`,
+			Notes:  "ORDER BY makes the result an array.",
+		},
+		{
+			Name: "sqlcompat/order-by-alias",
+			Data: sqlData(),
+			Query: `SELECT w.ename, w.sal * 2 AS double_sal FROM worker AS w
+			        ORDER BY double_sal LIMIT 1`,
+			Mode:   Both,
+			Expect: `[ {'ename': 'Evan', 'double_sal': 120} ]`,
+		},
+		{
+			Name: "sqlcompat/in-subquery",
+			Data: sqlData(),
+			Query: `SELECT w.ename FROM worker AS w
+			        WHERE w.deptno IN (SELECT d.deptno FROM dept AS d WHERE d.budget > 400)`,
+			Mode: Compat,
+			Expect: `{{ {'ename': 'Ada'}, {'ename': 'Bert'},
+			            {'ename': 'Cleo'}, {'ename': 'Dina'} }}`,
+			Notes: "SQL coerces the sugar subquery to a collection of scalars in IN context (§V-A); compatibility mode only.",
+		},
+		{
+			Name: "sqlcompat/scalar-subquery",
+			Data: sqlData(),
+			Query: `SELECT d.dname FROM dept AS d
+			        WHERE d.budget = (SELECT MAX(d2.budget) FROM dept AS d2)`,
+			Mode:   Compat,
+			Expect: `{{ {'dname': 'Research'} }}`,
+			Notes:  "Scalar coercion of a single-row single-column subquery (§V-A).",
+		},
+		{
+			Name: "sqlcompat/quantified-all",
+			Data: sqlData(),
+			Query: `SELECT d.dname FROM dept AS d
+			        WHERE d.budget >= ALL (SELECT d2.budget FROM dept AS d2)`,
+			Mode:   Compat,
+			Expect: `{{ {'dname': 'Research'} }}`,
+			Notes:  "Quantified comparison with subquery coercion.",
+		},
+		{
+			Name: "sqlcompat/quantified-any",
+			Data: sqlData(),
+			Query: `SELECT w.ename FROM worker AS w
+			        WHERE w.sal < ANY (SELECT w2.sal FROM worker AS w2 WHERE w2.deptno = 3)`,
+			Mode:   Compat,
+			Expect: `{{}}`,
+			Notes:  "No worker earns less than the single dept-3 salary of 60.",
+		},
+		{
+			Name: "sqlcompat/exists-subquery",
+			Data: sqlData(),
+			Query: `SELECT d.dname FROM dept AS d
+			        WHERE EXISTS (SELECT w.empno FROM worker AS w
+			                      WHERE w.deptno = d.deptno AND w.sal > 110)`,
+			Mode:   Both,
+			Expect: `{{ {'dname': 'Research'} }}`,
+		},
+		{
+			Name: "sqlcompat/case-when",
+			Data: sqlData(),
+			Query: `SELECT w.ename,
+			               CASE WHEN w.sal >= 100 THEN 'senior'
+			                    WHEN w.sal >= 80 THEN 'mid'
+			                    ELSE 'junior' END AS band
+			        FROM worker AS w`,
+			Mode: Both,
+			Expect: `{{ {'ename': 'Ada', 'band': 'senior'},
+			            {'ename': 'Bert', 'band': 'mid'},
+			            {'ename': 'Cleo', 'band': 'senior'},
+			            {'ename': 'Dina', 'band': 'mid'},
+			            {'ename': 'Evan', 'band': 'junior'} }}`,
+		},
+		{
+			Name: "sqlcompat/between-and-in-list",
+			Data: sqlData(),
+			Query: `SELECT w.ename FROM worker AS w
+			        WHERE w.sal BETWEEN 80 AND 100 AND w.deptno IN (1, 2)`,
+			Mode: Both,
+			Expect: `{{ {'ename': 'Ada'}, {'ename': 'Bert'},
+			            {'ename': 'Dina'} }}`,
+		},
+		{
+			Name:   "sqlcompat/three-valued-logic",
+			Data:   sqlData(),
+			Query:  `SELECT w.ename FROM worker AS w WHERE w.comm > 5 OR w.sal > 110`,
+			Mode:   Both,
+			Expect: `{{ {'ename': 'Bert'}, {'ename': 'Cleo'}, {'ename': 'Evan'} }}`,
+			Notes:  "NULL comm makes the comparison UNKNOWN; OR still recovers rows via the second disjunct.",
+		},
+		{
+			Name:   "sqlcompat/is-null",
+			Data:   sqlData(),
+			Query:  `SELECT w.ename FROM worker AS w WHERE w.comm IS NULL`,
+			Mode:   Both,
+			Expect: `{{ {'ename': 'Ada'}, {'ename': 'Cleo'} }}`,
+		},
+		{
+			Name:   "sqlcompat/coalesce-nullif",
+			Data:   sqlData(),
+			Query:  `SELECT w.ename, COALESCE(w.comm, 0) AS comm FROM worker AS w WHERE NULLIF(w.deptno, 3) IS NOT NULL`,
+			Mode:   Both,
+			Expect: `{{ {'ename':'Ada','comm':0}, {'ename':'Bert','comm':10}, {'ename':'Cleo','comm':0}, {'ename':'Dina','comm':5} }}`,
+		},
+		{
+			Name:   "sqlcompat/union-distinct",
+			Data:   sqlData(),
+			Query:  `SELECT w.deptno FROM worker AS w UNION SELECT d.deptno FROM dept AS d`,
+			Mode:   Both,
+			Expect: `{{ {'deptno': 1}, {'deptno': 2}, {'deptno': 3} }}`,
+		},
+		{
+			Name:   "sqlcompat/select-star",
+			Data:   map[string]string{"t": `{{ {'a': 1, 'b': 2} }}`},
+			Query:  `SELECT * FROM t AS r`,
+			Mode:   Both,
+			Expect: `{{ {'a': 1, 'b': 2} }}`,
+		},
+		{
+			Name:   "sqlcompat/select-distinct",
+			Data:   sqlData(),
+			Query:  `SELECT DISTINCT w.deptno FROM worker AS w`,
+			Mode:   Both,
+			Expect: `{{ {'deptno': 1}, {'deptno': 2}, {'deptno': 3} }}`,
+		},
+		{
+			Name:   "sqlcompat/implicit-group",
+			Data:   sqlData(),
+			Query:  `SELECT MIN(w.sal) AS lo, MAX(w.sal) AS hi FROM worker AS w WHERE w.deptno <> 3`,
+			Mode:   Both,
+			Expect: `{{ {'lo': 80, 'hi': 120} }}`,
+		},
+		{
+			Name:   "sqlcompat/string-functions",
+			Data:   sqlData(),
+			Query:  `SELECT UPPER(w.ename) AS u, SUBSTRING(w.ename, 1, 2) AS pre, w.ename || '!' AS bang FROM worker AS w WHERE w.empno = 1`,
+			Mode:   Both,
+			Expect: `{{ {'u': 'ADA', 'pre': 'Ad', 'bang': 'Ada!'} }}`,
+		},
+	}
+}

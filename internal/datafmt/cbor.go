@@ -1,0 +1,311 @@
+package datafmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqlpp/internal/value"
+)
+
+// This file implements a from-scratch CBOR (RFC 8949) codec for the
+// subset the SQL++ logical model needs: unsigned/negative integers (major
+// types 0/1), byte strings (2), text strings (3), arrays (4), maps with
+// text keys (5), and the simple values false/true/null plus float64
+// (major type 7). Tag 258 ("mathematical finite set") marks bags on
+// encode and is honored on decode; other tags (major type 6) are skipped
+// transparently.
+
+const cborBagTag = 258
+
+// DecodeCBOR decodes a single CBOR data item.
+func DecodeCBOR(data []byte) (value.Value, error) {
+	d := &cborDecoder{buf: data}
+	v, err := d.value()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("datafmt: %d trailing bytes after CBOR item", len(d.buf)-d.pos)
+	}
+	return v, nil
+}
+
+type cborDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *cborDecoder) errf(format string, args ...any) error {
+	return fmt.Errorf("datafmt: cbor offset %d: %s", d.pos, fmt.Sprintf(format, args...))
+}
+
+func (d *cborDecoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, d.errf("unexpected end of input")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *cborDecoder) take(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.buf) {
+		return nil, d.errf("truncated item (need %d bytes)", n)
+	}
+	out := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return out, nil
+}
+
+// head reads a major type, its additional-info bits, and its argument.
+// Indefinite lengths are not supported (RFC 8949 deterministic encoding
+// forbids them too).
+func (d *cborDecoder) head() (major, info byte, arg uint64, err error) {
+	b, err := d.byte()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	major = b >> 5
+	info = b & 0x1f
+	switch {
+	case info < 24:
+		return major, info, uint64(info), nil
+	case info == 24:
+		c, err := d.byte()
+		return major, info, uint64(c), err
+	case info == 25:
+		bs, err := d.take(2)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return major, info, uint64(binary.BigEndian.Uint16(bs)), nil
+	case info == 26:
+		bs, err := d.take(4)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return major, info, uint64(binary.BigEndian.Uint32(bs)), nil
+	case info == 27:
+		bs, err := d.take(8)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return major, info, binary.BigEndian.Uint64(bs), nil
+	}
+	return 0, 0, 0, d.errf("unsupported additional info %d (indefinite lengths are not supported)", info)
+}
+
+func (d *cborDecoder) value() (value.Value, error) {
+	major, info, arg, err := d.head()
+	if err != nil {
+		return nil, err
+	}
+	switch major {
+	case 0: // unsigned int
+		if arg > math.MaxInt64 {
+			return value.Float(float64(arg)), nil
+		}
+		return value.Int(int64(arg)), nil
+	case 1: // negative int: -1 - arg
+		if arg > math.MaxInt64 {
+			return value.Float(-1 - float64(arg)), nil
+		}
+		return value.Int(-1 - int64(arg)), nil
+	case 2: // byte string
+		bs, err := d.take(int(arg))
+		if err != nil {
+			return nil, err
+		}
+		out := make(value.Bytes, len(bs))
+		copy(out, bs)
+		return out, nil
+	case 3: // text string
+		bs, err := d.take(int(arg))
+		if err != nil {
+			return nil, err
+		}
+		return value.String(bs), nil
+	case 4: // array
+		out := make(value.Array, 0, min(int(arg), 1024))
+		for i := uint64(0); i < arg; i++ {
+			v, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case 5: // map
+		t := value.EmptyTuple()
+		for i := uint64(0); i < arg; i++ {
+			k, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			ks, ok := k.(value.String)
+			if !ok {
+				return nil, d.errf("map key is %s; only text keys map to tuples", k.Kind())
+			}
+			v, err := d.value()
+			if err != nil {
+				return nil, err
+			}
+			t.Put(string(ks), v)
+		}
+		return t, nil
+	case 6: // tag
+		v, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		if arg == cborBagTag {
+			if a, ok := v.(value.Array); ok {
+				return value.Bag(a), nil
+			}
+		}
+		return v, nil
+	case 7: // simple / float
+		if info < 24 {
+			switch arg {
+			case 20:
+				return value.False, nil
+			case 21:
+				return value.True, nil
+			case 22, 23: // null, undefined — undefined maps to NULL too
+				return value.Null, nil
+			}
+			return nil, d.errf("unsupported simple value %d", arg)
+		}
+		switch info {
+		case 25: // half-precision float
+			return value.Float(float16ToFloat64(uint16(arg))), nil
+		case 26: // single-precision float
+			return value.Float(float64(math.Float32frombits(uint32(arg)))), nil
+		case 27: // double-precision float
+			return value.Float(math.Float64frombits(arg)), nil
+		}
+		return nil, d.errf("unsupported simple value %d", arg)
+	}
+	return nil, d.errf("unsupported major type %d", major)
+}
+
+// float16ToFloat64 decodes an IEEE-754 half-precision value.
+func float16ToFloat64(h uint16) float64 {
+	sign := uint64(h>>15) & 1
+	exp := uint64(h>>10) & 0x1f
+	frac := uint64(h) & 0x3ff
+	var bits uint64
+	switch exp {
+	case 0:
+		if frac == 0 {
+			bits = sign << 63
+		} else {
+			// subnormal: normalize
+			e := uint64(1022 - 14)
+			for frac&0x400 == 0 {
+				frac <<= 1
+				e--
+			}
+			frac &= 0x3ff
+			bits = sign<<63 | (e+1)<<52 | frac<<42
+		}
+	case 31:
+		bits = sign<<63 | 0x7ff<<52 | frac<<42
+	default:
+		bits = sign<<63 | (exp+1023-15)<<52 | frac<<42
+	}
+	return math.Float64frombits(bits)
+}
+
+// EncodeCBOR encodes v as a single CBOR item. Bags carry tag 258 so they
+// round-trip; MISSING is not encodable.
+func EncodeCBOR(v value.Value) ([]byte, error) {
+	return appendCBOR(nil, v)
+}
+
+func appendCBOR(dst []byte, v value.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case value.Bool:
+		if x {
+			return append(dst, 0xf5), nil
+		}
+		return append(dst, 0xf4), nil
+	case value.Int:
+		if x >= 0 {
+			return appendCBORHead(dst, 0, uint64(x)), nil
+		}
+		return appendCBORHead(dst, 1, uint64(-1-int64(x))), nil
+	case value.Float:
+		dst = append(dst, 0xfb)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(float64(x)))
+		return append(dst, buf[:]...), nil
+	case value.String:
+		dst = appendCBORHead(dst, 3, uint64(len(x)))
+		return append(dst, x...), nil
+	case value.Bytes:
+		dst = appendCBORHead(dst, 2, uint64(len(x)))
+		return append(dst, x...), nil
+	case value.Array:
+		dst = appendCBORHead(dst, 4, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if dst, err = appendCBOR(dst, e); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case value.Bag:
+		dst = appendCBORHead(dst, 6, cborBagTag)
+		dst = appendCBORHead(dst, 4, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if dst, err = appendCBOR(dst, e); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case *value.Tuple:
+		dst = appendCBORHead(dst, 5, uint64(x.Len()))
+		var err error
+		for _, f := range x.Fields() {
+			dst = appendCBORHead(dst, 3, uint64(len(f.Name)))
+			dst = append(dst, f.Name...)
+			if dst, err = appendCBOR(dst, f.Value); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	default:
+		switch v.Kind() {
+		case value.KindNull:
+			return append(dst, 0xf6), nil
+		case value.KindMissing:
+			return nil, fmt.Errorf("datafmt: MISSING cannot be encoded as CBOR")
+		}
+	}
+	return nil, fmt.Errorf("datafmt: cannot encode %s as CBOR", v.Kind())
+}
+
+func appendCBORHead(dst []byte, major byte, arg uint64) []byte {
+	mb := major << 5
+	switch {
+	case arg < 24:
+		return append(dst, mb|byte(arg))
+	case arg <= math.MaxUint8:
+		return append(dst, mb|24, byte(arg))
+	case arg <= math.MaxUint16:
+		var buf [2]byte
+		binary.BigEndian.PutUint16(buf[:], uint16(arg))
+		return append(append(dst, mb|25), buf[:]...)
+	case arg <= math.MaxUint32:
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(arg))
+		return append(append(dst, mb|26), buf[:]...)
+	default:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], arg)
+		return append(append(dst, mb|27), buf[:]...)
+	}
+}

@@ -1,0 +1,255 @@
+// Package datafmt maps external data formats onto the SQL++ data model,
+// realizing the paper's format-independence tenet: a query is written
+// identically over JSON, CSV, CBOR, or the paper's object notation,
+// because every format decodes to the same logical values.
+//
+// Mapping notes:
+//   - JSON objects become tuples (preserving member order and permitting
+//     duplicate names), arrays become arrays, and top-level arrays can be
+//     read as bags for collection registration.
+//   - CSV rows become tuples named by the header line; fields parse as
+//     numbers or booleans when unambiguous, else strings.
+//   - CBOR (RFC 8949) is implemented from scratch for the major types;
+//     maps with text keys become tuples, arrays become arrays.
+package datafmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sqlpp/internal/value"
+)
+
+// DecodeJSON reads one JSON value from r into the SQL++ data model.
+// Numbers become Int when they are integral and fit int64, else Float.
+func DecodeJSON(r io.Reader) (value.Value, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	v, err := decodeJSONValue(dec)
+	if err != nil {
+		return nil, err
+	}
+	// Disallow trailing content beyond whitespace.
+	if dec.More() {
+		return nil, fmt.Errorf("datafmt: trailing content after JSON value")
+	}
+	return v, nil
+}
+
+// ParseJSON decodes a JSON string.
+func ParseJSON(src string) (value.Value, error) {
+	return DecodeJSON(strings.NewReader(src))
+}
+
+// DecodeJSONBag reads a JSON value and converts a top-level array into a
+// bag, the natural registration shape for a collection of documents.
+func DecodeJSONBag(r io.Reader) (value.Value, error) {
+	v, err := DecodeJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	if a, ok := v.(value.Array); ok {
+		return value.Bag(a), nil
+	}
+	return v, nil
+}
+
+// DecodeJSONLines reads newline-delimited JSON documents as a bag.
+func DecodeJSONLines(r io.Reader) (value.Value, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var out value.Bag
+	for dec.More() {
+		v, err := decodeJSONValue(dec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func decodeJSONValue(dec *json.Decoder) (value.Value, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	return decodeJSONToken(dec, tok)
+}
+
+func decodeJSONToken(dec *json.Decoder, tok json.Token) (value.Value, error) {
+	switch t := tok.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.Bool(t), nil
+	case string:
+		return value.String(t), nil
+	case json.Number:
+		return jsonNumber(t), nil
+	case json.Delim:
+		switch t {
+		case '[':
+			var out value.Array
+			for dec.More() {
+				v, err := decodeJSONValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			if out == nil {
+				out = value.Array{}
+			}
+			return out, nil
+		case '{':
+			tup := value.EmptyTuple()
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, fmt.Errorf("datafmt: non-string JSON object key %v", keyTok)
+				}
+				v, err := decodeJSONValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				tup.Put(key, v)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return tup, nil
+		}
+	}
+	return nil, fmt.Errorf("datafmt: unexpected JSON token %v", tok)
+}
+
+func jsonNumber(n json.Number) value.Value {
+	if i, err := n.Int64(); err == nil {
+		return value.Int(i)
+	}
+	f, err := n.Float64()
+	if err != nil {
+		return value.Null
+	}
+	return value.Float(f)
+}
+
+// EncodeJSON writes v as JSON. MISSING cannot be encoded (it denotes
+// absence); encountering it anywhere is an error — construct results
+// first, where tuple construction drops MISSING attributes. Bags encode
+// as arrays (JSON has no unordered collection), in canonical order for
+// determinism.
+func EncodeJSON(w io.Writer, v value.Value) error {
+	var buf bytes.Buffer
+	if err := appendJSON(&buf, v); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// JSONString renders v as a JSON string.
+func JSONString(v value.Value) (string, error) {
+	var buf bytes.Buffer
+	if err := appendJSON(&buf, v); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+func appendJSON(buf *bytes.Buffer, v value.Value) error {
+	switch x := v.(type) {
+	case value.Bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case value.Int:
+		buf.WriteString(strconv.FormatInt(int64(x), 10))
+	case value.Float:
+		f := float64(x)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			buf.WriteString("null") // JSON cannot express them
+			return nil
+		}
+		buf.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	case value.String:
+		b, err := json.Marshal(string(x))
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case value.Bytes:
+		// Bytes encode as a hex string, the closest JSON-safe mapping.
+		const hex = "0123456789abcdef"
+		buf.WriteByte('"')
+		for _, c := range x {
+			buf.WriteByte(hex[c>>4])
+			buf.WriteByte(hex[c&0xf])
+		}
+		buf.WriteByte('"')
+	case value.Array:
+		return appendJSONSeq(buf, x)
+	case value.Bag:
+		sorted := make([]value.Value, len(x))
+		copy(sorted, x)
+		sort.SliceStable(sorted, func(i, j int) bool { return value.Compare(sorted[i], sorted[j]) < 0 })
+		return appendJSONSeq(buf, sorted)
+	case *value.Tuple:
+		buf.WriteByte('{')
+		for i, f := range x.Fields() {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			b, err := json.Marshal(f.Name)
+			if err != nil {
+				return err
+			}
+			buf.Write(b)
+			buf.WriteByte(':')
+			if err := appendJSON(buf, f.Value); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		switch v.Kind() {
+		case value.KindNull:
+			buf.WriteString("null")
+		case value.KindMissing:
+			return fmt.Errorf("datafmt: MISSING cannot be encoded as JSON")
+		default:
+			return fmt.Errorf("datafmt: cannot encode %s as JSON", v.Kind())
+		}
+	}
+	return nil
+}
+
+func appendJSONSeq(buf *bytes.Buffer, vs []value.Value) error {
+	buf.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		if err := appendJSON(buf, v); err != nil {
+			return err
+		}
+	}
+	buf.WriteByte(']')
+	return nil
+}

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"testing"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/sion"
+)
+
+func benchEval(b *testing.B, src string, vars map[string]string) {
+	b.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := NewEnv()
+	for name, vsrc := range vars {
+		env.Bind(name, sion.MustParse(vsrc))
+	}
+	ctx := &Context{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(ctx, env, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalArithmetic(b *testing.B) {
+	benchEval(b, "(x + 3) * 2 - x % 7", map[string]string{"x": "41"})
+}
+
+func BenchmarkEvalNavigation(b *testing.B) {
+	benchEval(b, "t.a.b[1].c", map[string]string{
+		"t": `{'a': {'b': [{'c': 0}, {'c': 42}]}}`,
+	})
+}
+
+func BenchmarkEvalMissingNavigation(b *testing.B) {
+	benchEval(b, "t.nope.deeper.still", map[string]string{"t": `{'a': 1}`})
+}
+
+func BenchmarkEvalLike(b *testing.B) {
+	benchEval(b, "s LIKE '%Security%'", map[string]string{"s": "'OLAP Security Engineering'"})
+}
+
+func BenchmarkEvalLikeComplex(b *testing.B) {
+	benchEval(b, "s LIKE '%a_b%c__d%'", map[string]string{"s": "'xxaybzzcqqdww'"})
+}
+
+func BenchmarkEvalPredicate(b *testing.B) {
+	benchEval(b, "x > 10 AND x < 100 OR x = 42", map[string]string{"x": "42"})
+}
+
+func BenchmarkEvalCase(b *testing.B) {
+	benchEval(b, "CASE WHEN x > 100 THEN 'hi' WHEN x > 10 THEN 'mid' ELSE 'lo' END",
+		map[string]string{"x": "42"})
+}
+
+func BenchmarkEvalTupleCtor(b *testing.B) {
+	benchEval(b, "{'a': x, 'b': x + 1, 'c': 'lit'}", map[string]string{"x": "1"})
+}
+
+func BenchmarkEnvLookup(b *testing.B) {
+	env := NewEnv()
+	env.Bind("a", sion.MustParse("1"))
+	child := env.Child()
+	child.Bind("b", sion.MustParse("2"))
+	grand := child.Child()
+	grand.Bind("c", sion.MustParse("3"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		grand.Lookup("a") // deepest walk
+	}
+}
+
+var sinkExpr ast.Expr
+
+func BenchmarkEnvChildBind(b *testing.B) {
+	root := NewEnv()
+	root.Bind("e", sion.MustParse("{'id': 1}"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := root.Child()
+		c.Bind("p", sion.MustParse("1"))
+	}
+	_ = sinkExpr
+}

@@ -1,0 +1,197 @@
+// Package eval implements SQL++ expression evaluation: environments,
+// typing modes, MISSING/NULL propagation, and the operator semantics of
+// the paper's Section IV. Query-block execution (the clause pipeline)
+// lives in package plan, which plugs itself into the Context so that
+// subqueries nested inside expressions evaluate through it.
+package eval
+
+import (
+	"fmt"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/lexer"
+	"sqlpp/internal/value"
+)
+
+// TypingMode selects how dynamic type errors are handled (paper §I
+// relaxation 2 and §IV).
+type TypingMode uint8
+
+const (
+	// Permissive is the flexible default: a mistyped operation yields
+	// MISSING and processing of healthy data continues.
+	Permissive TypingMode = iota
+	// StopOnError fails the query on the first dynamic type error, for
+	// applications that want to catch type errors early.
+	StopOnError
+)
+
+// String names the mode.
+func (m TypingMode) String() string {
+	if m == StopOnError {
+		return "stop-on-error"
+	}
+	return "permissive"
+}
+
+// NameSource resolves catalog named values.
+type NameSource interface {
+	// LookupValue returns the named value, if registered.
+	LookupValue(name string) (value.Value, bool)
+}
+
+// Func is a scalar or collection function implementation.
+type Func func(ctx *Context, args []value.Value) (value.Value, error)
+
+// FuncDef describes one registered function.
+type FuncDef struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 for variadic
+	Fn      Func
+}
+
+// FuncSource resolves function names (upper-cased) to definitions.
+type FuncSource interface {
+	// LookupFunc returns the function definition, if registered.
+	LookupFunc(name string) (*FuncDef, bool)
+}
+
+// QueryRunner executes a query-block expression (SFW, PIVOT, set
+// operation) in an environment; installed by package plan.
+type QueryRunner func(ctx *Context, env *Env, q ast.Expr) (value.Value, error)
+
+// Context carries per-query evaluation state: modes, catalog, functions,
+// and the query-block runner.
+type Context struct {
+	// Mode selects permissive or stop-on-error typing.
+	Mode TypingMode
+	// Compat enables SQL compatibility semantics: MISSING is treated
+	// like NULL wherever SQL assigns a non-null result to NULL inputs
+	// (COALESCE, CASE arms, ...), and sugar subqueries coerce.
+	Compat bool
+	// Names resolves named values; may be nil.
+	Names NameSource
+	// Funcs resolves functions; must be set before evaluating calls.
+	Funcs FuncSource
+	// Run executes nested query blocks; installed by package plan.
+	Run QueryRunner
+	// MaxCollectionSize bounds materialized intermediate collections as
+	// a resource guard; zero means unlimited.
+	MaxCollectionSize int
+	// MaterializeClauses disables the streaming clause pipeline and
+	// materializes every clause boundary instead. It exists only for the
+	// ablation benchmark comparing the two execution strategies; the
+	// semantics are identical.
+	MaterializeClauses bool
+}
+
+// TypeError is a dynamic typing error. In permissive mode it is converted
+// to MISSING at the operation that raised it; in stop-on-error mode it
+// aborts the query.
+type TypeError struct {
+	Pos    lexer.Pos
+	Op     string
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("type error at %s in %s: %s", e.Pos, e.Op, e.Detail)
+}
+
+// NameError reports an unbound variable or unknown named value.
+type NameError struct {
+	Pos  lexer.Pos
+	Name string
+}
+
+// Error implements the error interface.
+func (e *NameError) Error() string {
+	return fmt.Sprintf("unresolved name %q at %s", e.Name, e.Pos)
+}
+
+// mistyped applies the mode policy to a would-be type error: MISSING in
+// permissive mode, the error in stop-on-error mode.
+func (c *Context) mistyped(pos lexer.Pos, op, detail string) (value.Value, error) {
+	if c.Mode == StopOnError {
+		return nil, &TypeError{Pos: pos, Op: op, Detail: detail}
+	}
+	return value.Missing, nil
+}
+
+// Env is a chain of variable bindings. Each query-block clause extends
+// the environment; subqueries see their enclosing bindings through the
+// parent chain (correlation).
+type Env struct {
+	parent *Env
+	names  []string
+	vals   []value.Value
+}
+
+// NewEnv returns an empty root environment.
+func NewEnv() *Env { return &Env{} }
+
+// Child returns a new environment scope whose lookups fall back to e.
+func (e *Env) Child() *Env { return &Env{parent: e} }
+
+// Bind adds or replaces a binding in this scope (not in parents).
+func (e *Env) Bind(name string, v value.Value) {
+	if v == nil {
+		panic("eval: binding nil Value to " + name)
+	}
+	for i, n := range e.names {
+		if n == name {
+			e.vals[i] = v
+			return
+		}
+	}
+	e.names = append(e.names, name)
+	e.vals = append(e.vals, v)
+}
+
+// Lookup finds the innermost binding of name.
+func (e *Env) Lookup(name string) (value.Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		for i := len(s.names) - 1; i >= 0; i-- {
+			if s.names[i] == name {
+				return s.vals[i], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Names returns the names bound in this scope only (not parents), in
+// binding order.
+func (e *Env) Names() []string { return e.names }
+
+// Snapshot captures this scope's bindings (not parents') as a tuple, the
+// group-content shape used by GROUP AS.
+func (e *Env) Snapshot() *value.Tuple {
+	t := value.EmptyTuple()
+	for i, n := range e.names {
+		t.Put(n, e.vals[i])
+	}
+	return t
+}
+
+// SnapshotBelow captures every binding introduced between e (inclusive)
+// and stop (exclusive) as a tuple: the FROM/LET variables of a query
+// block, which is exactly the group content the paper's GROUP AS exposes
+// (Listing 14). Inner bindings shadow outer ones of the same name;
+// within the tuple, outermost bindings come first.
+func (e *Env) SnapshotBelow(stop *Env) *value.Tuple {
+	var scopes []*Env
+	for s := e; s != nil && s != stop; s = s.parent {
+		scopes = append(scopes, s)
+	}
+	t := value.EmptyTuple()
+	for i := len(scopes) - 1; i >= 0; i-- {
+		s := scopes[i]
+		for j, n := range s.names {
+			t.Set(n, s.vals[j])
+		}
+	}
+	return t
+}

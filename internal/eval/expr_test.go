@@ -1,0 +1,451 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+// testFuncs is a tiny function source adequate for expression tests
+// (package funcs has the full library; depending on it here would invert
+// the package layering).
+type testFuncs map[string]*FuncDef
+
+func (t testFuncs) LookupFunc(name string) (*FuncDef, bool) {
+	d, ok := t[strings.ToUpper(name)]
+	return d, ok
+}
+
+func newTestCtx(compat bool, mode TypingMode) *Context {
+	return &Context{
+		Mode:   mode,
+		Compat: compat,
+		Funcs: testFuncs{
+			"UPPER": {Name: "UPPER", MinArgs: 1, MaxArgs: 1, Fn: func(ctx *Context, args []value.Value) (value.Value, error) {
+				if value.IsAbsent(args[0]) {
+					return absentOut(ctx, args[0].Kind() == value.KindMissing), nil
+				}
+				s, ok := args[0].(value.String)
+				if !ok {
+					return nil, &TypeError{Op: "UPPER", Detail: "not a string"}
+				}
+				return value.String(strings.ToUpper(string(s))), nil
+			}},
+		},
+	}
+}
+
+// evalStr parses and evaluates an expression with variables bound from
+// object-notation sources.
+func evalStr(t *testing.T, ctx *Context, src string, vars map[string]string) (value.Value, error) {
+	t.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	env := NewEnv()
+	for name, vsrc := range vars {
+		env.Bind(name, sion.MustParse(vsrc))
+	}
+	return Eval(ctx, env, e)
+}
+
+func mustEval(t *testing.T, ctx *Context, src string, vars map[string]string) value.Value {
+	t.Helper()
+	v, err := evalStr(t, ctx, src, vars)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	cases := []struct {
+		src, want string
+	}{
+		{"1 + 2", "3"},
+		{"7 - 9", "-2"},
+		{"3 * 4", "12"},
+		{"7 / 2", "3"}, // integer division
+		{"7 % 3", "1"},
+		{"7.0 / 2", "3.5"},
+		{"1 + 2.5", "3.5"},
+		{"-(3)", "-3"},
+		{"-2.5", "-2.5"},
+		{"1 + null", "null"},
+		{"null * null", "null"},
+		{"1 + missing", "missing"},
+		{"2 * 'some string'", "missing"}, // the paper's §IV example
+		{"1 / 0", "missing"},
+		{"1 % 0", "missing"},
+		{"1.5 / 0.0", "missing"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, nil)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticStrictErrors(t *testing.T) {
+	ctx := newTestCtx(false, StopOnError)
+	for _, src := range []string{"2 * 'x'", "1 / 0", "-'x'", "'a' || 1"} {
+		if _, err := evalStr(t, ctx, src, nil); err == nil {
+			t.Errorf("%s should error in stop-on-error mode", src)
+		}
+	}
+	// Absent propagation is not a type error even in strict mode.
+	if v, err := evalStr(t, ctx, "1 + null", nil); err != nil || v.Kind() != value.KindNull {
+		t.Errorf("1 + null in strict mode = %v, %v", v, err)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	cases := []struct {
+		src, want string
+	}{
+		{"1 = 1", "true"},
+		{"1 = 1.0", "true"},
+		{"1 <> 2", "true"},
+		{"1 < 2", "true"},
+		{"2 <= 2", "true"},
+		{"'a' < 'b'", "true"},
+		{"'a' >= 'b'", "false"},
+		{"true = true", "true"},
+		{"[1, 2] = [1, 2]", "true"},
+		{"[1, 2] = [2, 1]", "false"},
+		{"{{1, 2}} = {{2, 1}}", "true"},
+		{"{'a': 1} = {'a': 1}", "true"},
+		{"1 = 'a'", "false"}, // cross-class equality is FALSE
+		{"1 <> 'a'", "true"},
+		{"1 < 'a'", "missing"},   // cross-class ordering is a type fault
+		{"[1] < [2]", "missing"}, // ordering on non-scalars too
+		{"1 = null", "null"},
+		{"null = null", "null"},
+		{"missing = 1", "missing"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, nil)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	cases := []struct {
+		src, want string
+	}{
+		{"true AND true", "true"},
+		{"true AND false", "false"},
+		{"false AND null", "false"}, // FALSE dominates
+		{"null AND true", "null"},
+		{"true OR null", "true"},
+		{"null OR false", "null"},
+		{"NOT true", "false"},
+		{"NOT null", "null"},
+		{"NOT missing", "missing"}, // flexible: MISSING propagates
+		{"missing AND true", "missing"},
+		{"missing OR true", "true"},
+		{"missing AND false", "false"},
+		{"missing OR null", "missing"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, nil)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+	// In compat mode missing-unknowns surface as NULL.
+	compatCtx := newTestCtx(true, Permissive)
+	if got := mustEval(t, compatCtx, "NOT missing", nil); got.Kind() != value.KindNull {
+		t.Errorf("compat NOT missing = %s, want null", got)
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// The right operand must not be evaluated when the left decides:
+	// 1/0 would be a type fault in strict mode.
+	ctx := newTestCtx(false, StopOnError)
+	if v, err := evalStr(t, ctx, "false AND (1 / 0 = 1)", nil); err != nil || v != value.False {
+		t.Errorf("short-circuit AND failed: %v, %v", v, err)
+	}
+	if v, err := evalStr(t, ctx, "true OR (1 / 0 = 1)", nil); err != nil || v != value.True {
+		t.Errorf("short-circuit OR failed: %v, %v", v, err)
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	vars := map[string]string{
+		"t": `{'a': 1, 'b': {'c': [10, 20]}, 'n': null}`,
+	}
+	cases := []struct {
+		src, want string
+	}{
+		{"t.a", "1"},
+		{"t.b.c[0]", "10"},
+		{"t.b.c[1]", "20"},
+		{"t.b.c[2]", "missing"}, // out of bounds
+		{"t.b.c[-1]", "missing"},
+		{"t.nope", "missing"}, // rule 1
+		{"t.nope.deeper", "missing"},
+		{"t.n.x", "null"},    // navigation on NULL stays NULL
+		{"t.a.x", "missing"}, // navigation into a scalar
+		{"t['a']", "1"},      // tuple indexing by string
+		{"t.b['c']", "[10, 20]"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, vars)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	cases := []struct {
+		src, want string
+	}{
+		{"'OLAP Security' LIKE '%Security%'", "true"},
+		{"'OLAP Security' LIKE 'OLAP%'", "true"},
+		{"'OLAP Security' LIKE '%security%'", "false"}, // case-sensitive
+		{"'abc' LIKE 'a_c'", "true"},
+		{"'abc' LIKE 'a_d'", "false"},
+		{"'abc' LIKE 'abc'", "true"},
+		{"'abc' NOT LIKE 'x%'", "true"},
+		{"'' LIKE '%'", "true"},
+		{"'' LIKE '_'", "false"},
+		{"'100%' LIKE '100\\%' ESCAPE '\\'", "true"},
+		{"'100x' LIKE '100\\%' ESCAPE '\\'", "false"},
+		{"'a_b' LIKE 'a!_b' ESCAPE '!'", "true"},
+		{"'aXb' LIKE 'a!_b' ESCAPE '!'", "false"},
+		{"'δζ' LIKE '_ζ'", "true"}, // rune-wise, not byte-wise
+		{"null LIKE 'a'", "null"},
+		{"'a' LIKE missing", "missing"},
+		{"5 LIKE 'a'", "missing"},
+		{"'abcde' LIKE '%b%d%'", "true"},
+		{"'ab' LIKE '%%%'", "true"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, nil)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBetweenInIs(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	cases := []struct {
+		src, want string
+	}{
+		{"5 BETWEEN 1 AND 10", "true"},
+		{"0 NOT BETWEEN 1 AND 10", "true"},
+		{"null BETWEEN 1 AND 10", "null"},
+		{"5 BETWEEN missing AND 10", "missing"},
+		{"2 IN (1, 2, 3)", "true"},
+		{"5 IN (1, 2, 3)", "false"},
+		{"5 NOT IN (1, 2, 3)", "true"},
+		{"null IN (1, 2)", "null"},
+		{"1 IN (null, 1)", "true"}, // TRUE wins over UNKNOWN
+		{"2 IN (null, 1)", "null"}, // UNKNOWN wins over FALSE
+		{"2 IN [1, 2]", "true"},    // collection RHS
+		{"2 IN {{3}}", "false"},
+		{"2 IN 7", "missing"}, // non-collection RHS
+		{"null IS NULL", "true"},
+		{"missing IS NULL", "false"}, // flexible mode distinguishes
+		{"missing IS MISSING", "true"},
+		{"null IS MISSING", "false"},
+		{"1 IS NOT NULL", "true"},
+		{"null IS UNKNOWN", "true"},
+		{"false IS UNKNOWN", "false"},
+		{"missing IS UNKNOWN", "true"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, nil)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+	compatCtx := newTestCtx(true, Permissive)
+	if got := mustEval(t, compatCtx, "missing IS NULL", nil); got != value.True {
+		t.Errorf("compat missing IS NULL = %s, want true", got)
+	}
+}
+
+func TestCaseSemantics(t *testing.T) {
+	flexible := newTestCtx(false, Permissive)
+	compat := newTestCtx(true, Permissive)
+	vars := map[string]string{"t": `{'a': 1}`}
+
+	// Searched CASE with a MISSING condition: flexible propagates
+	// MISSING (the paper's Listing 9 reading); compat takes ELSE.
+	src := "CASE WHEN t.nope = 1 THEN 'x' ELSE 'y' END"
+	if got := mustEval(t, flexible, src, vars); got.Kind() != value.KindMissing {
+		t.Errorf("flexible CASE = %s, want MISSING", got)
+	}
+	if got := mustEval(t, compat, src, vars); got != value.String("y") {
+		t.Errorf("compat CASE = %s, want 'y'", got)
+	}
+
+	// NULL conditions take ELSE in both modes (SQL semantics).
+	srcNull := "CASE WHEN null THEN 'x' ELSE 'y' END"
+	for _, ctx := range []*Context{flexible, compat} {
+		if got := mustEval(t, ctx, srcNull, vars); got != value.String("y") {
+			t.Errorf("CASE WHEN null = %s, want 'y'", got)
+		}
+	}
+
+	// Simple CASE, no ELSE -> NULL.
+	if got := mustEval(t, flexible, "CASE 2 WHEN 1 THEN 'a' END", nil); got.Kind() != value.KindNull {
+		t.Errorf("unmatched simple CASE = %s, want null", got)
+	}
+	if got := mustEval(t, flexible, "CASE 1 WHEN 1 THEN 'a' END", nil); got != value.String("a") {
+		t.Errorf("simple CASE = %s", got)
+	}
+	// Simple CASE over a MISSING operand propagates in flexible mode.
+	if got := mustEval(t, flexible, "CASE t.nope WHEN 1 THEN 'a' ELSE 'b' END", vars); got.Kind() != value.KindMissing {
+		t.Errorf("simple CASE on MISSING = %s, want MISSING", got)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	vars := map[string]string{"t": `{'a': 1}`}
+	// Tuple constructor drops MISSING values.
+	got := mustEval(t, ctx, "{'x': t.a, 'y': t.nope}", vars)
+	if !value.Equivalent(got, sion.MustParse("{'x': 1}")) {
+		t.Errorf("tuple ctor = %s", got)
+	}
+	// Bag constructor drops MISSING elements; array keeps position as
+	// NULL.
+	if got := mustEval(t, ctx, "<<t.a, t.nope>>", vars); !value.Equivalent(got, sion.MustParse("{{1}}")) {
+		t.Errorf("bag ctor = %s", got)
+	}
+	if got := mustEval(t, ctx, "[t.a, t.nope, 3]", vars); !value.Equivalent(got, sion.MustParse("[1, null, 3]")) {
+		t.Errorf("array ctor = %s", got)
+	}
+	// Computed attribute names.
+	if got := mustEval(t, ctx, "{'k' || '1': 2}", nil); !value.Equivalent(got, sion.MustParse("{'k1': 2}")) {
+		t.Errorf("computed name = %s", got)
+	}
+}
+
+func TestExists(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	cases := []struct {
+		src, want string
+	}{
+		{"EXISTS [1]", "true"},
+		{"EXISTS []", "false"},
+		{"EXISTS {{}}", "false"},
+		{"EXISTS null", "false"},
+		{"EXISTS 5", "missing"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, ctx, c.src, nil)
+		if !value.Equivalent(got, sion.MustParse(c.want)) {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCallDispatch(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	if got := mustEval(t, ctx, "UPPER('abc')", nil); got != value.String("ABC") {
+		t.Errorf("UPPER = %s", got)
+	}
+	// Unknown function is a name error, not a type fault.
+	if _, err := evalStr(t, ctx, "NO_SUCH_FN(1)", nil); err == nil {
+		t.Error("unknown function should error")
+	}
+	// Wrong arity.
+	if _, err := evalStr(t, ctx, "UPPER('a', 'b')", nil); err == nil {
+		t.Error("arity violation should error")
+	}
+	// Type fault inside a function: MISSING in permissive mode.
+	if got := mustEval(t, ctx, "UPPER(5)", nil); got.Kind() != value.KindMissing {
+		t.Errorf("UPPER(5) = %s, want MISSING", got)
+	}
+	strict := newTestCtx(false, StopOnError)
+	if _, err := evalStr(t, strict, "UPPER(5)", nil); err == nil {
+		t.Error("UPPER(5) should error in stop-on-error mode")
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	_, err := evalStr(t, ctx, "nowhere", nil)
+	ne, ok := err.(*NameError)
+	if !ok {
+		t.Fatalf("got %T (%v), want *NameError", err, err)
+	}
+	if ne.Name != "nowhere" {
+		t.Errorf("NameError.Name = %q", ne.Name)
+	}
+}
+
+func TestEnvScoping(t *testing.T) {
+	root := NewEnv()
+	root.Bind("x", value.Int(1))
+	child := root.Child()
+	child.Bind("y", value.Int(2))
+	if v, ok := child.Lookup("x"); !ok || v != value.Int(1) {
+		t.Error("child should see parent bindings")
+	}
+	child.Bind("x", value.Int(9))
+	if v, _ := child.Lookup("x"); v != value.Int(9) {
+		t.Error("child binding should shadow parent")
+	}
+	if v, _ := root.Lookup("x"); v != value.Int(1) {
+		t.Error("parent must be unaffected by child shadowing")
+	}
+	if _, ok := root.Lookup("y"); ok {
+		t.Error("parent must not see child bindings")
+	}
+}
+
+func TestSnapshotBelow(t *testing.T) {
+	outer := NewEnv()
+	outer.Bind("o", value.Int(0))
+	e1 := outer.Child()
+	e1.Bind("e", value.Int(1))
+	e2 := e1.Child()
+	e2.Bind("p", value.Int(2))
+	snap := e2.SnapshotBelow(outer)
+	want := value.NewTuple(
+		value.Field{Name: "e", Value: value.Int(1)},
+		value.Field{Name: "p", Value: value.Int(2)},
+	)
+	if !value.Equivalent(snap, want) {
+		t.Errorf("SnapshotBelow = %s, want %s", snap, want)
+	}
+	// Shadowed names keep the innermost value.
+	e3 := e2.Child()
+	e3.Bind("e", value.Int(7))
+	snap2 := e3.SnapshotBelow(outer)
+	if v, _ := snap2.Get("e"); v != value.Int(7) {
+		t.Errorf("shadowed snapshot e = %s", v)
+	}
+}
+
+func TestSubqueryNeedsRunner(t *testing.T) {
+	ctx := newTestCtx(false, Permissive)
+	e := parser.MustParse("(SELECT VALUE 1)")
+	if _, ok := e.(*ast.SFW); !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, err := Eval(ctx, NewEnv(), e); err == nil {
+		t.Error("evaluating a query block without a runner should error")
+	}
+}

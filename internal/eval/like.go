@@ -1,0 +1,92 @@
+package eval
+
+import "sync"
+
+// likeCache memoizes compiled LIKE patterns process-wide; patterns are
+// almost always literals repeated across rows.
+var likeCache sync.Map // string(pattern + "\x00" + escape) -> *likeMatcher
+
+const (
+	likeLit uint8 = iota // match this exact rune
+	likeOne              // '_' : match any single rune
+	likeAny              // '%' : match any rune sequence
+)
+
+type likeRune struct {
+	r    rune
+	kind uint8
+}
+
+// likeMatcher is a compiled SQL LIKE pattern.
+type likeMatcher struct {
+	pat []likeRune
+}
+
+// compileLike builds (or fetches from cache) the matcher for pattern with
+// the given escape rune (0 for none). It reports ok=false when the
+// pattern is malformed: an escape character at the end of the pattern, or
+// escaping anything other than '%', '_', or the escape character itself.
+func compileLike(pattern string, escape rune) (*likeMatcher, bool) {
+	key := pattern + "\x00" + string(escape)
+	if m, ok := likeCache.Load(key); ok {
+		return m.(*likeMatcher), true
+	}
+	runes := []rune(pattern)
+	m := &likeMatcher{pat: make([]likeRune, 0, len(runes))}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case escape != 0 && r == escape:
+			if i+1 >= len(runes) {
+				return nil, false
+			}
+			next := runes[i+1]
+			if next != '%' && next != '_' && next != escape {
+				return nil, false
+			}
+			m.pat = append(m.pat, likeRune{r: next, kind: likeLit})
+			i++
+		case r == '%':
+			// Consecutive '%' collapse to one.
+			if n := len(m.pat); n == 0 || m.pat[n-1].kind != likeAny {
+				m.pat = append(m.pat, likeRune{kind: likeAny})
+			}
+		case r == '_':
+			m.pat = append(m.pat, likeRune{kind: likeOne})
+		default:
+			m.pat = append(m.pat, likeRune{r: r, kind: likeLit})
+		}
+	}
+	likeCache.Store(key, m)
+	return m, true
+}
+
+// match reports whether s matches the pattern, using the standard
+// backtracking wildcard algorithm over runes.
+func (m *likeMatcher) match(s string) bool {
+	rs := []rune(s)
+	pat := m.pat
+	pi, si := 0, 0
+	star, starSi := -1, 0
+	for si < len(rs) {
+		switch {
+		case pi < len(pat) && (pat[pi].kind == likeOne ||
+			(pat[pi].kind == likeLit && pat[pi].r == rs[si])):
+			pi++
+			si++
+		case pi < len(pat) && pat[pi].kind == likeAny:
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi].kind == likeAny {
+		pi++
+	}
+	return pi == len(pat)
+}

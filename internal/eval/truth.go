@@ -1,0 +1,119 @@
+package eval
+
+import "sqlpp/internal/value"
+
+// truth is the four-valued logic lattice SQL++ evaluates predicates in:
+// SQL's TRUE/FALSE/UNKNOWN, with UNKNOWN split by provenance into
+// null-unknown and missing-unknown so that the flexible mode can
+// propagate MISSING through boolean operators (paper §IV-B rule 3) while
+// SQL-compatibility mode collapses both unknowns to NULL.
+type truth uint8
+
+const (
+	truthFalse truth = iota
+	truthTrue
+	truthNull
+	truthMissing
+)
+
+// truthOf classifies a value as a predicate input. Non-boolean,
+// non-absent values are not valid truth inputs; callers handle that case
+// via mistyped.
+func truthOf(v value.Value) (truth, bool) {
+	switch x := v.(type) {
+	case value.Bool:
+		if x {
+			return truthTrue, true
+		}
+		return truthFalse, true
+	default:
+		switch v.Kind() {
+		case value.KindNull:
+			return truthNull, true
+		case value.KindMissing:
+			return truthMissing, true
+		}
+	}
+	return truthFalse, false
+}
+
+// val converts a truth back to a value under the context's mode:
+// missing-unknown stays MISSING in flexible mode and becomes NULL in
+// SQL-compatibility mode.
+func (t truth) val(ctx *Context) value.Value {
+	switch t {
+	case truthTrue:
+		return value.True
+	case truthFalse:
+		return value.False
+	case truthMissing:
+		if ctx.Compat {
+			return value.Null
+		}
+		return value.Missing
+	default:
+		return value.Null
+	}
+}
+
+func (t truth) isUnknown() bool { return t == truthNull || t == truthMissing }
+
+// and3 is three-valued AND with missing-provenance: FALSE dominates, then
+// unknowns combine (missing-unknown wins over null-unknown so that pure
+// MISSING inputs keep propagating MISSING).
+func and3(a, b truth) truth {
+	if a == truthFalse || b == truthFalse {
+		return truthFalse
+	}
+	if a == truthTrue && b == truthTrue {
+		return truthTrue
+	}
+	if a == truthMissing || b == truthMissing {
+		return truthMissing
+	}
+	return truthNull
+}
+
+// or3 is three-valued OR with missing-provenance.
+func or3(a, b truth) truth {
+	if a == truthTrue || b == truthTrue {
+		return truthTrue
+	}
+	if a == truthFalse && b == truthFalse {
+		return truthFalse
+	}
+	if a == truthMissing || b == truthMissing {
+		return truthMissing
+	}
+	return truthNull
+}
+
+// not3 is three-valued NOT.
+func not3(a truth) truth {
+	switch a {
+	case truthTrue:
+		return truthFalse
+	case truthFalse:
+		return truthTrue
+	default:
+		return a
+	}
+}
+
+// IsTrue reports whether v is exactly TRUE; WHERE, HAVING, and join ON
+// conditions keep a binding only when the predicate is TRUE.
+func IsTrue(v value.Value) bool {
+	b, ok := v.(value.Bool)
+	return ok && bool(b)
+}
+
+// absentOut combines the absent-propagation rule for scalar operators:
+// given that at least one operand is absent, the result is MISSING when
+// any operand is MISSING (flexible mode), NULL otherwise. In compat mode
+// MISSING is treated as NULL.
+func absentOut(ctx *Context, hasMissing bool) value.Value {
+	if hasMissing && !ctx.Compat {
+		return value.Missing
+	}
+	return value.Null
+}

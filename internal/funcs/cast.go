@@ -1,0 +1,126 @@
+package funcs
+
+import (
+	"strconv"
+	"strings"
+
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// castFunc implements CAST(v AS type). The parser passes the type name as
+// a string literal second argument. Supported logical targets: INT /
+// INTEGER / BIGINT, FLOAT / DOUBLE / REAL, STRING / VARCHAR / CHAR / TEXT,
+// BOOLEAN / BOOL. Absent inputs propagate; an unconvertible value is a
+// type fault.
+func castFunc(ctx *eval.Context, args []value.Value) (value.Value, error) {
+	typeName, ok := args[1].(value.String)
+	if !ok {
+		return nil, typeErr("CAST", "type name must be a string")
+	}
+	v := args[0]
+	if value.IsAbsent(v) {
+		if v.Kind() == value.KindMissing && !ctx.Compat {
+			return value.Missing, nil
+		}
+		return value.Null, nil
+	}
+	switch canonicalType(string(typeName)) {
+	case "INT":
+		return castInt(v)
+	case "FLOAT":
+		return castFloat(v)
+	case "STRING":
+		return castString(v)
+	case "BOOLEAN":
+		return castBool(v)
+	}
+	return nil, typeErr("CAST", "unsupported target type "+string(typeName))
+}
+
+func canonicalType(name string) string {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return "INT"
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return "FLOAT"
+	case "STRING", "VARCHAR", "CHAR", "TEXT":
+		return "STRING"
+	case "BOOLEAN", "BOOL":
+		return "BOOLEAN"
+	}
+	return strings.ToUpper(name)
+}
+
+func castInt(v value.Value) (value.Value, error) {
+	switch x := v.(type) {
+	case value.Int:
+		return x, nil
+	case value.Float:
+		if i, ok := value.AsInt(x); ok {
+			return value.Int(i), nil
+		}
+		return nil, typeErr("CAST", "float value does not fit an integer")
+	case value.Bool:
+		if x {
+			return value.Int(1), nil
+		}
+		return value.Int(0), nil
+	case value.String:
+		if i, err := strconv.ParseInt(strings.TrimSpace(string(x)), 10, 64); err == nil {
+			return value.Int(i), nil
+		}
+		return nil, typeErr("CAST", "string "+x.String()+" is not an integer")
+	}
+	return nil, typeErr("CAST", "cannot cast "+v.Kind().String()+" to INT")
+}
+
+func castFloat(v value.Value) (value.Value, error) {
+	switch x := v.(type) {
+	case value.Float:
+		return x, nil
+	case value.Int:
+		return value.Float(float64(x)), nil
+	case value.String:
+		if f, err := strconv.ParseFloat(strings.TrimSpace(string(x)), 64); err == nil {
+			return value.Float(f), nil
+		}
+		return nil, typeErr("CAST", "string "+x.String()+" is not a number")
+	}
+	return nil, typeErr("CAST", "cannot cast "+v.Kind().String()+" to FLOAT")
+}
+
+func castString(v value.Value) (value.Value, error) {
+	switch x := v.(type) {
+	case value.String:
+		return x, nil
+	case value.Int:
+		return value.String(strconv.FormatInt(int64(x), 10)), nil
+	case value.Float:
+		return value.String(strconv.FormatFloat(float64(x), 'g', -1, 64)), nil
+	case value.Bool:
+		if x {
+			return value.String("true"), nil
+		}
+		return value.String("false"), nil
+	}
+	return nil, typeErr("CAST", "cannot cast "+v.Kind().String()+" to STRING")
+}
+
+func castBool(v value.Value) (value.Value, error) {
+	switch x := v.(type) {
+	case value.Bool:
+		return x, nil
+	case value.String:
+		switch strings.ToLower(strings.TrimSpace(string(x))) {
+		case "true":
+			return value.True, nil
+		case "false":
+			return value.False, nil
+		}
+		return nil, typeErr("CAST", "string "+x.String()+" is not a boolean")
+	case value.Int:
+		return value.Bool(x != 0), nil
+	}
+	return nil, typeErr("CAST", "cannot cast "+v.Kind().String()+" to BOOLEAN")
+}

@@ -1,0 +1,379 @@
+package funcs
+
+import (
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+func (r *Registry) registerCollections() {
+	r.Register("CARDINALITY", 1, 1, scalar("CARDINALITY", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		if elems, ok := value.Elements(args[0]); ok {
+			return value.Int(int64(len(elems))), nil
+		}
+		if t, ok := args[0].(*value.Tuple); ok {
+			return value.Int(int64(t.Len())), nil
+		}
+		return nil, typeErr("CARDINALITY", "argument is "+args[0].Kind().String())
+	}))
+	r.Register("ARRAY_LENGTH", 1, 1, scalar("ARRAY_LENGTH", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		a, ok := args[0].(value.Array)
+		if !ok {
+			return nil, typeErr("ARRAY_LENGTH", "argument is "+args[0].Kind().String())
+		}
+		return value.Int(int64(len(a))), nil
+	}))
+	r.Register("ARRAY_CONCAT", 2, -1, scalar("ARRAY_CONCAT", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		var out value.Array
+		for _, a := range args {
+			elems, ok := value.Elements(a)
+			if !ok {
+				return nil, typeErr("ARRAY_CONCAT", "argument is "+a.Kind().String())
+			}
+			out = append(out, elems...)
+		}
+		return out, nil
+	}))
+	r.Register("ARRAY_CONTAINS", 2, 2, scalar("ARRAY_CONTAINS", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		elems, ok := value.Elements(args[0])
+		if !ok {
+			return nil, typeErr("ARRAY_CONTAINS", "first argument is "+args[0].Kind().String())
+		}
+		return value.Bool(value.ContainsEquivalent(elems, args[1])), nil
+	}))
+	r.Register("ARRAY_DISTINCT", 1, 1, scalar("ARRAY_DISTINCT", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		elems, ok := value.Elements(args[0])
+		if !ok {
+			return nil, typeErr("ARRAY_DISTINCT", "argument is "+args[0].Kind().String())
+		}
+		return value.Array(distinct(elems)), nil
+	}))
+	// TO_ARRAY imposes an (arbitrary but deterministic) order on a bag;
+	// arrays pass through. It is how ORDER-BY-less results can be
+	// compared stably.
+	r.Register("TO_ARRAY", 1, 1, scalar("TO_ARRAY", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		switch c := args[0].(type) {
+		case value.Array:
+			return c, nil
+		case value.Bag:
+			out := make(value.Array, len(c))
+			copy(out, c)
+			value.SortValues(out)
+			return out, nil
+		}
+		return value.Array{args[0]}, nil
+	}))
+	r.Register("TO_BAG", 1, 1, scalar("TO_BAG", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		switch c := args[0].(type) {
+		case value.Bag:
+			return c, nil
+		case value.Array:
+			out := make(value.Bag, len(c))
+			copy(out, c)
+			return out, nil
+		}
+		return value.Bag{args[0]}, nil
+	}))
+	// ATTRIBUTE_NAMES returns the attribute names of a tuple as an array
+	// of strings, supporting schema-discovery queries.
+	r.Register("ATTRIBUTE_NAMES", 1, 1, scalar("ATTRIBUTE_NAMES", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		t, ok := args[0].(*value.Tuple)
+		if !ok {
+			return nil, typeErr("ATTRIBUTE_NAMES", "argument is "+args[0].Kind().String())
+		}
+		out := make(value.Array, 0, t.Len())
+		for _, f := range t.Fields() {
+			out = append(out, value.String(f.Name))
+		}
+		return out, nil
+	}))
+}
+
+func distinct(elems []value.Value) []value.Value {
+	seen := make(map[string]bool, len(elems))
+	out := make([]value.Value, 0, len(elems))
+	for _, e := range elems {
+		k := value.Key(e)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// aggregate input handling: COLL_* functions take one collection-valued
+// argument. Absent collection arguments propagate; non-collection
+// arguments are a type fault.
+func aggInput(op string, args []value.Value) ([]value.Value, error) {
+	elems, ok := value.Elements(args[0])
+	if !ok {
+		return nil, typeErr(op, "argument is "+args[0].Kind().String()+", not a collection")
+	}
+	return elems, nil
+}
+
+// unwrapAggElem lets aggregates accept elements produced by a SQL-style
+// single-column SELECT: a one-attribute tuple stands for its value. The
+// paper's Listing 18 writes COLL_AVG(FROM g AS gi SELECT gi.e.salary) —
+// a sugar SELECT whose rows are {'salary': v} tuples.
+func unwrapAggElem(e value.Value) value.Value {
+	if t, ok := e.(*value.Tuple); ok && t.Len() == 1 {
+		return t.Fields()[0].Value
+	}
+	return e
+}
+
+func (r *Registry) registerAggregates() {
+	// COLL_COUNT counts the non-absent elements of a collection. The SQL
+	// COUNT(*) rewrite passes the GROUP AS collection, whose elements
+	// are never absent, so it yields the group size.
+	r.Register("COLL_COUNT", 1, 1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		if v, done := propagateAbsent(ctx, args); done {
+			return v, nil
+		}
+		elems, err := aggInput("COLL_COUNT", args)
+		if err != nil {
+			return nil, err
+		}
+		n := int64(0)
+		for _, e := range elems {
+			if !value.IsAbsent(e) {
+				n++
+			}
+		}
+		return value.Int(n), nil
+	})
+
+	sum := func(op string, avg bool) eval.Func {
+		return func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+			if v, done := propagateAbsent(ctx, args); done {
+				return v, nil
+			}
+			elems, err := aggInput(op, args)
+			if err != nil {
+				return nil, err
+			}
+			var sumI int64
+			var sumF float64
+			isFloat := false
+			n := 0
+			for _, e := range elems {
+				e = unwrapAggElem(e)
+				if value.IsAbsent(e) {
+					continue // SQL aggregates ignore absent inputs
+				}
+				switch x := e.(type) {
+				case value.Int:
+					sumI += int64(x)
+					sumF += float64(x)
+				case value.Float:
+					isFloat = true
+					sumF += float64(x)
+				default:
+					return nil, typeErr(op, "element is "+e.Kind().String())
+				}
+				n++
+			}
+			if n == 0 {
+				return value.Null, nil // SQL: aggregate of empty input is NULL
+			}
+			if avg {
+				return value.Float(sumF / float64(n)), nil
+			}
+			if isFloat {
+				return value.Float(sumF), nil
+			}
+			return value.Int(sumI), nil
+		}
+	}
+	r.Register("COLL_SUM", 1, 1, sum("COLL_SUM", false))
+	r.Register("COLL_AVG", 1, 1, sum("COLL_AVG", true))
+
+	extreme := func(op string, wantMax bool) eval.Func {
+		return func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+			if v, done := propagateAbsent(ctx, args); done {
+				return v, nil
+			}
+			elems, err := aggInput(op, args)
+			if err != nil {
+				return nil, err
+			}
+			var best value.Value
+			for _, e := range elems {
+				e = unwrapAggElem(e)
+				if value.IsAbsent(e) {
+					continue
+				}
+				if best == nil {
+					best = e
+					continue
+				}
+				c := value.Compare(e, best)
+				if (wantMax && c > 0) || (!wantMax && c < 0) {
+					best = e
+				}
+			}
+			if best == nil {
+				return value.Null, nil
+			}
+			return best, nil
+		}
+	}
+	r.Register("COLL_MIN", 1, 1, extreme("COLL_MIN", false))
+	r.Register("COLL_MAX", 1, 1, extreme("COLL_MAX", true))
+
+	quant := func(op string, every bool) eval.Func {
+		return func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+			if v, done := propagateAbsent(ctx, args); done {
+				return v, nil
+			}
+			elems, err := aggInput(op, args)
+			if err != nil {
+				return nil, err
+			}
+			result := every
+			sawAbsent := false
+			for _, e := range elems {
+				e = unwrapAggElem(e)
+				if value.IsAbsent(e) {
+					sawAbsent = true
+					continue
+				}
+				b, ok := e.(value.Bool)
+				if !ok {
+					return nil, typeErr(op, "element is "+e.Kind().String())
+				}
+				if every && !bool(b) {
+					return value.False, nil
+				}
+				if !every && bool(b) {
+					return value.True, nil
+				}
+			}
+			if sawAbsent {
+				return value.Null, nil
+			}
+			return value.Bool(result), nil
+		}
+	}
+	r.Register("COLL_EVERY", 1, 1, quant("COLL_EVERY", true))
+	r.Register("COLL_ANY", 1, 1, quant("COLL_ANY", false))
+	r.Register("COLL_SOME", 1, 1, quant("COLL_SOME", false))
+
+	// ARRAY_AGG materializes a collection as an array, keeping absent
+	// elements as NULLs (positional).
+	r.Register("COLL_ARRAY_AGG", 1, 1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		if v, done := propagateAbsent(ctx, args); done {
+			return v, nil
+		}
+		elems, err := aggInput("COLL_ARRAY_AGG", args)
+		if err != nil {
+			return nil, err
+		}
+		out := make(value.Array, 0, len(elems))
+		for _, e := range elems {
+			if e.Kind() == value.KindMissing {
+				e = value.Null
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	})
+}
+
+// registerInternal registers the functions the rewriter targets: subquery
+// coercions and DISTINCT argument folding.
+func (r *Registry) registerInternal() {
+	// $COERCE_SCALAR implements SQL's coercion of a (sugar) SELECT
+	// subquery in scalar position: a collection of exactly one tuple
+	// with one attribute becomes that attribute's value; an empty
+	// collection becomes NULL; anything else is a type fault
+	// (cardinality violation).
+	r.Register("$COERCE_SCALAR", 1, 1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		elems, ok := value.Elements(args[0])
+		if !ok {
+			return args[0], nil
+		}
+		switch len(elems) {
+		case 0:
+			return value.Null, nil
+		case 1:
+			t, ok := elems[0].(*value.Tuple)
+			if !ok {
+				return elems[0], nil
+			}
+			if t.Len() != 1 {
+				return nil, typeErr("scalar subquery", "row has more than one column")
+			}
+			return t.Fields()[0].Value, nil
+		default:
+			return nil, typeErr("scalar subquery", "more than one row")
+		}
+	})
+	// $COERCE_COLL turns a sugar SELECT subquery used as an IN operand
+	// into the collection of its single column.
+	r.Register("$COERCE_COLL", 1, 1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		elems, ok := value.Elements(args[0])
+		if !ok {
+			return args[0], nil
+		}
+		out := make(value.Bag, 0, len(elems))
+		for _, e := range elems {
+			t, ok := e.(*value.Tuple)
+			if !ok {
+				out = append(out, e)
+				continue
+			}
+			if t.Len() != 1 {
+				return nil, typeErr("IN subquery", "row has more than one column")
+			}
+			out = append(out, t.Fields()[0].Value)
+		}
+		return out, nil
+	})
+	// $MERGE builds the SELECT * output tuple from (name, value) pairs:
+	// tuple values splice their attributes in, non-tuple values keep
+	// their variable's name. An empty name (from expr.*) requires a
+	// tuple; anything else is a type fault (skipped in permissive mode).
+	r.Register("$MERGE", 0, -1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		out := value.EmptyTuple()
+		for i := 0; i+1 < len(args); i += 2 {
+			name, ok := args[i].(value.String)
+			if !ok {
+				return nil, typeErr("SELECT *", "internal: non-string merge name")
+			}
+			v := args[i+1]
+			if t, ok := v.(*value.Tuple); ok {
+				for _, f := range t.Fields() {
+					out.Put(f.Name, f.Value)
+				}
+				continue
+			}
+			if name == "" {
+				if ctx.Mode == eval.StopOnError {
+					return nil, typeErr("SELECT expr.*", "expression is "+v.Kind().String()+", not a tuple")
+				}
+				continue
+			}
+			out.Put(string(name), v)
+		}
+		return out, nil
+	})
+	// $DISTINCT deduplicates a collection by grouping equality; the
+	// rewriter wraps aggregate DISTINCT arguments with it.
+	r.Register("$DISTINCT", 1, 1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		elems, ok := value.Elements(args[0])
+		if !ok {
+			if value.IsAbsent(args[0]) {
+				return args[0], nil
+			}
+			return nil, typeErr("DISTINCT", "argument is "+args[0].Kind().String())
+		}
+		switch args[0].(type) {
+		case value.Array:
+			return value.Array(distinct(elems)), nil
+		default:
+			return value.Bag(distinct(elems)), nil
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package funcs
+
+import (
+	"math"
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+func TestExtendedNumerics(t *testing.T) {
+	ctx := flexible()
+	if got := mustCall(t, ctx, "EXP", "0"); got != value.Float(1) {
+		t.Errorf("EXP(0) = %s", got)
+	}
+	ln := mustCall(t, ctx, "LN", "2.718281828459045")
+	if math.Abs(float64(ln.(value.Float))-1) > 1e-12 {
+		t.Errorf("LN(e) = %s", ln)
+	}
+	check(t, mustCall(t, ctx, "LOG10", "1000"), "3.0")
+	check(t, mustCall(t, ctx, "TRUNC", "2.9"), "2.0")
+	check(t, mustCall(t, ctx, "TRUNC", "-2.9"), "-2.0")
+	check(t, mustCall(t, ctx, "TRUNC", "7"), "7")
+	// Domain faults.
+	for _, bad := range [][]string{{"LN", "0"}, {"LN", "-1"}, {"LOG10", "0"}} {
+		if _, err := call(t, ctx, bad[0], bad[1]); err == nil {
+			t.Errorf("%s(%s) should fault", bad[0], bad[1])
+		}
+	}
+}
+
+func TestExtendedStrings(t *testing.T) {
+	ctx := flexible()
+	check(t, mustCall(t, ctx, "SPLIT", "'a,b,c'", "','"), "['a', 'b', 'c']")
+	check(t, mustCall(t, ctx, "SPLIT", "'abc'", "'x'"), "['abc']")
+	check(t, mustCall(t, ctx, "REVERSE", "'abδ'"), "'δba'")
+	check(t, mustCall(t, ctx, "REVERSE", "[1, 2, 3]"), "[3, 2, 1]")
+	check(t, mustCall(t, ctx, "LPAD", "'7'", "3", "'0'"), "'007'")
+	check(t, mustCall(t, ctx, "RPAD", "'ab'", "4"), "'ab  '")
+	check(t, mustCall(t, ctx, "LPAD", "'abcdef'", "3"), "'abc'") // truncates
+	if _, err := call(t, ctx, "LPAD", "'x'", "-1"); err == nil {
+		t.Error("negative pad length should fault")
+	}
+}
+
+func TestRegexpFunctions(t *testing.T) {
+	ctx := flexible()
+	check(t, mustCall(t, ctx, "REGEXP_CONTAINS", "'OLAP Security'", "'Sec.*y'"), "true")
+	check(t, mustCall(t, ctx, "REGEXP_CONTAINS", "'olap'", "'^X'"), "false")
+	check(t, mustCall(t, ctx, "REGEXP_EXTRACT", "'id=42;'", "'id=([0-9]+)'"), "'42'")
+	check(t, mustCall(t, ctx, "REGEXP_EXTRACT", "'abc'", "'b'"), "'b'")
+	check(t, mustCall(t, ctx, "REGEXP_EXTRACT", "'abc'", "'zz'"), "null")
+	check(t, mustCall(t, ctx, "REGEXP_REPLACE", "'a1b2'", "'[0-9]'", "'_'"), "'a_b_'")
+	if _, err := call(t, ctx, "REGEXP_CONTAINS", "'x'", "'('"); err == nil {
+		t.Error("invalid pattern should fault")
+	}
+}
+
+func TestTupleFunctions(t *testing.T) {
+	ctx := flexible()
+	check(t, mustCall(t, ctx, "OBJECT_MERGE", "{'a': 1, 'b': 2}", "{'b': 9, 'c': 3}"),
+		"{'a': 1, 'b': 9, 'c': 3}")
+	check(t, mustCall(t, ctx, "OBJECT_REMOVE", "{'a': 1, 'b': 2, 'c': 3}", "'b'", "'c'"),
+		"{'a': 1}")
+	check(t, mustCall(t, ctx, "OBJECT_VALUES", "{'a': 1, 'b': 'x'}"), "[1, 'x']")
+	if _, err := call(t, ctx, "OBJECT_MERGE", "{'a': 1}", "5"); err == nil {
+		t.Error("merging a non-tuple should fault")
+	}
+}
+
+func TestGreatestLeast(t *testing.T) {
+	ctx := flexible()
+	check(t, mustCall(t, ctx, "GREATEST", "1", "3", "2"), "3")
+	check(t, mustCall(t, ctx, "LEAST", "1.5", "1", "2"), "1")
+	check(t, mustCall(t, ctx, "GREATEST", "'a'", "'c'", "'b'"), "'c'")
+	check(t, mustCall(t, ctx, "GREATEST", "1"), "1")
+	// Absent propagation applies.
+	check(t, mustCall(t, ctx, "GREATEST", "1", "null"), "null")
+	check(t, mustCall(t, ctx, "GREATEST", "1", "missing"), "missing")
+}

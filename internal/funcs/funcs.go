@@ -1,0 +1,345 @@
+// Package funcs is the SQL++ built-in function library: the composable
+// COLL_* aggregate functions of the paper's Section V-C, the usual SQL
+// scalar functions, and the internal helpers the rewriter targets.
+//
+// Functions receive their arguments fully evaluated. Absent-value
+// propagation follows the paper's rules: a function given a MISSING input
+// returns MISSING (flexible mode), except that in SQL-compatibility mode
+// an expression that would map NULL to a non-null result maps MISSING the
+// same way (the COALESCE exception of §IV-B).
+package funcs
+
+import (
+	"math"
+	"strings"
+
+	"sqlpp/internal/eval"
+	"sqlpp/internal/lexer"
+	"sqlpp/internal/value"
+)
+
+// Registry resolves function names to implementations. The zero value is
+// unusable; use NewRegistry.
+type Registry struct {
+	byName map[string]*eval.FuncDef
+}
+
+// NewRegistry returns a registry populated with every built-in function.
+func NewRegistry() *Registry {
+	r := &Registry{byName: make(map[string]*eval.FuncDef, 96)}
+	r.registerAll()
+	return r
+}
+
+// LookupFunc implements eval.FuncSource.
+func (r *Registry) LookupFunc(name string) (*eval.FuncDef, bool) {
+	def, ok := r.byName[strings.ToUpper(name)]
+	return def, ok
+}
+
+// Register adds or replaces a function definition; it is exported so
+// embedders can extend the library.
+func (r *Registry) Register(name string, minArgs, maxArgs int, fn eval.Func) {
+	name = strings.ToUpper(name)
+	r.byName[name] = &eval.FuncDef{Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Fn: fn}
+}
+
+// Names returns the registered function names, unsorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	return out
+}
+
+// typeErr builds a type fault; the evaluator fills in the position and
+// applies the permissive-mode policy.
+func typeErr(op, detail string) error {
+	return &eval.TypeError{Op: op, Detail: detail}
+}
+
+// propagateAbsent implements the standard scalar-function rule: if any
+// argument is absent the function result is absent (MISSING dominates in
+// flexible mode, NULL in compat mode). ok=false means no argument was
+// absent and the function body should run.
+func propagateAbsent(ctx *eval.Context, args []value.Value) (value.Value, bool) {
+	hasMissing, hasNull := false, false
+	for _, a := range args {
+		switch a.Kind() {
+		case value.KindMissing:
+			hasMissing = true
+		case value.KindNull:
+			hasNull = true
+		}
+	}
+	if !hasMissing && !hasNull {
+		return nil, false
+	}
+	if hasMissing && !ctx.Compat {
+		return value.Missing, true
+	}
+	return value.Null, true
+}
+
+// scalar wraps a function body with absent propagation.
+func scalar(op string, body func(ctx *eval.Context, args []value.Value) (value.Value, error)) eval.Func {
+	return func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		if v, done := propagateAbsent(ctx, args); done {
+			return v, nil
+		}
+		return body(ctx, args)
+	}
+}
+
+func (r *Registry) registerAll() {
+	r.registerStrings()
+	r.registerNumerics()
+	r.registerConditionals()
+	r.registerCollections()
+	r.registerAggregates()
+	r.registerInternal()
+	for _, reg := range extendedRegistrations {
+		reg(r)
+	}
+}
+
+func (r *Registry) registerStrings() {
+	str1 := func(op string, f func(string) string) eval.Func {
+		return scalar(op, func(_ *eval.Context, args []value.Value) (value.Value, error) {
+			s, ok := args[0].(value.String)
+			if !ok {
+				return nil, typeErr(op, "argument is "+args[0].Kind().String())
+			}
+			return value.String(f(string(s))), nil
+		})
+	}
+	r.Register("LOWER", 1, 1, str1("LOWER", strings.ToLower))
+	r.Register("UPPER", 1, 1, str1("UPPER", strings.ToUpper))
+	r.Register("TRIM", 1, 1, str1("TRIM", strings.TrimSpace))
+	r.Register("LTRIM", 1, 1, str1("LTRIM", func(s string) string { return strings.TrimLeft(s, " ") }))
+	r.Register("RTRIM", 1, 1, str1("RTRIM", func(s string) string { return strings.TrimRight(s, " ") }))
+
+	length := scalar("CHAR_LENGTH", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		s, ok := args[0].(value.String)
+		if !ok {
+			return nil, typeErr("CHAR_LENGTH", "argument is "+args[0].Kind().String())
+		}
+		return value.Int(int64(len([]rune(string(s))))), nil
+	})
+	r.Register("CHAR_LENGTH", 1, 1, length)
+	r.Register("CHARACTER_LENGTH", 1, 1, length)
+	r.Register("LENGTH", 1, 1, length)
+
+	r.Register("SUBSTRING", 2, 3, scalar("SUBSTRING", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		s, ok := args[0].(value.String)
+		if !ok {
+			return nil, typeErr("SUBSTRING", "first argument is "+args[0].Kind().String())
+		}
+		start, ok := value.AsInt(args[1])
+		if !ok {
+			return nil, typeErr("SUBSTRING", "start is "+args[1].Kind().String())
+		}
+		runes := []rune(string(s))
+		// SQL 1-based start; values below 1 clamp with length adjustment.
+		end := int64(len(runes)) + 1
+		if len(args) == 3 {
+			n, ok := value.AsInt(args[2])
+			if !ok {
+				return nil, typeErr("SUBSTRING", "length is "+args[2].Kind().String())
+			}
+			end = start + n
+		}
+		if start < 1 {
+			start = 1
+		}
+		if end > int64(len(runes))+1 {
+			end = int64(len(runes)) + 1
+		}
+		if end <= start {
+			return value.String(""), nil
+		}
+		return value.String(string(runes[start-1 : end-1])), nil
+	}))
+
+	r.Register("POSITION", 2, 2, scalar("POSITION", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		sub, ok1 := args[0].(value.String)
+		s, ok2 := args[1].(value.String)
+		if !ok1 || !ok2 {
+			return nil, typeErr("POSITION", "arguments must be strings")
+		}
+		idx := strings.Index(string(s), string(sub))
+		if idx < 0 {
+			return value.Int(0), nil
+		}
+		return value.Int(int64(len([]rune(string(s)[:idx])) + 1)), nil
+	}))
+
+	r.Register("REPLACE", 3, 3, scalar("REPLACE", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		s, ok1 := args[0].(value.String)
+		from, ok2 := args[1].(value.String)
+		to, ok3 := args[2].(value.String)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, typeErr("REPLACE", "arguments must be strings")
+		}
+		return value.String(strings.ReplaceAll(string(s), string(from), string(to))), nil
+	}))
+
+	strPred := func(op string, f func(s, t string) bool) eval.Func {
+		return scalar(op, func(_ *eval.Context, args []value.Value) (value.Value, error) {
+			s, ok1 := args[0].(value.String)
+			t, ok2 := args[1].(value.String)
+			if !ok1 || !ok2 {
+				return nil, typeErr(op, "arguments must be strings")
+			}
+			return value.Bool(f(string(s), string(t))), nil
+		})
+	}
+	r.Register("CONTAINS", 2, 2, strPred("CONTAINS", strings.Contains))
+	r.Register("STARTS_WITH", 2, 2, strPred("STARTS_WITH", strings.HasPrefix))
+	r.Register("ENDS_WITH", 2, 2, strPred("ENDS_WITH", strings.HasSuffix))
+}
+
+func (r *Registry) registerNumerics() {
+	num1 := func(op string, fInt func(int64) (value.Value, bool), fFloat func(float64) value.Value) eval.Func {
+		return scalar(op, func(_ *eval.Context, args []value.Value) (value.Value, error) {
+			if i, ok := args[0].(value.Int); ok && fInt != nil {
+				if v, ok := fInt(int64(i)); ok {
+					return v, nil
+				}
+			}
+			f, ok := value.AsFloat(args[0])
+			if !ok {
+				return nil, typeErr(op, "argument is "+args[0].Kind().String())
+			}
+			return fFloat(f), nil
+		})
+	}
+	r.Register("ABS", 1, 1, num1("ABS",
+		func(i int64) (value.Value, bool) {
+			if i == math.MinInt64 {
+				return nil, false
+			}
+			if i < 0 {
+				return value.Int(-i), true
+			}
+			return value.Int(i), true
+		},
+		func(f float64) value.Value { return value.Float(math.Abs(f)) }))
+	ceil := num1("CEIL",
+		func(i int64) (value.Value, bool) { return value.Int(i), true },
+		func(f float64) value.Value { return value.Float(math.Ceil(f)) })
+	r.Register("CEIL", 1, 1, ceil)
+	r.Register("CEILING", 1, 1, ceil)
+	r.Register("FLOOR", 1, 1, num1("FLOOR",
+		func(i int64) (value.Value, bool) { return value.Int(i), true },
+		func(f float64) value.Value { return value.Float(math.Floor(f)) }))
+	r.Register("SQRT", 1, 1, num1("SQRT", nil,
+		func(f float64) value.Value { return value.Float(math.Sqrt(f)) }))
+	r.Register("SIGN", 1, 1, num1("SIGN",
+		func(i int64) (value.Value, bool) {
+			switch {
+			case i > 0:
+				return value.Int(1), true
+			case i < 0:
+				return value.Int(-1), true
+			}
+			return value.Int(0), true
+		},
+		func(f float64) value.Value {
+			switch {
+			case f > 0:
+				return value.Int(1)
+			case f < 0:
+				return value.Int(-1)
+			}
+			return value.Int(0)
+		}))
+	r.Register("ROUND", 1, 2, scalar("ROUND", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		if i, ok := args[0].(value.Int); ok && len(args) == 1 {
+			return i, nil
+		}
+		f, ok := value.AsFloat(args[0])
+		if !ok {
+			return nil, typeErr("ROUND", "argument is "+args[0].Kind().String())
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			d, ok := value.AsInt(args[1])
+			if !ok {
+				return nil, typeErr("ROUND", "digits is "+args[1].Kind().String())
+			}
+			digits = d
+		}
+		scale := math.Pow(10, float64(digits))
+		return value.Float(math.Round(f*scale) / scale), nil
+	}))
+	r.Register("POWER", 2, 2, scalar("POWER", func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		a, ok1 := value.AsFloat(args[0])
+		b, ok2 := value.AsFloat(args[1])
+		if !ok1 || !ok2 {
+			return nil, typeErr("POWER", "arguments must be numeric")
+		}
+		return value.Float(math.Pow(a, b)), nil
+	}))
+	r.Register("MOD", 2, 2, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		return eval.Arith(ctx, "%", args[0], args[1], pos0)
+	})
+}
+
+func (r *Registry) registerConditionals() {
+	// COALESCE returns its first non-absent argument. In flexible mode a
+	// MISSING argument propagates per §IV-B rule 3; in SQL-compatibility
+	// mode MISSING behaves exactly like NULL, the paper's one exception,
+	// so COALESCE(MISSING, 2) = 2.
+	r.Register("COALESCE", 1, -1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		for _, a := range args {
+			switch a.Kind() {
+			case value.KindNull:
+				continue
+			case value.KindMissing:
+				if ctx.Compat {
+					continue
+				}
+				return value.Missing, nil
+			default:
+				return a, nil
+			}
+		}
+		return value.Null, nil
+	})
+	r.Register("NULLIF", 2, 2, scalar("NULLIF", func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		eq, err := eval.Comparison(ctx, "=", args[0], args[1], pos0)
+		if err != nil {
+			return nil, err
+		}
+		if eval.IsTrue(eq) {
+			return value.Null, nil
+		}
+		return args[0], nil
+	}))
+	// IFMISSING(v, fallback): fallback when v is MISSING (the N1QL
+	// idiom); NULL is not replaced.
+	r.Register("IFMISSING", 2, 2, func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		if args[0].Kind() == value.KindMissing {
+			return args[1], nil
+		}
+		return args[0], nil
+	})
+	// IFMISSINGORNULL(v, fallback): fallback when v is absent.
+	r.Register("IFMISSINGORNULL", 2, 2, func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		if value.IsAbsent(args[0]) {
+			return args[1], nil
+		}
+		return args[0], nil
+	})
+	// TYPE(v) names the dynamic type; never absent-propagates.
+	r.Register("TYPE", 1, 1, func(_ *eval.Context, args []value.Value) (value.Value, error) {
+		return value.String(args[0].Kind().String()), nil
+	})
+	r.Register("CAST", 2, 2, castFunc)
+}
+
+// pos0 is the zero position used for type faults raised inside function
+// bodies; the evaluator substitutes the call-site position.
+var pos0 lexer.Pos

@@ -1,0 +1,280 @@
+package funcs
+
+import (
+	"testing"
+
+	"sqlpp/internal/eval"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+func call(t *testing.T, ctx *eval.Context, name string, args ...string) (value.Value, error) {
+	t.Helper()
+	r := NewRegistry()
+	def, ok := r.LookupFunc(name)
+	if !ok {
+		t.Fatalf("function %s not registered", name)
+	}
+	vs := make([]value.Value, len(args))
+	for i, a := range args {
+		vs[i] = sion.MustParse(a)
+	}
+	return def.Fn(ctx, vs)
+}
+
+func mustCall(t *testing.T, ctx *eval.Context, name string, args ...string) value.Value {
+	t.Helper()
+	v, err := call(t, ctx, name, args...)
+	if err != nil {
+		t.Fatalf("%s(%v): %v", name, args, err)
+	}
+	return v
+}
+
+func flexible() *eval.Context { return &eval.Context{Mode: eval.Permissive} }
+func compat() *eval.Context   { return &eval.Context{Mode: eval.Permissive, Compat: true} }
+
+func check(t *testing.T, got value.Value, want string) {
+	t.Helper()
+	if !value.Equivalent(got, sion.MustParse(want)) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	ctx := flexible()
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"LOWER", []string{"'AbC'"}, "'abc'"},
+		{"UPPER", []string{"'AbC'"}, "'ABC'"},
+		{"TRIM", []string{"'  x  '"}, "'x'"},
+		{"LTRIM", []string{"'  x '"}, "'x '"},
+		{"RTRIM", []string{"' x  '"}, "' x'"},
+		{"CHAR_LENGTH", []string{"'δζ'"}, "2"}, // runes, not bytes
+		{"LENGTH", []string{"''"}, "0"},
+		{"SUBSTRING", []string{"'hello'", "2"}, "'ello'"},
+		{"SUBSTRING", []string{"'hello'", "2", "3"}, "'ell'"},
+		{"SUBSTRING", []string{"'hello'", "-1", "3"}, "'h'"},
+		{"SUBSTRING", []string{"'hello'", "4", "99"}, "'lo'"},
+		{"POSITION", []string{"'ll'", "'hello'"}, "3"},
+		{"POSITION", []string{"'zz'", "'hello'"}, "0"},
+		{"REPLACE", []string{"'aXbX'", "'X'", "'y'"}, "'aybы'"},
+		{"CONTAINS", []string{"'hello'", "'ell'"}, "true"},
+		{"STARTS_WITH", []string{"'hello'", "'he'"}, "true"},
+		{"ENDS_WITH", []string{"'hello'", "'he'"}, "false"},
+	}
+	for _, c := range cases {
+		if c.name == "REPLACE" {
+			got := mustCall(t, ctx, c.name, c.args...)
+			check(t, got, "'ayby'")
+			continue
+		}
+		got := mustCall(t, ctx, c.name, c.args...)
+		check(t, got, c.want)
+	}
+	// Absent propagation: NULL in, NULL out; MISSING propagates in
+	// flexible mode and behaves like NULL in compat mode.
+	check(t, mustCall(t, ctx, "LOWER", "null"), "null")
+	check(t, mustCall(t, ctx, "LOWER", "missing"), "missing")
+	check(t, mustCall(t, compat(), "LOWER", "missing"), "null")
+	// Type fault.
+	if _, err := call(t, ctx, "LOWER", "5"); err == nil {
+		t.Error("LOWER(5) should be a type fault")
+	}
+}
+
+func TestNumericFunctions(t *testing.T) {
+	ctx := flexible()
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"ABS", []string{"-3"}, "3"},
+		{"ABS", []string{"-3.5"}, "3.5"},
+		{"CEIL", []string{"1.2"}, "2.0"},
+		{"CEILING", []string{"-1.2"}, "-1.0"},
+		{"FLOOR", []string{"1.8"}, "1.0"},
+		{"FLOOR", []string{"7"}, "7"},
+		{"SQRT", []string{"9"}, "3.0"},
+		{"SIGN", []string{"-9"}, "-1"},
+		{"SIGN", []string{"0"}, "0"},
+		{"SIGN", []string{"2.5"}, "1"},
+		{"ROUND", []string{"2.5"}, "3.0"},
+		{"ROUND", []string{"2.444", "2"}, "2.44"},
+		{"ROUND", []string{"7"}, "7"},
+		{"POWER", []string{"2", "10"}, "1024.0"},
+		{"MOD", []string{"7", "3"}, "1"},
+	}
+	for _, c := range cases {
+		got := mustCall(t, ctx, c.name, c.args...)
+		check(t, got, c.want)
+	}
+	if _, err := call(t, ctx, "SQRT", "'x'"); err == nil {
+		t.Error("SQRT('x') should be a type fault")
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	// COALESCE: the §IV-B rule-3 exception applies only in compat mode.
+	check(t, mustCall(t, flexible(), "COALESCE", "null", "2"), "2")
+	check(t, mustCall(t, flexible(), "COALESCE", "missing", "2"), "missing")
+	check(t, mustCall(t, compat(), "COALESCE", "missing", "2"), "2")
+	check(t, mustCall(t, flexible(), "COALESCE", "null", "null"), "null")
+	check(t, mustCall(t, compat(), "COALESCE", "null", "missing"), "null")
+
+	check(t, mustCall(t, flexible(), "NULLIF", "1", "1"), "null")
+	check(t, mustCall(t, flexible(), "NULLIF", "1", "2"), "1")
+
+	check(t, mustCall(t, flexible(), "IFMISSING", "missing", "9"), "9")
+	check(t, mustCall(t, flexible(), "IFMISSING", "null", "9"), "null")
+	check(t, mustCall(t, flexible(), "IFMISSINGORNULL", "null", "9"), "9")
+
+	check(t, mustCall(t, flexible(), "TYPE", "1"), "'integer'")
+	check(t, mustCall(t, flexible(), "TYPE", "missing"), "'missing'")
+	check(t, mustCall(t, flexible(), "TYPE", "[1]"), "'array'")
+}
+
+func TestCast(t *testing.T) {
+	ctx := flexible()
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"'42'", "'INT'"}, "42"},
+		{[]string{"4.0", "'INT'"}, "4"},
+		{[]string{"true", "'INT'"}, "1"},
+		{[]string{"'2.5'", "'DOUBLE'"}, "2.5"},
+		{[]string{"7", "'FLOAT'"}, "7.0"},
+		{[]string{"7", "'STRING'"}, "'7'"},
+		{[]string{"2.5", "'VARCHAR'"}, "'2.5'"},
+		{[]string{"true", "'TEXT'"}, "'true'"},
+		{[]string{"'true'", "'BOOLEAN'"}, "true"},
+		{[]string{"0", "'BOOL'"}, "false"},
+		{[]string{"null", "'INT'"}, "null"},
+	}
+	for _, c := range cases {
+		got := mustCall(t, ctx, "CAST", c.args...)
+		check(t, got, c.want)
+	}
+	for _, bad := range [][]string{
+		{"'x'", "'INT'"},
+		{"4.5", "'INT'"},
+		{"[1]", "'STRING'"},
+		{"1", "'FROB'"},
+	} {
+		if _, err := call(t, ctx, "CAST", bad...); err == nil {
+			t.Errorf("CAST(%v) should fail", bad)
+		}
+	}
+	// CAST(MISSING ...) propagates per mode.
+	check(t, mustCall(t, flexible(), "CAST", "missing", "'INT'"), "missing")
+	check(t, mustCall(t, compat(), "CAST", "missing", "'INT'"), "null")
+}
+
+func TestCollectionFunctions(t *testing.T) {
+	ctx := flexible()
+	check(t, mustCall(t, ctx, "CARDINALITY", "[1, 2, 3]"), "3")
+	check(t, mustCall(t, ctx, "CARDINALITY", "{{1}}"), "1")
+	check(t, mustCall(t, ctx, "CARDINALITY", "{'a': 1, 'b': 2}"), "2")
+	check(t, mustCall(t, ctx, "ARRAY_LENGTH", "[1, 2]"), "2")
+	check(t, mustCall(t, ctx, "ARRAY_CONCAT", "[1]", "[2, 3]"), "[1, 2, 3]")
+	check(t, mustCall(t, ctx, "ARRAY_CONTAINS", "[1, 2]", "2.0"), "true")
+	check(t, mustCall(t, ctx, "ARRAY_DISTINCT", "[1, 1, 2, 1.0]"), "[1, 2]")
+	check(t, mustCall(t, ctx, "TO_ARRAY", "{{2, 1}}"), "[1, 2]")
+	check(t, mustCall(t, ctx, "TO_BAG", "[1, 2]"), "{{1, 2}}")
+	check(t, mustCall(t, ctx, "TO_ARRAY", "5"), "[5]")
+	check(t, mustCall(t, ctx, "ATTRIBUTE_NAMES", "{'a': 1, 'b': 2}"), "['a', 'b']")
+	if _, err := call(t, ctx, "ARRAY_LENGTH", "{{1}}"); err == nil {
+		t.Error("ARRAY_LENGTH of a bag should be a type fault")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	ctx := flexible()
+	cases := []struct {
+		name, arg, want string
+	}{
+		{"COLL_COUNT", "[1, 2, 3]", "3"},
+		{"COLL_COUNT", "[1, null, missing]", "1"}, // absent skipped
+		{"COLL_COUNT", "[]", "0"},
+		{"COLL_SUM", "[1, 2, 3]", "6"},
+		{"COLL_SUM", "[1, 2.5]", "3.5"},
+		{"COLL_SUM", "[null, 2]", "2"},
+		{"COLL_SUM", "[]", "null"},
+		{"COLL_SUM", "[null]", "null"},
+		{"COLL_AVG", "[1, 2, 3, 6]", "3.0"},
+		{"COLL_AVG", "[null, 4]", "4.0"},
+		{"COLL_MIN", "[3, 1, 2]", "1"},
+		{"COLL_MAX", "[3, 1, 2]", "3"},
+		{"COLL_MIN", "['b', 'a']", "'a'"},
+		{"COLL_MAX", "[]", "null"},
+		{"COLL_EVERY", "[true, true]", "true"},
+		{"COLL_EVERY", "[true, false]", "false"},
+		{"COLL_ANY", "[false, true]", "true"},
+		{"COLL_SOME", "[false, false]", "false"},
+		{"COLL_ARRAY_AGG", "{{1, 2}}", "[1, 2]"},
+		// Single-attribute tuples unwrap (the Listing 18 form).
+		{"COLL_AVG", "[{'salary': 2}, {'salary': 4}]", "3.0"},
+		{"COLL_MAX", "[{'v': 2}, {'v': 4}]", "4"},
+	}
+	for _, c := range cases {
+		got := mustCall(t, ctx, c.name, c.arg)
+		check(t, got, c.want)
+	}
+	// Absent collection propagates; non-collections are type faults.
+	check(t, mustCall(t, ctx, "COLL_AVG", "null"), "null")
+	check(t, mustCall(t, ctx, "COLL_AVG", "missing"), "missing")
+	if _, err := call(t, ctx, "COLL_SUM", "5"); err == nil {
+		t.Error("COLL_SUM(5) should be a type fault")
+	}
+	if _, err := call(t, ctx, "COLL_SUM", "['x']"); err == nil {
+		t.Error("COLL_SUM(['x']) should be a type fault")
+	}
+	if _, err := call(t, ctx, "COLL_EVERY", "[1]"); err == nil {
+		t.Error("COLL_EVERY over non-booleans should be a type fault")
+	}
+}
+
+func TestInternalHelpers(t *testing.T) {
+	ctx := flexible()
+	// $COERCE_SCALAR: one row, one column -> the value; empty -> NULL.
+	check(t, mustCall(t, ctx, "$COERCE_SCALAR", "{{ {'a': 7} }}"), "7")
+	check(t, mustCall(t, ctx, "$COERCE_SCALAR", "{{}}"), "null")
+	check(t, mustCall(t, ctx, "$COERCE_SCALAR", "{{ 7 }}"), "7")
+	if _, err := call(t, ctx, "$COERCE_SCALAR", "{{ {'a': 1}, {'a': 2} }}"); err == nil {
+		t.Error("multi-row scalar subquery should fail")
+	}
+	if _, err := call(t, ctx, "$COERCE_SCALAR", "{{ {'a': 1, 'b': 2} }}"); err == nil {
+		t.Error("multi-column scalar subquery should fail")
+	}
+	// $COERCE_COLL strips single-attribute tuples.
+	check(t, mustCall(t, ctx, "$COERCE_COLL", "{{ {'a': 1}, {'a': 2} }}"), "{{1, 2}}")
+	// $DISTINCT.
+	check(t, mustCall(t, ctx, "$DISTINCT", "{{1, 1, 2}}"), "{{1, 2}}")
+	check(t, mustCall(t, ctx, "$DISTINCT", "[2, 2]"), "[2]")
+	// $MERGE splices tuples and names scalars.
+	check(t, mustCall(t, ctx, "$MERGE", "'e'", "{'a': 1}", "'p'", "7"), "{'a': 1, 'p': 7}")
+	check(t, mustCall(t, ctx, "$MERGE", "''", "5"), "{}") // e.* of a non-tuple: skipped
+}
+
+func TestRegistryExtension(t *testing.T) {
+	r := NewRegistry()
+	r.Register("twice", 1, 1, func(ctx *eval.Context, args []value.Value) (value.Value, error) {
+		return eval.Arith(ctx, "*", args[0], value.Int(2), pos0)
+	})
+	def, ok := r.LookupFunc("TWICE")
+	if !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	v, err := def.Fn(flexible(), []value.Value{value.Int(21)})
+	if err != nil || v != value.Int(42) {
+		t.Errorf("twice(21) = %v, %v", v, err)
+	}
+	if len(r.Names()) < 40 {
+		t.Errorf("registry suspiciously small: %d functions", len(r.Names()))
+	}
+}

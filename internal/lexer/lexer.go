@@ -1,0 +1,329 @@
+// Package lexer tokenizes SQL++ query text.
+//
+// The token stream follows SQL conventions: keywords are case-insensitive,
+// string literals are single-quoted with ” escaping, identifiers may be
+// double-quoted or backquoted to preserve case and reserved words, and
+// comments are "--" to end of line or "/* ... */".
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Type classifies a token.
+type Type uint8
+
+// Token types.
+const (
+	EOF Type = iota
+	Ident
+	QuotedIdent
+	Keyword
+	StringLit
+	IntLit
+	FloatLit
+	Symbol // punctuation and operators
+)
+
+var typeNames = [...]string{
+	EOF:         "end of input",
+	Ident:       "identifier",
+	QuotedIdent: "identifier",
+	Keyword:     "keyword",
+	StringLit:   "string literal",
+	IntLit:      "integer literal",
+	FloatLit:    "float literal",
+	Symbol:      "symbol",
+}
+
+// String returns a human-readable name for the token type.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "invalid"
+}
+
+// Pos is a byte offset with line/column, for error messages.
+type Pos struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// String renders the position as "line:column".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// Token is one lexical element.
+type Token struct {
+	Type Type
+	// Text is the canonical text: upper-case for keywords, the unescaped
+	// body for string literals and quoted identifiers, the raw text
+	// otherwise.
+	Text string
+	Pos  Pos
+}
+
+// Is reports whether the token is the given keyword (upper-case) or
+// symbol text.
+func (t Token) Is(text string) bool {
+	return (t.Type == Keyword || t.Type == Symbol || t.Type == Ident) && t.Text == text
+}
+
+// keywords is the SQL++ reserved-word set. Words outside this set lex as
+// identifiers even when they play a syntactic role (e.g. function names).
+var keywords = map[string]bool{
+	"SELECT": true, "VALUE": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "AS": true, "AT": true, "HAVING": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "DISTINCT": true, "ALL": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "ESCAPE": true, "IS": true, "NULL": true,
+	"MISSING": true, "TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"OUTER": true, "CROSS": true, "ON": true,
+	"UNION": true, "EXCEPT": true, "INTERSECT": true,
+	"EXISTS": true, "PIVOT": true, "UNPIVOT": true,
+	"NULLS": true, "FIRST": true, "LAST": true,
+	"UNKNOWN": true, "CAST": true, "WITH": true, "LET": true,
+	"OVER": true, "PARTITION": true,
+}
+
+// IsKeyword reports whether upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[strings.ToUpper(word)] }
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+// Lexer produces tokens from SQL++ source text.
+type Lexer struct {
+	src    string
+	pos    int
+	line   int
+	column int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, column: 1}
+}
+
+// Tokenize lexes the entire input, returning all tokens (excluding EOF).
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Type == EOF {
+			return out, nil
+		}
+		out = append(out, tok)
+	}
+}
+
+func (l *Lexer) errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) here() Pos {
+	return Pos{Offset: l.pos, Line: l.line, Column: l.column}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.column = 1
+		} else {
+			l.column++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.here()
+			l.advance(2)
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf(start, "unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.peekAt(1) == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multiSymbols are the multi-character operators, longest first.
+var multiSymbols = []string{"<<", ">>", "<>", "<=", ">=", "!=", "||"}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Type: EOF, Pos: pos}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		text, err := l.lexQuoted('\'')
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Type: StringLit, Text: text, Pos: pos}, nil
+	case c == '"':
+		text, err := l.lexQuoted('"')
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Type: QuotedIdent, Text: text, Pos: pos}, nil
+	case c == '`':
+		text, err := l.lexQuoted('`')
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Type: QuotedIdent, Text: text, Pos: pos}, nil
+	case c >= '0' && c <= '9', c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9':
+		return l.lexNumber(pos)
+	case isIdentStartByte(c):
+		return l.lexWord(pos), nil
+	}
+	for _, sym := range multiSymbols {
+		if strings.HasPrefix(l.src[l.pos:], sym) {
+			// "{{" and "}}" are handled by the parser as two symbols; the
+			// bag delimiters << and >> lex as one token each.
+			l.advance(len(sym))
+			return Token{Type: Symbol, Text: sym, Pos: pos}, nil
+		}
+	}
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', ';', ':', '.', '*', '/', '%',
+		'+', '-', '=', '<', '>', '?', '@':
+		l.advance(1)
+		return Token{Type: Symbol, Text: string(c), Pos: pos}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return Token{}, l.errf(pos, "unexpected character %q", string(r))
+}
+
+func isIdentStartByte(c byte) bool {
+	return c == '_' || c == '$' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c >= utf8.RuneSelf
+}
+
+func isIdentPartRune(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) lexWord(pos Pos) Token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPartRune(r) {
+			break
+		}
+		l.advance(size)
+	}
+	word := l.src[start:l.pos]
+	if upper := strings.ToUpper(word); keywords[upper] {
+		return Token{Type: Keyword, Text: upper, Pos: pos}
+	}
+	return Token{Type: Ident, Text: word, Pos: pos}
+}
+
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.pos
+	typ := IntLit
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.advance(1)
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		// A dot not followed by a digit is path navigation (e.g. 1.x is
+		// not a number), except the leading-dot case handled in Next.
+		if d := l.peekAt(1); d >= '0' && d <= '9' || l.pos == start {
+			typ = FloatLit
+			l.advance(1)
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.advance(1)
+			}
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		next := l.peekAt(1)
+		if next >= '0' && next <= '9' || ((next == '+' || next == '-') && l.peekAt(2) >= '0' && l.peekAt(2) <= '9') {
+			typ = FloatLit
+			l.advance(1)
+			if c := l.src[l.pos]; c == '+' || c == '-' {
+				l.advance(1)
+			}
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.advance(1)
+			}
+		}
+	}
+	return Token{Type: typ, Text: l.src[start:l.pos], Pos: pos}, nil
+}
+
+// lexQuoted lexes a q-delimited literal with doubled-q escaping and
+// returns the unescaped body.
+func (l *Lexer) lexQuoted(q byte) (string, error) {
+	pos := l.here()
+	l.advance(1)
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == q {
+			if l.peekAt(1) == q {
+				sb.WriteByte(q)
+				l.advance(2)
+				continue
+			}
+			l.advance(1)
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.advance(1)
+	}
+	return "", l.errf(pos, "unterminated %q-quoted literal", string(q))
+}

@@ -1,0 +1,112 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func tok(t Type, text string) Token { return Token{Type: t, Text: text} }
+
+func sameTokens(got, want []Token) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].Type != want[i].Type || got[i].Text != want[i].Text {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []Token
+	}{
+		{"SELECT e.name", []Token{tok(Keyword, "SELECT"), tok(Ident, "e"), tok(Symbol, "."), tok(Ident, "name")}},
+		{"select From wHeRe", []Token{tok(Keyword, "SELECT"), tok(Keyword, "FROM"), tok(Keyword, "WHERE")}},
+		{"'it''s'", []Token{tok(StringLit, "it's")}},
+		{`"mixed Case"`, []Token{tok(QuotedIdent, "mixed Case")}},
+		{"`tick`", []Token{tok(QuotedIdent, "tick")}},
+		{`"with""quote"`, []Token{tok(QuotedIdent, `with"quote`)}},
+		{"42 4.5 .5 1e3 2E-4", []Token{tok(IntLit, "42"), tok(FloatLit, "4.5"), tok(FloatLit, ".5"), tok(FloatLit, "1e3"), tok(FloatLit, "2E-4")}},
+		{"<= >= <> != || << >>", []Token{tok(Symbol, "<="), tok(Symbol, ">="), tok(Symbol, "<>"), tok(Symbol, "!="), tok(Symbol, "||"), tok(Symbol, "<<"), tok(Symbol, ">>")}},
+		{"{{ }}", []Token{tok(Symbol, "{"), tok(Symbol, "{"), tok(Symbol, "}"), tok(Symbol, "}")}},
+		{"a_1 $var δelta", []Token{tok(Ident, "a_1"), tok(Ident, "$var"), tok(Ident, "δelta")}},
+		{"-- comment\nx", []Token{tok(Ident, "x")}},
+		{"/* multi \n line */ y", []Token{tok(Ident, "y")}},
+		{"1.x", []Token{tok(IntLit, "1"), tok(Symbol, "."), tok(Ident, "x")}},
+		{"a.b[0]", []Token{tok(Ident, "a"), tok(Symbol, "."), tok(Ident, "b"), tok(Symbol, "["), tok(IntLit, "0"), tok(Symbol, "]")}},
+		{"e5 1e", []Token{tok(Ident, "e5"), tok(IntLit, "1"), tok(Ident, "e")}},
+	}
+	for _, c := range cases {
+		got, err := Tokenize(c.src)
+		if err != nil {
+			t.Errorf("Tokenize(%q): %v", c.src, err)
+			continue
+		}
+		if !sameTokens(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("SELECT\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("SELECT pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Column != 3 {
+		t.Errorf("x pos = %v, want 2:3", toks[1].Pos)
+	}
+	if toks[1].Pos.Offset != 9 {
+		t.Errorf("x offset = %d, want 9", toks[1].Pos.Offset)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"'unterminated", `"open`, "/* open", "#"}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), "syntax error") {
+			t.Errorf("Tokenize(%q) error = %v", src, err)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword("select") || !IsKeyword("GROUP") {
+		t.Error("reserved words should be keywords in any case")
+	}
+	if IsKeyword("lower") || IsKeyword("coll_avg") {
+		t.Error("function names are not reserved")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	lx := New("x")
+	if tk, _ := lx.Next(); tk.Type != Ident {
+		t.Fatal("first token should be x")
+	}
+	for i := 0; i < 3; i++ {
+		tk, err := lx.Next()
+		if err != nil || tk.Type != EOF {
+			t.Fatalf("EOF should repeat, got %v, %v", tk, err)
+		}
+	}
+}
+
+func TestTokenIs(t *testing.T) {
+	toks, _ := Tokenize("SELECT , name")
+	if !toks[0].Is("SELECT") || !toks[1].Is(",") || !toks[2].Is("name") {
+		t.Error("Token.Is failed")
+	}
+	if toks[2].Is("SELECT") {
+		t.Error("Token.Is must match text")
+	}
+}

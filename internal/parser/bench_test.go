@@ -1,0 +1,48 @@
+package parser
+
+import (
+	"testing"
+
+	"sqlpp/internal/ast"
+)
+
+var benchQueries = map[string]string{
+	"simple": `SELECT e.name FROM hr.emp AS e WHERE e.salary > 100`,
+	"listing12": `FROM hr.emp_nest_scalars AS e, e.projects AS p
+	              WHERE p LIKE '%Security%'
+	              GROUP BY LOWER(p) AS p GROUP AS g
+	              SELECT p AS proj_name,
+	                     (FROM g AS v SELECT VALUE v.e.name) AS employees`,
+	"analytics": `WITH n AS (SELECT t.day AS day, t.sym AS sym,
+	                                 SUM(t.amt) AS amount
+	                          FROM trades AS t GROUP BY t.day, t.sym)
+	              SELECT n.sym AS sym,
+	                     SUM(n.amount) OVER (PARTITION BY n.sym ORDER BY n.day) AS running
+	              FROM n AS n ORDER BY n.sym LIMIT 100`,
+}
+
+func BenchmarkParse(b *testing.B) {
+	for name, q := range benchQueries {
+		query := q
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Parse(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFormat(b *testing.B) {
+	for name, q := range benchQueries {
+		tree := MustParse(q)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ast.Format(tree)
+			}
+		})
+	}
+}

@@ -1,0 +1,766 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/lexer"
+	"sqlpp/internal/value"
+)
+
+// parseExpr parses a full expression (the OR precedence level).
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("OR") {
+		pos := p.next().Pos
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		b := &ast.Binary{Op: "OR", L: left, R: right}
+		setPos(b, pos)
+		left = b
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("AND") {
+		pos := p.next().Pos
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		b := &ast.Binary{Op: "AND", L: left, R: right}
+		setPos(b, pos)
+		left = b
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.at("NOT") {
+		pos := p.next().Pos
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		u := &ast.Unary{Op: "NOT", Operand: operand}
+		setPos(u, pos)
+		return u, nil
+	}
+	return p.parsePredicate()
+}
+
+// comparison operators at the predicate level.
+var comparisonOps = []string{"=", "<>", "!=", "<=", ">=", "<", ">"}
+
+// parsePredicate parses comparisons, LIKE, BETWEEN, IN and IS.
+func (p *parser) parsePredicate() (ast.Expr, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// Comparison chain (left-associative, as in SQL).
+		matched := false
+		for _, op := range comparisonOps {
+			if p.at(op) {
+				pos := p.next().Pos
+				canon := op
+				if canon == "!=" {
+					canon = "<>"
+				}
+				// Quantified comparison: op ANY|SOME|ALL (collection).
+				if quantAll, isQuant := p.atQuantifier(); isQuant {
+					p.next()
+					set, err := p.parseConcat()
+					if err != nil {
+						return nil, err
+					}
+					qc := &ast.Quantified{Op: canon, All: quantAll, Target: left, Set: set}
+					setPos(qc, pos)
+					left = qc
+					matched = true
+					break
+				}
+				right, err := p.parseConcat()
+				if err != nil {
+					return nil, err
+				}
+				b := &ast.Binary{Op: canon, L: left, R: right}
+				setPos(b, pos)
+				left = b
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		negate := false
+		if p.at("NOT") && (p.atOffset(1, "LIKE") || p.atOffset(1, "BETWEEN") || p.atOffset(1, "IN")) {
+			p.next()
+			negate = true
+		}
+		switch {
+		case p.at("LIKE"):
+			pos := p.next().Pos
+			pattern, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			like := &ast.Like{Target: left, Pattern: pattern, Negate: negate}
+			setPos(like, pos)
+			if p.accept("ESCAPE") {
+				esc, err := p.parseConcat()
+				if err != nil {
+					return nil, err
+				}
+				like.Escape = esc
+			}
+			left = like
+		case p.at("BETWEEN"):
+			pos := p.next().Pos
+			lo, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			b := &ast.Between{Target: left, Lo: lo, Hi: hi, Negate: negate}
+			setPos(b, pos)
+			left = b
+		case p.at("IN"):
+			pos := p.next().Pos
+			in := &ast.In{Target: left, Negate: negate}
+			setPos(in, pos)
+			set, list, err := p.parseInRHS()
+			if err != nil {
+				return nil, err
+			}
+			in.Set, in.List = set, list
+			left = in
+		case p.at("IS"):
+			pos := p.next().Pos
+			neg := p.accept("NOT")
+			var what string
+			switch {
+			case p.accept("NULL"):
+				what = "NULL"
+			case p.accept("MISSING"):
+				what = "MISSING"
+			case p.accept("UNKNOWN"):
+				what = "UNKNOWN"
+			default:
+				return nil, p.errf(p.peek().Pos, "expected NULL, MISSING, or UNKNOWN after IS")
+			}
+			is := &ast.Is{Target: left, What: what, Negate: neg}
+			setPos(is, pos)
+			left = is
+		default:
+			if negate {
+				return nil, p.errf(p.peek().Pos, "expected LIKE, BETWEEN, or IN after NOT")
+			}
+			return left, nil
+		}
+	}
+}
+
+// atQuantifier reports whether the current token is the ANY/SOME/ALL
+// quantifier of a quantified comparison (followed by an operand).
+func (p *parser) atQuantifier() (all, ok bool) {
+	tok := p.peek()
+	switch {
+	case tok.Type == lexer.Keyword && tok.Text == "ALL":
+		return true, true
+	case tok.Type == lexer.Ident && (strings.EqualFold(tok.Text, "ANY") || strings.EqualFold(tok.Text, "SOME")):
+		// Only when followed by something that can start an operand —
+		// "ANY" alone could be a column named any.
+		next := p.peekAt(1)
+		return false, next.Is("(") || next.Type == lexer.Ident || next.Type == lexer.QuotedIdent ||
+			next.Is("SELECT") || next.Is("FROM") || next.Is("[") || next.Is("<<")
+	}
+	return false, false
+}
+
+// parseInRHS parses the right side of IN: either a parenthesized list of
+// expressions, or a single collection-valued expression / subquery.
+func (p *parser) parseInRHS() (set ast.Expr, list []ast.Expr, err error) {
+	if !p.at("(") {
+		set, err = p.parseConcat()
+		return set, nil, err
+	}
+	// "(": subquery, or an expression list. Parse inside the parens.
+	p.next()
+	if p.atQueryStart() {
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, nil, err
+		}
+		return q, nil, nil
+	}
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	list = []ast.Expr{first}
+	for p.accept(",") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		list = append(list, e)
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, nil, err
+	}
+	if len(list) == 1 {
+		// "(expr)" could be a parenthesized collection expression; SQL
+		// treats a single-element list the same as the element set.
+		return nil, list, nil
+	}
+	return nil, list, nil
+}
+
+func (p *parser) parseConcat() (ast.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("||") {
+		pos := p.next().Pos
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		b := &ast.Binary{Op: "||", L: left, R: right}
+		setPos(b, pos)
+		left = b
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := p.peek().Text
+		pos := p.next().Pos
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		b := &ast.Binary{Op: op, L: left, R: right}
+		setPos(b, pos)
+		left = b
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("*") || p.at("/") || p.at("%") {
+		op := p.peek().Text
+		pos := p.next().Pos
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		b := &ast.Binary{Op: op, L: left, R: right}
+		setPos(b, pos)
+		left = b
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	switch {
+	case p.at("-"):
+		pos := p.next().Pos
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		u := &ast.Unary{Op: "-", Operand: operand}
+		setPos(u, pos)
+		return u, nil
+	case p.at("+"):
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePath()
+}
+
+// parsePath parses a primary expression followed by navigation steps:
+// ".name" and "[index]". A ".*" suffix is left unconsumed for the SELECT
+// item parser.
+func (p *parser) parsePath() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(".") && !p.atOffset(1, "*"):
+			pos := p.next().Pos
+			tok := p.peek()
+			var name string
+			switch tok.Type {
+			case lexer.Ident, lexer.QuotedIdent, lexer.StringLit:
+				name = tok.Text
+				p.next()
+			case lexer.Keyword:
+				// Allow non-structural keywords as attribute names
+				// (e.g. t.value, t."first").
+				name = strings.ToLower(tok.Text)
+				p.next()
+			default:
+				return nil, p.errf(pos, "expected attribute name after '.'")
+			}
+			fa := &ast.FieldAccess{Base: e, Name: name}
+			setPos(fa, pos)
+			e = fa
+		case p.at("["):
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			ia := &ast.IndexAccess{Base: e, Index: idx}
+			setPos(ia, pos)
+			e = ia
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	tok := p.peek()
+	switch tok.Type {
+	case lexer.IntLit:
+		p.next()
+		v, err := parseIntLit(tok.Text, tok.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return literal(v, tok.Pos), nil
+	case lexer.FloatLit:
+		p.next()
+		f, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, p.errf(tok.Pos, "invalid numeric literal %q", tok.Text)
+		}
+		return literal(value.Float(f), tok.Pos), nil
+	case lexer.StringLit:
+		p.next()
+		return literal(value.String(tok.Text), tok.Pos), nil
+	}
+	switch {
+	case p.at("TRUE"):
+		p.next()
+		return literal(value.True, tok.Pos), nil
+	case p.at("FALSE"):
+		p.next()
+		return literal(value.False, tok.Pos), nil
+	case p.at("NULL"):
+		p.next()
+		return literal(value.Null, tok.Pos), nil
+	case p.at("MISSING"):
+		p.next()
+		return literal(value.Missing, tok.Pos), nil
+	case p.at("CASE"):
+		return p.parseCase()
+	case p.at("EXISTS"):
+		p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		ex := &ast.Exists{Operand: operand}
+		setPos(ex, tok.Pos)
+		return ex, nil
+	case p.at("CAST"):
+		return p.parseCast()
+	case p.at("("):
+		p.next()
+		// parseQueryExpr handles plain expressions too, and admits a set
+		// operation whose left arm is the parenthesized expression:
+		// ((SELECT ...) UNION ALL (SELECT ...)).
+		inner, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.at("{") && p.atOffset(1, "{"):
+		return p.parseBagCtor("}", true)
+	case p.at("<<"):
+		return p.parseBagCtor(">>", false)
+	case p.at("{"):
+		return p.parseTupleCtor()
+	case p.at("["):
+		return p.parseArrayCtor()
+	case p.at("SELECT"), p.at("FROM"), p.at("PIVOT"):
+		// Unparenthesized subquery in expression position; accepted for
+		// composability (the paper writes COLL_AVG(SELECT VALUE ...)).
+		return p.parseQueryBlock()
+	}
+	if tok.Type == lexer.Ident || tok.Type == lexer.QuotedIdent {
+		p.next()
+		if tok.Type == lexer.Ident && p.at("(") {
+			call, err := p.parseCall(tok)
+			if err != nil {
+				return nil, err
+			}
+			if p.at("OVER") {
+				return p.parseWindow(call.(*ast.Call))
+			}
+			return call, nil
+		}
+		v := &ast.VarRef{Name: tok.Text}
+		setPos(v, tok.Pos)
+		return v, nil
+	}
+	// VALUE and a few other keywords double as function names in some
+	// dialects; reject cleanly.
+	return nil, p.errf(tok.Pos, "unexpected %s %q in expression", tok.Type, tok.Text)
+}
+
+func (p *parser) parseCall(name lexer.Token) (ast.Expr, error) {
+	call := &ast.Call{Name: strings.ToUpper(name.Text)}
+	setPos(call, name.Pos)
+	p.next() // "("
+	if p.at("*") && p.atOffset(1, ")") {
+		p.next()
+		p.next()
+		call.Star = true
+		return call, nil
+	}
+	if p.accept(")") {
+		return call, nil
+	}
+	if p.accept("DISTINCT") {
+		call.Distinct = true
+	}
+	for {
+		arg, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// parseWindow parses "OVER ([PARTITION BY e, ...] [ORDER BY items])"
+// applied to fn.
+func (p *parser) parseWindow(fn *ast.Call) (ast.Expr, error) {
+	pos := p.next().Pos // OVER
+	w := &ast.Window{Fn: fn}
+	setPos(w, pos)
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if p.accept("PARTITION") {
+		if _, err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			w.Spec.PartitionBy = append(w.Spec.PartitionBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.at("ORDER") {
+		p.next()
+		if _, err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
+		}
+		w.Spec.OrderBy = items
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parseOrderItems parses "expr [ASC|DESC] [NULLS FIRST|LAST], ...".
+func (p *parser) parseOrderItems() ([]ast.OrderItem, error) {
+	var out []ast.OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ast.OrderItem{Expr: e}
+		if p.accept("DESC") {
+			item.Desc = true
+		} else {
+			p.accept("ASC")
+		}
+		if p.accept("NULLS") {
+			switch {
+			case p.accept("FIRST"):
+				t := true
+				item.NullsFirst = &t
+			case p.accept("LAST"):
+				f := false
+				item.NullsFirst = &f
+			default:
+				return nil, p.errf(p.peek().Pos, "expected FIRST or LAST after NULLS")
+			}
+		}
+		out = append(out, item)
+		if !p.accept(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	pos := p.next().Pos // CASE
+	c := &ast.Case{}
+	setPos(c, pos)
+	if !p.at("WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = operand
+	}
+	for p.accept("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("THEN"); err != nil {
+			return nil, err
+		}
+		result, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.When{Cond: cond, Result: result})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf(p.peek().Pos, "CASE requires at least one WHEN arm")
+	}
+	if p.accept("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseCast parses CAST(expr AS typename) into a CAST call whose second
+// argument is the type name as a string literal.
+func (p *parser) parseCast() (ast.Expr, error) {
+	pos := p.next().Pos // CAST
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("AS"); err != nil {
+		return nil, err
+	}
+	tok := p.peek()
+	var typeName string
+	switch tok.Type {
+	case lexer.Ident, lexer.QuotedIdent, lexer.Keyword:
+		typeName = strings.ToUpper(tok.Text)
+		p.next()
+	default:
+		return nil, p.errf(tok.Pos, "expected type name in CAST")
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	call := &ast.Call{Name: "CAST", Args: []ast.Expr{e, literal(value.String(typeName), tok.Pos)}}
+	setPos(call, pos)
+	return call, nil
+}
+
+func (p *parser) parseTupleCtor() (ast.Expr, error) {
+	pos := p.next().Pos // "{"
+	t := &ast.TupleCtor{}
+	setPos(t, pos)
+	if p.accept("}") {
+		return t, nil
+	}
+	for {
+		nameTok := p.peek()
+		var name ast.Expr
+		switch nameTok.Type {
+		case lexer.StringLit:
+			// A string literal immediately followed by ':' is the
+			// attribute name; otherwise it starts a name expression
+			// ('k' || '1': ...).
+			if p.atOffset(1, ":") {
+				p.next()
+				name = literal(value.String(nameTok.Text), nameTok.Pos)
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				name = e
+			}
+		case lexer.Ident, lexer.QuotedIdent:
+			// Bare attribute name shorthand: {a: 1}. A general
+			// expression is also allowed; disambiguate on the ':' that
+			// must follow a bare name.
+			if p.atOffset(1, ":") {
+				p.next()
+				name = literal(value.String(nameTok.Text), nameTok.Pos)
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				name = e
+			}
+		default:
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			name = e
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		t.Fields = append(t.Fields, ast.TupleField{Name: name, Value: v})
+		switch {
+		case p.accept(","):
+		case p.accept("}"):
+			return t, nil
+		default:
+			return nil, p.errf(p.peek().Pos, "expected ',' or '}' in tuple constructor")
+		}
+	}
+}
+
+func (p *parser) parseArrayCtor() (ast.Expr, error) {
+	pos := p.next().Pos // "["
+	a := &ast.ArrayCtor{}
+	setPos(a, pos)
+	if p.accept("]") {
+		return a, nil
+	}
+	for {
+		e, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		a.Elems = append(a.Elems, e)
+		switch {
+		case p.accept(","):
+		case p.accept("]"):
+			return a, nil
+		default:
+			return nil, p.errf(p.peek().Pos, "expected ',' or ']' in array constructor")
+		}
+	}
+}
+
+// parseBagCtor parses {{...}} (doubled=true, closed by "}}") or <<...>>
+// (closed by ">>").
+func (p *parser) parseBagCtor(closeSym string, doubled bool) (ast.Expr, error) {
+	pos := p.peek().Pos
+	if doubled {
+		p.next()
+		p.next()
+	} else {
+		p.next()
+	}
+	b := &ast.BagCtor{}
+	setPos(b, pos)
+	closeBag := func() bool {
+		if doubled {
+			if p.at("}") && p.atOffset(1, "}") {
+				p.next()
+				p.next()
+				return true
+			}
+			return false
+		}
+		return p.accept(closeSym)
+	}
+	if closeBag() {
+		return b, nil
+	}
+	for {
+		e, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		b.Elems = append(b.Elems, e)
+		if p.accept(",") {
+			continue
+		}
+		if closeBag() {
+			return b, nil
+		}
+		return nil, p.errf(p.peek().Pos, "expected ',' or bag terminator")
+	}
+}

@@ -1,0 +1,258 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// produceFrom streams the binding environments of a FROM clause to k.
+// With no FROM items the block evaluates its remaining clauses over a
+// single empty binding (SELECT VALUE 1+1 works), matching the functional
+// pipeline reading of a query block.
+//
+// Comma-separated items are correlated cross products: each item's source
+// expression is evaluated in the environment produced by the items to its
+// left (left correlation, §III).
+func produceFrom(ctx *eval.Context, outer *eval.Env, items []ast.FromItem, k emit) error {
+	if len(items) == 0 {
+		return k(outer.Child())
+	}
+	return produceItems(ctx, outer, items, 0, k)
+}
+
+func produceItems(ctx *eval.Context, env *eval.Env, items []ast.FromItem, i int, k emit) error {
+	if i == len(items) {
+		return k(env)
+	}
+	return produceItem(ctx, env, items[i], func(child *eval.Env) error {
+		return produceItems(ctx, child, items, i+1, k)
+	})
+}
+
+// produceItem streams the bindings of a single FROM item, each in a new
+// child environment of env.
+func produceItem(ctx *eval.Context, env *eval.Env, item ast.FromItem, k emit) error {
+	switch x := item.(type) {
+	case *ast.FromExpr:
+		return produceScan(ctx, env, x, k)
+	case *ast.FromUnpivot:
+		return produceUnpivot(ctx, env, x, k)
+	case *ast.FromJoin:
+		return produceJoin(ctx, env, x, k)
+	}
+	return fmt.Errorf("plan: unknown FROM item %T", item)
+}
+
+// produceScan ranges a variable over a source value. SQL++ relaxes the
+// SQL rule that sources are collections of tuples: any collection works,
+// and its elements bind as-is (§III-A). A non-collection source is a
+// single binding in permissive mode and an error in stop-on-error mode;
+// a MISSING source produces no bindings.
+func produceScan(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, k emit) error {
+	src, err := eval.Eval(ctx, env, x.Expr)
+	if err != nil {
+		return err
+	}
+	bind := func(v value.Value, ordinal value.Value) error {
+		child := env.Child()
+		child.Bind(x.As, v)
+		if x.AtVar != "" {
+			child.Bind(x.AtVar, ordinal)
+		}
+		return k(child)
+	}
+	switch s := src.(type) {
+	case value.Array:
+		for i, v := range s {
+			if err := bind(v, value.Int(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	case value.Bag:
+		// Bags are unordered: AT binds MISSING.
+		for _, v := range s {
+			if err := bind(v, value.Missing); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if src.Kind() == value.KindMissing {
+			return nil
+		}
+		if ctx.Mode == eval.StopOnError {
+			return &eval.TypeError{Pos: x.Pos(), Op: "FROM", Detail: "source is " + src.Kind().String() + ", not a collection"}
+		}
+		// Permissive: a non-collection source is a singleton binding.
+		return bind(src, value.Missing)
+	}
+}
+
+// produceUnpivot turns a tuple's attributes into bindings (§VI-A):
+// UNPIVOT expr AS v AT n binds v to each attribute value and n to its
+// name. In permissive mode a non-tuple source behaves like the tuple
+// {'_1': source}; MISSING produces no bindings.
+func produceUnpivot(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, k emit) error {
+	src, err := eval.Eval(ctx, env, x.Expr)
+	if err != nil {
+		return err
+	}
+	bind := func(name string, v value.Value) error {
+		child := env.Child()
+		child.Bind(x.ValueVar, v)
+		child.Bind(x.NameVar, value.String(name))
+		return k(child)
+	}
+	switch t := src.(type) {
+	case *value.Tuple:
+		for _, f := range t.Fields() {
+			if err := bind(f.Name, f.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		if src.Kind() == value.KindMissing {
+			return nil
+		}
+		if ctx.Mode == eval.StopOnError {
+			return &eval.TypeError{Pos: x.Pos(), Op: "UNPIVOT", Detail: "source is " + src.Kind().String() + ", not a tuple"}
+		}
+		return bind("_1", src)
+	}
+}
+
+// produceJoin evaluates an explicit JOIN. The right side is evaluated
+// laterally (it may reference left-side variables). LEFT JOIN emits a
+// binding with the right side's variables bound to NULL when no right
+// binding satisfies the ON condition.
+func produceJoin(ctx *eval.Context, env *eval.Env, x *ast.FromJoin, k emit) error {
+	return produceItem(ctx, env, x.Left, func(left *eval.Env) error {
+		matched := false
+		err := produceItem(ctx, left, x.Right, func(right *eval.Env) error {
+			if x.On != nil {
+				cond, err := eval.Eval(ctx, right, x.On)
+				if err != nil {
+					return err
+				}
+				if !eval.IsTrue(cond) {
+					return nil
+				}
+			}
+			matched = true
+			return k(right)
+		})
+		if err != nil {
+			return err
+		}
+		if !matched && x.Kind == ast.JoinLeft {
+			padded := left.Child()
+			for _, name := range itemVars(x.Right) {
+				padded.Bind(name, value.Null)
+			}
+			return k(padded)
+		}
+		return nil
+	})
+}
+
+// itemVars lists the variables a FROM item introduces, for LEFT JOIN
+// padding.
+func itemVars(item ast.FromItem) []string {
+	switch x := item.(type) {
+	case *ast.FromExpr:
+		vars := []string{x.As}
+		if x.AtVar != "" {
+			vars = append(vars, x.AtVar)
+		}
+		return vars
+	case *ast.FromUnpivot:
+		return []string{x.ValueVar, x.NameVar}
+	case *ast.FromJoin:
+		return append(itemVars(x.Left), itemVars(x.Right)...)
+	}
+	return nil
+}
+
+// groupState materializes GROUP BY groups (§V-B). Each input binding
+// contributes its block variables as one content tuple; groups key on
+// the canonical encoding of their key values, so NULL and MISSING each
+// group on their own, and 1 groups with 1.0.
+type groupState struct {
+	ctx     *eval.Context
+	outer   *eval.Env
+	spec    *ast.GroupBy
+	order   []string // insertion order of group keys
+	keyVals map[string][]value.Value
+	content map[string]value.Bag
+}
+
+func newGroupState(ctx *eval.Context, outer *eval.Env, spec *ast.GroupBy) *groupState {
+	g := &groupState{
+		ctx:     ctx,
+		outer:   outer,
+		spec:    spec,
+		keyVals: map[string][]value.Value{},
+		content: map[string]value.Bag{},
+	}
+	// The implicit single group of aggregate-only queries exists even
+	// for empty input (SELECT AVG(x) over nothing yields one NULL row).
+	if len(spec.Keys) == 0 {
+		g.order = append(g.order, "")
+		g.keyVals[""] = nil
+		g.content[""] = nil
+	}
+	return g
+}
+
+// add folds one binding environment into its group.
+func (g *groupState) add(env *eval.Env) error {
+	keys := make([]value.Value, len(g.spec.Keys))
+	var kb []byte
+	for i, key := range g.spec.Keys {
+		v, err := eval.Eval(g.ctx, env, key.Expr)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+		kb = value.AppendKey(kb, v)
+	}
+	ks := string(kb)
+	if _, ok := g.content[ks]; !ok {
+		g.order = append(g.order, ks)
+		g.keyVals[ks] = keys
+	}
+	g.content[ks] = append(g.content[ks], env.SnapshotBelow(g.outer))
+	return checkSize(g.ctx, len(g.content[ks]))
+}
+
+// flush emits one binding per group: the key aliases plus the GROUP AS
+// collection (Listing 14's p/g bindings).
+func (g *groupState) flush(k emit) error {
+	for _, ks := range g.order {
+		env := g.outer.Child()
+		for i, key := range g.spec.Keys {
+			alias := key.Alias
+			if alias == "" {
+				alias = "$k" + strconv.Itoa(i+1)
+			}
+			env.Bind(alias, g.keyVals[ks][i])
+		}
+		if g.spec.GroupAs != "" {
+			bag := g.content[ks]
+			if bag == nil {
+				bag = value.Bag{}
+			}
+			env.Bind(g.spec.GroupAs, bag)
+		}
+		if err := k(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}

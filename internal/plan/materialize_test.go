@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"testing"
+
+	"sqlpp/internal/catalog"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/rewrite"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+// TestMaterializedEquivalence: both executors must agree on every query
+// shape — the ablation compares strategies, not semantics.
+func TestMaterializedEquivalence(t *testing.T) {
+	data := map[string]string{
+		"t": `{{
+		  {'k': 'a', 'v': 1, 'xs': [1, 2]},
+		  {'k': 'b', 'v': 2, 'xs': []},
+		  {'k': 'a', 'v': 3, 'xs': [3]},
+		  {'k': null, 'v': 4, 'xs': [4, 5]}
+		}}`,
+		"u": `{{ {'k': 'a', 'w': 10}, {'k': 'b', 'w': 20} }}`,
+	}
+	queries := []string{
+		`SELECT VALUE r.v FROM t AS r`,
+		`SELECT VALUE r.v FROM t AS r WHERE r.v > 1`,
+		`SELECT VALUE x FROM t AS r, r.xs AS x`,
+		`SELECT r.k AS k, SUM(r.v) AS s FROM t AS r GROUP BY r.k HAVING COUNT(*) >= 1`,
+		`SELECT VALUE r.v FROM t AS r ORDER BY r.v DESC LIMIT 2 OFFSET 1`,
+		`SELECT DISTINCT r.k AS k FROM t AS r`,
+		`SELECT VALUE sq FROM t AS r LET sq = r.v * r.v WHERE sq > 2`,
+		`SELECT a.v AS v, b.w AS w FROM t AS a JOIN u AS b ON a.k = b.k`,
+		`SELECT r.v AS v, ROW_NUMBER() OVER (ORDER BY r.v) AS rn FROM t AS r`,
+		`SELECT COUNT(*) AS n FROM t AS r`,
+	}
+	for _, q := range queries {
+		streaming := runWith(t, data, q, false)
+		materialized := runWith(t, data, q, true)
+		if !value.Equivalent(streaming, materialized) {
+			t.Errorf("executors disagree on %q:\n  streaming    %s\n  materialized %s",
+				q, streaming, materialized)
+		}
+	}
+}
+
+func runWith(t *testing.T, data map[string]string, query string, materialize bool) value.Value {
+	t.Helper()
+	cat := catalog.New()
+	for name, src := range data {
+		if err := cat.Register(name, sion.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := parser.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := rewrite.Rewrite(tree, rewrite.Options{Names: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &eval.Context{Names: cat, Funcs: registry, Run: Run, MaterializeClauses: materialize}
+	v, err := Run(ctx, eval.NewEnv(), core)
+	if err != nil {
+		t.Fatalf("%q (materialize=%v): %v", query, materialize, err)
+	}
+	return v
+}

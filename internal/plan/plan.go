@@ -1,0 +1,398 @@
+// Package plan executes SQL++ Core query blocks as the paper's "pipeline
+// of functional clauses" (§V-B): FROM produces variable bindings, WHERE
+// filters them, GROUP BY folds them into groups exposed through GROUP AS,
+// HAVING filters groups, and SELECT VALUE constructs the output
+// collection, with ORDER BY / LIMIT / OFFSET applied last.
+//
+// The pipeline streams: each clause is a transformation over a stream of
+// binding environments, realized push-style, so FROM/WHERE/SELECT queries
+// never materialize intermediate collections. GROUP BY and ORDER BY
+// materialize by necessity.
+//
+// Compile queries with package rewrite first; plan assumes SQL++ Core
+// form (SELECT VALUE only, aggregates already lowered to COLL_*).
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// errStop aborts binding production early (LIMIT pushdown).
+var errStop = errors.New("plan: stop iteration")
+
+// Run executes a rewritten query expression in env. Install it as
+// ctx.Run so nested query blocks inside expressions execute through it.
+func Run(ctx *eval.Context, env *eval.Env, e ast.Expr) (value.Value, error) {
+	switch q := e.(type) {
+	case *ast.SFW:
+		return runSFW(ctx, env, q)
+	case *ast.PivotQuery:
+		return runPivot(ctx, env, q)
+	case *ast.SetOp:
+		return runSetOp(ctx, env, q)
+	case *ast.With:
+		child := env.Child()
+		for _, b := range q.Bindings {
+			v, err := Run(ctx, child, b.Expr)
+			if err != nil {
+				return nil, err
+			}
+			child.Bind(b.Name, v)
+		}
+		return Run(ctx, child, q.Body)
+	default:
+		return eval.Eval(ctx, env, e)
+	}
+}
+
+// emit consumes one binding environment; returning an error aborts the
+// stream (errStop aborts without failing the query).
+type emit func(*eval.Env) error
+
+// runSFW executes one query block.
+func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error) {
+	if q.Select.Value == nil {
+		return nil, fmt.Errorf("plan: query block not in Core form (SELECT sugar not lowered) at %s", q.Pos())
+	}
+	if ctx.MaterializeClauses {
+		return runSFWMaterialized(ctx, outer, q)
+	}
+
+	ordered := len(q.OrderBy) > 0
+	limit, offset, err := evalLimitOffset(ctx, outer, q)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []sortRow
+	var out []value.Value
+	seen := map[string]bool{} // DISTINCT filter
+	produced := 0             // rows collected, for LIMIT pushdown
+
+	// canStopEarly: without ORDER BY or DISTINCT, LIMIT can stop the
+	// whole pipeline as soon as enough rows exist.
+	canStopEarly := !ordered && !q.Select.Distinct && limit >= 0 && q.GroupBy == nil
+
+	project := func(env *eval.Env) error {
+		v, err := eval.Eval(ctx, env, q.Select.Value)
+		if err != nil {
+			return err
+		}
+		if v.Kind() == value.KindMissing {
+			// A MISSING output value vanishes from a bag result; in an
+			// ordered (array) result it becomes NULL to keep positions,
+			// mirroring the bag/array constructors.
+			if !ordered {
+				return nil
+			}
+			v = value.Null
+		}
+		if q.Select.Distinct {
+			k := value.Key(v)
+			if seen[k] {
+				return nil
+			}
+			seen[k] = true
+		}
+		if ordered {
+			keys := make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				kv, err := eval.Eval(ctx, env, o.Expr)
+				if err != nil {
+					return err
+				}
+				keys[i] = kv
+			}
+			rows = append(rows, sortRow{val: v, keys: keys})
+			return checkSize(ctx, len(rows))
+		}
+		out = append(out, v)
+		if err := checkSize(ctx, len(out)); err != nil {
+			return err
+		}
+		produced++
+		if canStopEarly && int64(produced) >= offset+limit {
+			return errStop
+		}
+		return nil
+	}
+
+	// Window functions force materialization of the post-group bindings:
+	// each partition must be complete before any row's value is known.
+	var windowEnvs []*eval.Env
+	postHaving := project
+	if len(q.Windows) > 0 {
+		canStopEarly = false
+		postHaving = func(env *eval.Env) error {
+			windowEnvs = append(windowEnvs, env)
+			return checkSize(ctx, len(windowEnvs))
+		}
+	}
+
+	// postGroup runs HAVING and then projection (or window collection)
+	// for a group-output binding.
+	postGroup := postHaving
+	if q.Having != nil {
+		inner := postGroup
+		postGroup = func(env *eval.Env) error {
+			cond, err := eval.Eval(ctx, env, q.Having)
+			if err != nil {
+				return err
+			}
+			if !eval.IsTrue(cond) {
+				return nil
+			}
+			return inner(env)
+		}
+	}
+
+	// The consumer of FROM/WHERE bindings.
+	var consume emit
+	var grouper *groupState
+	if q.GroupBy != nil {
+		grouper = newGroupState(ctx, outer, q.GroupBy)
+		consume = grouper.add
+	} else {
+		consume = postGroup
+	}
+
+	if q.Where != nil {
+		inner := consume
+		consume = func(env *eval.Env) error {
+			cond, err := eval.Eval(ctx, env, q.Where)
+			if err != nil {
+				return err
+			}
+			if !eval.IsTrue(cond) {
+				return nil
+			}
+			return inner(env)
+		}
+	}
+	if len(q.Lets) > 0 {
+		inner := consume
+		lets := q.Lets
+		consume = func(env *eval.Env) error {
+			for _, l := range lets {
+				v, err := eval.Eval(ctx, env, l.Expr)
+				if err != nil {
+					return err
+				}
+				env.Bind(l.Name, v)
+			}
+			return inner(env)
+		}
+	}
+
+	if err := produceFrom(ctx, outer, q.From, consume); err != nil && err != errStop {
+		return nil, err
+	}
+
+	if grouper != nil {
+		if err := grouper.flush(postGroup); err != nil && err != errStop {
+			return nil, err
+		}
+	}
+
+	if len(q.Windows) > 0 {
+		if err := computeWindows(ctx, q.Windows, windowEnvs); err != nil {
+			return nil, err
+		}
+		for _, wenv := range windowEnvs {
+			if err := project(wenv); err != nil {
+				if err == errStop {
+					break
+				}
+				return nil, err
+			}
+		}
+	}
+
+	if ordered {
+		sortRows(rows, q.OrderBy)
+		out = make([]value.Value, len(rows))
+		for i, r := range rows {
+			out[i] = r.val
+		}
+	}
+
+	out = applyLimitOffset(out, limit, offset)
+	if ordered {
+		return value.Array(out), nil
+	}
+	return value.Bag(out), nil
+}
+
+// evalLimitOffset evaluates LIMIT and OFFSET in the outer environment.
+// limit is -1 when absent.
+func evalLimitOffset(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (limit, offset int64, err error) {
+	limit = -1
+	if q.Limit != nil {
+		v, err := eval.Eval(ctx, outer, q.Limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, ok := value.AsInt(v)
+		if !ok || n < 0 {
+			return 0, 0, fmt.Errorf("plan: LIMIT must be a non-negative integer, got %s at %s", v, q.Limit.Pos())
+		}
+		limit = n
+	}
+	if q.Offset != nil {
+		v, err := eval.Eval(ctx, outer, q.Offset)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, ok := value.AsInt(v)
+		if !ok || n < 0 {
+			return 0, 0, fmt.Errorf("plan: OFFSET must be a non-negative integer, got %s at %s", v, q.Offset.Pos())
+		}
+		offset = n
+	}
+	return limit, offset, nil
+}
+
+func applyLimitOffset(out []value.Value, limit, offset int64) []value.Value {
+	if offset > 0 {
+		if offset >= int64(len(out)) {
+			return nil
+		}
+		out = out[offset:]
+	}
+	if limit >= 0 && limit < int64(len(out)) {
+		out = out[:limit]
+	}
+	return out
+}
+
+// checkSize enforces the context's collection-size guard.
+func checkSize(ctx *eval.Context, n int) error {
+	if ctx.MaxCollectionSize > 0 && n > ctx.MaxCollectionSize {
+		return fmt.Errorf("plan: intermediate collection exceeds limit of %d values", ctx.MaxCollectionSize)
+	}
+	return nil
+}
+
+type sortRow struct {
+	val  value.Value
+	keys []value.Value
+}
+
+// sortRows orders rows by the ORDER BY items using the SQL++ total order,
+// honouring DESC and NULLS FIRST/LAST. In the total order the absent
+// values sort lowest, which matches SQL's NULLS-FIRST-ascending when no
+// modifier is given; an explicit modifier overrides.
+func sortRows(rows []sortRow, items []ast.OrderItem) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, o := range items {
+			a, b := rows[i].keys[k], rows[j].keys[k]
+			aAbs, bAbs := value.IsAbsent(a), value.IsAbsent(b)
+			if aAbs != bAbs && o.NullsFirst != nil {
+				if *o.NullsFirst {
+					return aAbs
+				}
+				return bAbs
+			}
+			c := value.Compare(a, b)
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// runPivot executes a PIVOT query (§VI-B): the pipeline's bindings each
+// contribute one attribute (name, value) to a single constructed tuple.
+// Bindings whose name is not a string or whose value is MISSING are
+// skipped in permissive mode and are an error in stop-on-error mode.
+func runPivot(ctx *eval.Context, outer *eval.Env, q *ast.PivotQuery) (value.Value, error) {
+	result := value.EmptyTuple()
+	project := func(env *eval.Env) error {
+		nameV, err := eval.Eval(ctx, env, q.Name)
+		if err != nil {
+			return err
+		}
+		name, ok := nameV.(value.String)
+		if !ok {
+			if ctx.Mode == eval.StopOnError {
+				return &eval.TypeError{Pos: q.Name.Pos(), Op: "PIVOT", Detail: "attribute name is " + nameV.Kind().String()}
+			}
+			return nil
+		}
+		v, err := eval.Eval(ctx, env, q.Value)
+		if err != nil {
+			return err
+		}
+		result.Put(string(name), v)
+		return nil
+	}
+	post := project
+	if q.Having != nil {
+		inner := post
+		post = func(env *eval.Env) error {
+			cond, err := eval.Eval(ctx, env, q.Having)
+			if err != nil {
+				return err
+			}
+			if !eval.IsTrue(cond) {
+				return nil
+			}
+			return inner(env)
+		}
+	}
+	var consume emit
+	var grouper *groupState
+	if q.GroupBy != nil {
+		grouper = newGroupState(ctx, outer, q.GroupBy)
+		consume = grouper.add
+	} else {
+		consume = post
+	}
+	if q.Where != nil {
+		inner := consume
+		consume = func(env *eval.Env) error {
+			cond, err := eval.Eval(ctx, env, q.Where)
+			if err != nil {
+				return err
+			}
+			if !eval.IsTrue(cond) {
+				return nil
+			}
+			return inner(env)
+		}
+	}
+	if len(q.Lets) > 0 {
+		inner := consume
+		lets := q.Lets
+		consume = func(env *eval.Env) error {
+			for _, l := range lets {
+				v, err := eval.Eval(ctx, env, l.Expr)
+				if err != nil {
+					return err
+				}
+				env.Bind(l.Name, v)
+			}
+			return inner(env)
+		}
+	}
+	if err := produceFrom(ctx, outer, q.From, consume); err != nil && err != errStop {
+		return nil, err
+	}
+	if grouper != nil {
+		if err := grouper.flush(post); err != nil && err != errStop {
+			return nil, err
+		}
+	}
+	return result, nil
+}

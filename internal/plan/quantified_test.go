@@ -1,0 +1,76 @@
+package plan
+
+import "testing"
+
+func TestQuantifiedComparisons(t *testing.T) {
+	data := map[string]string{
+		"dept":   `{{ {'no': 1, 'budget': 500}, {'no': 2, 'budget': 900}, {'no': 3, 'budget': 250} }}`,
+		"limits": `{{ 300, 600 }}`,
+	}
+	cases := []struct {
+		name, query, want string
+	}{
+		{
+			"gt-all",
+			`SELECT VALUE d.no FROM dept AS d WHERE d.budget > ALL (SELECT VALUE l FROM limits AS l)`,
+			"{{2}}",
+		},
+		{
+			"gt-any",
+			`SELECT VALUE d.no FROM dept AS d WHERE d.budget > ANY (SELECT VALUE l FROM limits AS l)`,
+			"{{1, 2}}",
+		},
+		{
+			"eq-any-collection",
+			`SELECT VALUE d.no FROM dept AS d WHERE d.budget = ANY [500, 250]`,
+			"{{1, 3}}",
+		},
+		{
+			"all-over-empty-is-true",
+			`SELECT VALUE d.no FROM dept AS d WHERE d.budget > ALL (SELECT VALUE l FROM limits AS l WHERE l > 9999)`,
+			"{{1, 2, 3}}",
+		},
+		{
+			"any-over-empty-is-false",
+			`SELECT VALUE d.no FROM dept AS d WHERE d.budget > SOME (SELECT VALUE l FROM limits AS l WHERE l > 9999)`,
+			"{{}}",
+		},
+		{
+			"ne-all-is-not-in",
+			`SELECT VALUE d.budget FROM dept AS d WHERE d.budget <> ALL [500, 900]`,
+			"{{250}}",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkResult(t, mustExec(t, data, c.query), c.want)
+		})
+	}
+	// Unknowns: a NULL in the set keeps ALL from being TRUE.
+	nullData := map[string]string{"t": `{{ {'v': 5} }}`, "s": `{{ 1, null }}`}
+	got := mustExec(t, nullData, `SELECT VALUE r.v FROM t AS r WHERE r.v > ALL (SELECT VALUE x FROM s AS x)`)
+	checkResult(t, got, "{{}}")
+	// But ANY finds the definite match regardless of the NULL.
+	got2 := mustExec(t, nullData, `SELECT VALUE r.v FROM t AS r WHERE r.v > ANY (SELECT VALUE x FROM s AS x)`)
+	checkResult(t, got2, "{{5}}")
+	// Non-collection RHS is a type fault.
+	if _, err := exec(t, nullData, `SELECT VALUE r.v FROM t AS r WHERE r.v > ALL 5`, false, true); err == nil {
+		t.Error("non-collection quantifier operand should error in strict mode")
+	}
+}
+
+func TestQuantifiedCompatCoercion(t *testing.T) {
+	// In compat mode, a sugar SELECT subquery under a quantifier coerces
+	// to its single column.
+	data := map[string]string{
+		"dept":   `{{ {'no': 1, 'budget': 500}, {'no': 2, 'budget': 900} }}`,
+		"limits": `{{ {'lim': 600} }}`,
+	}
+	v, err := exec(t, data, `
+		SELECT VALUE d.no FROM dept AS d
+		WHERE d.budget > ALL (SELECT l.lim FROM limits AS l)`, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, v, "{{2}}")
+}

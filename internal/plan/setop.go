@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"sqlpp/internal/ast"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// runSetOp evaluates UNION/INTERSECT/EXCEPT over two collection-valued
+// query expressions with SQL bag semantics: the ALL variants keep
+// multiplicities (INTERSECT ALL keeps the minimum count, EXCEPT ALL
+// subtracts counts), the plain variants deduplicate.
+func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, error) {
+	lv, err := Run(ctx, env, q.L)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := Run(ctx, env, q.R)
+	if err != nil {
+		return nil, err
+	}
+	left, lok := value.Elements(lv)
+	right, rok := value.Elements(rv)
+	if !lok || !rok {
+		if ctx.Mode == eval.StopOnError {
+			return nil, &eval.TypeError{Pos: q.Pos(), Op: q.Op, Detail: "operands must be collections"}
+		}
+		return value.Missing, nil
+	}
+	switch q.Op {
+	case "UNION":
+		out := make(value.Bag, 0, len(left)+len(right))
+		out = append(out, left...)
+		out = append(out, right...)
+		if !q.All {
+			out = dedupe(out)
+		}
+		return out, nil
+	case "INTERSECT":
+		counts := countByKey(right)
+		var out value.Bag
+		for _, v := range left {
+			k := value.Key(v)
+			if counts[k] > 0 {
+				counts[k]--
+				out = append(out, v)
+			}
+		}
+		if !q.All {
+			out = dedupe(out)
+		}
+		return out, nil
+	case "EXCEPT":
+		counts := countByKey(right)
+		var out value.Bag
+		for _, v := range left {
+			k := value.Key(v)
+			if counts[k] > 0 {
+				if q.All {
+					counts[k]--
+					continue
+				}
+				continue
+			}
+			out = append(out, v)
+		}
+		if !q.All {
+			out = dedupe(out)
+		}
+		return out, nil
+	}
+	return nil, &eval.TypeError{Pos: q.Pos(), Op: q.Op, Detail: "unknown set operation"}
+}
+
+func countByKey(vs []value.Value) map[string]int {
+	m := make(map[string]int, len(vs))
+	for _, v := range vs {
+		m[value.Key(v)]++
+	}
+	return m
+}
+
+func dedupe(vs value.Bag) value.Bag {
+	seen := make(map[string]bool, len(vs))
+	out := vs[:0:0]
+	for _, v := range vs {
+		k := value.Key(v)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

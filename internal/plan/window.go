@@ -1,0 +1,242 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// computeWindows evaluates each lowered window computation over the
+// materialized binding environments, binding its fresh variable into
+// every environment.
+//
+// Semantics follow SQL's defaults: PARTITION BY splits the bindings by
+// grouping equality of the partition keys; ORDER BY orders within each
+// partition (SQL++ total order); ranking functions require the order,
+// and aggregate window functions compute over the whole partition when
+// unordered and as running aggregates over peer groups (RANGE UNBOUNDED
+// PRECEDING .. CURRENT ROW) when ordered.
+func computeWindows(ctx *eval.Context, windows []ast.NamedWindow, envs []*eval.Env) error {
+	for i := range windows {
+		if err := computeWindow(ctx, &windows[i], envs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowRow is one binding with its evaluated order keys.
+type windowRow struct {
+	env  *eval.Env
+	keys []value.Value
+}
+
+func computeWindow(ctx *eval.Context, w *ast.NamedWindow, envs []*eval.Env) error {
+	// Partition.
+	partitions := map[string][]*eval.Env{}
+	var order []string
+	for _, env := range envs {
+		var kb []byte
+		for _, pe := range w.Spec.PartitionBy {
+			v, err := eval.Eval(ctx, env, pe)
+			if err != nil {
+				return err
+			}
+			kb = value.AppendKey(kb, v)
+		}
+		ks := string(kb)
+		if _, ok := partitions[ks]; !ok {
+			order = append(order, ks)
+		}
+		partitions[ks] = append(partitions[ks], env)
+	}
+	for _, ks := range order {
+		if err := computePartition(ctx, w, partitions[ks]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func computePartition(ctx *eval.Context, w *ast.NamedWindow, part []*eval.Env) error {
+	rows := make([]windowRow, len(part))
+	for i, env := range part {
+		rows[i] = windowRow{env: env}
+		if len(w.Spec.OrderBy) > 0 {
+			keys := make([]value.Value, len(w.Spec.OrderBy))
+			for k, o := range w.Spec.OrderBy {
+				v, err := eval.Eval(ctx, env, o.Expr)
+				if err != nil {
+					return err
+				}
+				keys[k] = v
+			}
+			rows[i].keys = keys
+		}
+	}
+	if len(w.Spec.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return compareOrderKeys(rows[i].keys, rows[j].keys, w.Spec.OrderBy) < 0
+		})
+	}
+	switch w.Fn.Name {
+	case "ROW_NUMBER":
+		for i, r := range rows {
+			r.env.Bind(w.Name, value.Int(int64(i+1)))
+		}
+		return nil
+	case "RANK", "DENSE_RANK":
+		dense := w.Fn.Name == "DENSE_RANK"
+		rank, denseRank := int64(0), int64(0)
+		for i, r := range rows {
+			if i == 0 || compareOrderKeys(rows[i-1].keys, r.keys, w.Spec.OrderBy) != 0 {
+				rank = int64(i + 1)
+				denseRank++
+			}
+			if dense {
+				r.env.Bind(w.Name, value.Int(denseRank))
+			} else {
+				r.env.Bind(w.Name, value.Int(rank))
+			}
+		}
+		return nil
+	case "LAG", "LEAD":
+		return computeLagLead(ctx, w, rows)
+	case "SUM", "AVG", "MIN", "MAX", "COUNT":
+		return computeWindowAggregate(ctx, w, rows)
+	}
+	return fmt.Errorf("plan: unsupported window function %s", w.Fn.Name)
+}
+
+// compareOrderKeys compares two order-key vectors under the items'
+// DESC/NULLS modifiers.
+func compareOrderKeys(a, b []value.Value, items []ast.OrderItem) int {
+	for k, o := range items {
+		av, bv := a[k], b[k]
+		aAbs, bAbs := value.IsAbsent(av), value.IsAbsent(bv)
+		if aAbs != bAbs && o.NullsFirst != nil {
+			if *o.NullsFirst == aAbs {
+				return -1
+			}
+			return 1
+		}
+		c := value.Compare(av, bv)
+		if c == 0 {
+			continue
+		}
+		if o.Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// computeLagLead binds the argument of a neighbouring row, offset
+// positions before (LAG) or after (LEAD), with an optional default.
+func computeLagLead(ctx *eval.Context, w *ast.NamedWindow, rows []windowRow) error {
+	offset := int64(1)
+	if len(w.Fn.Args) >= 2 {
+		v, err := eval.Eval(ctx, rows[0].env, w.Fn.Args[1])
+		if err != nil {
+			return err
+		}
+		n, ok := value.AsInt(v)
+		if !ok || n < 0 {
+			return fmt.Errorf("plan: %s offset must be a non-negative integer", w.Fn.Name)
+		}
+		offset = n
+	}
+	if w.Fn.Name == "LAG" {
+		offset = -offset
+	}
+	for i, r := range rows {
+		j := i + int(offset)
+		var out value.Value
+		if j >= 0 && j < len(rows) {
+			v, err := eval.Eval(ctx, rows[j].env, w.Fn.Args[0])
+			if err != nil {
+				return err
+			}
+			out = v
+		} else if len(w.Fn.Args) >= 3 {
+			v, err := eval.Eval(ctx, r.env, w.Fn.Args[2])
+			if err != nil {
+				return err
+			}
+			out = v
+		} else {
+			out = value.Null
+		}
+		r.env.Bind(w.Name, out)
+	}
+	return nil
+}
+
+// computeWindowAggregate computes SUM/AVG/MIN/MAX/COUNT over the
+// partition: one value for all rows when unordered, a running aggregate
+// over peer groups when ordered.
+func computeWindowAggregate(ctx *eval.Context, w *ast.NamedWindow, rows []windowRow) error {
+	collName := "COLL_" + w.Fn.Name
+	def, ok := ctx.Funcs.LookupFunc(collName)
+	if !ok {
+		return fmt.Errorf("plan: missing aggregate %s for window function", collName)
+	}
+	argOf := func(r windowRow) (value.Value, error) {
+		if w.Fn.Star {
+			return value.Int(1), nil
+		}
+		return eval.Eval(ctx, r.env, w.Fn.Args[0])
+	}
+	aggregate := func(prefix []value.Value) (value.Value, error) {
+		if w.Fn.Star && w.Fn.Name == "COUNT" {
+			return value.Int(int64(len(prefix))), nil
+		}
+		return def.Fn(ctx, []value.Value{value.Bag(prefix)})
+	}
+	if len(w.Spec.OrderBy) == 0 {
+		all := make([]value.Value, 0, len(rows))
+		for _, r := range rows {
+			v, err := argOf(r)
+			if err != nil {
+				return err
+			}
+			all = append(all, v)
+		}
+		total, err := aggregate(all)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			r.env.Bind(w.Name, total)
+		}
+		return nil
+	}
+	// Running aggregate: rows with equal order keys (peers) share the
+	// value of their group's closing prefix.
+	prefix := make([]value.Value, 0, len(rows))
+	i := 0
+	for i < len(rows) {
+		j := i
+		for j < len(rows) && compareOrderKeys(rows[i].keys, rows[j].keys, w.Spec.OrderBy) == 0 {
+			v, err := argOf(rows[j])
+			if err != nil {
+				return err
+			}
+			prefix = append(prefix, v)
+			j++
+		}
+		val, err := aggregate(prefix)
+		if err != nil {
+			return err
+		}
+		for k := i; k < j; k++ {
+			rows[k].env.Bind(w.Name, val)
+		}
+		i = j
+	}
+	return nil
+}

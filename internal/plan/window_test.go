@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"testing"
+)
+
+var salesData = map[string]string{"sales": `{{
+  {'region': 'east', 'rep': 'a', 'amount': 100},
+  {'region': 'east', 'rep': 'b', 'amount': 300},
+  {'region': 'east', 'rep': 'c', 'amount': 200},
+  {'region': 'west', 'rep': 'd', 'amount': 500},
+  {'region': 'west', 'rep': 'e', 'amount': 500},
+  {'region': 'west', 'rep': 'f', 'amount': 400}
+}}`}
+
+func TestRowNumber(t *testing.T) {
+	got := mustExec(t, salesData, `
+		SELECT s.rep AS rep,
+		       ROW_NUMBER() OVER (PARTITION BY s.region ORDER BY s.amount DESC) AS rn
+		FROM sales AS s`)
+	checkResult(t, got, `{{
+	  {'rep': 'a', 'rn': 3}, {'rep': 'b', 'rn': 1}, {'rep': 'c', 'rn': 2},
+	  {'rep': 'd', 'rn': 1}, {'rep': 'e', 'rn': 2}, {'rep': 'f', 'rn': 3}
+	}}`)
+}
+
+func TestRankAndDenseRank(t *testing.T) {
+	got := mustExec(t, salesData, `
+		SELECT s.rep AS rep,
+		       RANK() OVER (PARTITION BY s.region ORDER BY s.amount DESC) AS r,
+		       DENSE_RANK() OVER (PARTITION BY s.region ORDER BY s.amount DESC) AS dr
+		FROM sales AS s
+		WHERE s.region = 'west'`)
+	checkResult(t, got, `{{
+	  {'rep': 'd', 'r': 1, 'dr': 1},
+	  {'rep': 'e', 'r': 1, 'dr': 1},
+	  {'rep': 'f', 'r': 3, 'dr': 2}
+	}}`)
+}
+
+func TestWindowAggregates(t *testing.T) {
+	// Whole-partition aggregate (no ORDER BY in the spec).
+	got := mustExec(t, salesData, `
+		SELECT s.rep AS rep,
+		       SUM(s.amount) OVER (PARTITION BY s.region) AS region_total,
+		       COUNT(*) OVER (PARTITION BY s.region) AS region_n
+		FROM sales AS s
+		WHERE s.region = 'east'`)
+	checkResult(t, got, `{{
+	  {'rep': 'a', 'region_total': 600, 'region_n': 3},
+	  {'rep': 'b', 'region_total': 600, 'region_n': 3},
+	  {'rep': 'c', 'region_total': 600, 'region_n': 3}
+	}}`)
+}
+
+func TestRunningAggregate(t *testing.T) {
+	got := mustExec(t, salesData, `
+		SELECT s.rep AS rep,
+		       SUM(s.amount) OVER (PARTITION BY s.region ORDER BY s.amount) AS running
+		FROM sales AS s
+		WHERE s.region = 'east'`)
+	checkResult(t, got, `{{
+	  {'rep': 'a', 'running': 100},
+	  {'rep': 'c', 'running': 300},
+	  {'rep': 'b', 'running': 600}
+	}}`)
+	// Peers (tied order keys) share the closing value of their group.
+	peers := mustExec(t, salesData, `
+		SELECT s.rep AS rep,
+		       SUM(s.amount) OVER (PARTITION BY s.region ORDER BY s.amount) AS running
+		FROM sales AS s
+		WHERE s.region = 'west'`)
+	checkResult(t, peers, `{{
+	  {'rep': 'f', 'running': 400},
+	  {'rep': 'd', 'running': 1400},
+	  {'rep': 'e', 'running': 1400}
+	}}`)
+}
+
+func TestLagLead(t *testing.T) {
+	got := mustExec(t, salesData, `
+		SELECT s.rep AS rep,
+		       LAG(s.rep) OVER (ORDER BY s.amount) AS prev,
+		       LEAD(s.rep, 1, 'none') OVER (ORDER BY s.amount) AS next
+		FROM sales AS s
+		WHERE s.region = 'east'`)
+	checkResult(t, got, `{{
+	  {'rep': 'a', 'prev': null, 'next': 'c'},
+	  {'rep': 'c', 'prev': 'a', 'next': 'b'},
+	  {'rep': 'b', 'prev': 'c', 'next': 'none'}
+	}}`)
+}
+
+func TestWindowOverGroupedQuery(t *testing.T) {
+	// Windows compose with GROUP BY: rank regions by their totals.
+	got := mustExec(t, salesData, `
+		SELECT region AS region, total AS total,
+		       RANK() OVER (ORDER BY total DESC) AS r
+		FROM (SELECT s.region AS region, SUM(s.amount) AS total
+		      FROM sales AS s GROUP BY s.region) AS g2`)
+	checkResult(t, got, `{{
+	  {'region': 'west', 'total': 1400, 'r': 1},
+	  {'region': 'east', 'total': 600, 'r': 2}
+	}}`)
+	// And directly in the SELECT of a grouped block.
+	direct := mustExec(t, salesData, `
+		SELECT region AS region,
+		       RANK() OVER (ORDER BY SUM(s.amount) DESC) AS r
+		FROM sales AS s GROUP BY s.region AS region`)
+	checkResult(t, direct, `{{
+	  {'region': 'west', 'r': 1},
+	  {'region': 'east', 'r': 2}
+	}}`)
+}
+
+func TestWindowInOrderBy(t *testing.T) {
+	got := mustExec(t, salesData, `
+		SELECT VALUE s.rep FROM sales AS s
+		WHERE s.region = 'east'
+		ORDER BY ROW_NUMBER() OVER (ORDER BY s.amount DESC)`)
+	checkResult(t, got, `['b', 'c', 'a']`)
+}
+
+func TestWindowErrors(t *testing.T) {
+	// Unsupported window function.
+	if _, err := exec(t, salesData, `
+		SELECT FROBNICATE() OVER (ORDER BY s.amount) AS x FROM sales AS s`, false, false); err == nil {
+		t.Error("unsupported window function should be a compile error")
+	}
+	// Window outside a query block's SELECT/ORDER BY.
+	if _, err := exec(t, salesData, `
+		SELECT VALUE s.rep FROM sales AS s WHERE ROW_NUMBER() OVER (ORDER BY s.amount) > 1`, false, false); err == nil {
+		t.Error("window in WHERE should be a compile error")
+	}
+}
+
+func TestWithClause(t *testing.T) {
+	got := mustExec(t, salesData, `
+		WITH east AS (SELECT VALUE s FROM sales AS s WHERE s.region = 'east'),
+		     total AS (SELECT VALUE SUM(e.amount) FROM east AS e)
+		SELECT e.rep AS rep FROM east AS e, total AS tt WHERE e.amount * 2 >= tt`)
+	checkResult(t, got, `{{ {'rep': 'b'} }}`)
+}
+
+func TestWithShadowsCatalog(t *testing.T) {
+	got := mustExec(t, salesData, `
+		WITH sales AS ({{ {'amount': 1} }})
+		SELECT VALUE s.amount FROM sales AS s`)
+	checkResult(t, got, `{{1}}`)
+}
+
+func TestWindowInHavingIsError(t *testing.T) {
+	if _, err := exec(t, salesData, `
+		SELECT s.region AS region FROM sales AS s GROUP BY s.region
+		HAVING RANK() OVER (ORDER BY s.region) > 0`, false, false); err == nil {
+		t.Error("window function in HAVING should be a compile error")
+	}
+	if _, err := exec(t, salesData, `
+		SELECT VALUE s.rep FROM sales AS s
+		WHERE 1 = ROW_NUMBER() OVER (ORDER BY s.amount)`, false, false); err == nil {
+		t.Error("window function in WHERE should be a compile error")
+	}
+}

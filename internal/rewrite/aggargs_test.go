@@ -1,0 +1,69 @@
+package rewrite
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/parser"
+)
+
+// TestAggregateArgumentShapes drives the block-variable substitution
+// through every expression form an aggregate argument can take: each
+// reference to a pre-group variable must re-root through the group
+// element variable.
+func TestAggregateArgumentShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		agg  string
+		want []string // fragments that must appear in the Core form
+	}{
+		{"arith", `SUM(e.a + e.b * 2)`, []string{".e.a", ".e.b"}},
+		{"case", `SUM(CASE WHEN e.a > 1 THEN e.b ELSE 0 END)`, []string{".e.a", ".e.b"}},
+		{"in-list", `COUNT(CASE WHEN e.a IN (1, e.b) THEN 1 ELSE 0 END)`, []string{".e.a", ".e.b"}},
+		{"like", `COUNT(CASE WHEN e.s LIKE '%x%' THEN 1 END)`, []string{".e.s"}},
+		{"between", `COUNT(CASE WHEN e.a BETWEEN e.lo AND e.hi THEN 1 END)`, []string{".e.lo", ".e.hi"}},
+		{"is", `COUNT(CASE WHEN e.a IS NOT NULL THEN 1 END)`, []string{".e.a"}},
+		{"index", `SUM(e.xs[0])`, []string{".e.xs[0]"}},
+		{"tuple-ctor", `COUNT(CASE WHEN {'v': e.a}.v = 1 THEN 1 END)`, []string{".e.a"}},
+		{"array-ctor", `MIN([e.a, e.b][0])`, []string{".e.a"}},
+		{"bag-ctor", `MIN(COLL_MIN(<<e.a>>))`, []string{".e.a"}},
+		{"exists", `COUNT(CASE WHEN EXISTS e.xs THEN 1 END)`, []string{".e.xs"}},
+		{"concat-unary", `MAX(-e.a)`, []string{".e.a"}},
+		{"call", `SUM(ABS(e.a))`, []string{".e.a"}},
+		{"nested-subquery", `SUM(COLL_SUM(SELECT VALUE x FROM e.xs AS x))`, []string{".e.xs"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q := `SELECT e.k, ` + c.agg + ` AS agg FROM t AS e GROUP BY e.k`
+			tree := parser.MustParse(q)
+			out, err := Rewrite(tree, Options{Names: nameSet{"t": true}})
+			if err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+			core := ast.Format(out)
+			for _, frag := range c.want {
+				// Every wanted fragment must appear re-rooted through a
+				// fresh group-element variable: $giN<frag>.
+				re := regexp.MustCompile(`\$gi\d+` + regexp.QuoteMeta(frag))
+				if !re.MatchString(core) {
+					t.Errorf("expected %q rooted through $gi in: %s", frag, core)
+				}
+			}
+			// Inside the synthesized aggregate subquery, no bare block
+			// variable reference may survive (every e.x is $giN.e.x).
+			if m := regexp.MustCompile(`[^.\w]e\.`).FindAllStringIndex(core, -1); m != nil {
+				// The only legitimate bare references are in the outer
+				// FROM/GROUP BY clauses, which precede "COLL_".
+				aggStart := strings.Index(core, "COLL_")
+				aggEnd := strings.LastIndex(core, "FROM t AS e")
+				for _, loc := range m {
+					if loc[0] > aggStart && loc[0] < aggEnd {
+						t.Errorf("unsubstituted block variable inside aggregate at %d: %s", loc[0], core)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package sion
+
+import (
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+const benchDoc = `{{
+  {'id': 3, 'name': 'Bob Smith', 'title': null,
+   'projects': ['Serverless Querying', 'OLAP Security', 'OLTP Security'],
+   'address': {'city': 'Irvine', 'zip': 92697},
+   'scores': [1.5, 2.25, -3, 4e2]},
+  {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+  {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+   'projects': ['OLAP Security'], 'tags': <<'a', 'b'>>}
+}}`
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchDoc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchDoc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	v := MustParse(benchDoc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = v.String()
+	}
+}
+
+func BenchmarkPretty(b *testing.B) {
+	v := MustParse(benchDoc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = value.Pretty(v)
+	}
+}

@@ -1,0 +1,124 @@
+package types
+
+import (
+	"testing"
+
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+func TestCheckPivotAndUnpivot(t *testing.T) {
+	s := testSchema(t)
+	// PIVOT value/name expressions are checked.
+	problems := staticCheck(t, s, `PIVOT 2 * e.name AT e.title FROM emp AS e`)
+	wantProblem(t, problems, "arithmetic * over STRING")
+	// UNPIVOT over a closed struct types the value variable as the union
+	// of the attribute types; navigating it is a definite miss since no
+	// member is a tuple.
+	problems = staticCheck(t, s, `SELECT VALUE v.zzz FROM emp AS e, UNPIVOT e.addr AS v AT n`)
+	wantProblem(t, problems, "no tuple member")
+	// The name variable is a STRING.
+	problems = staticCheck(t, s, `SELECT VALUE 2 * n FROM emp AS e, UNPIVOT e.addr AS v AT n`)
+	wantProblem(t, problems, "arithmetic * over STRING")
+}
+
+func TestCheckWindowsAndWith(t *testing.T) {
+	s := testSchema(t)
+	problems := staticCheck(t, s, `
+		WITH x AS (SELECT VALUE e.name FROM emp AS e)
+		SELECT 2 * v AS d, ROW_NUMBER() OVER (ORDER BY v) AS rn FROM x AS v`)
+	wantProblem(t, problems, "arithmetic * over STRING")
+}
+
+func TestCheckOrderingOnCollections(t *testing.T) {
+	s := testSchema(t)
+	problems := staticCheck(t, s, `SELECT VALUE e.projects < e.projects FROM emp AS e`)
+	wantProblem(t, problems, "ordering comparison")
+	problems = staticCheck(t, s, `SELECT VALUE e.id FROM emp AS e WHERE e.addr > 1`)
+	wantProblem(t, problems, "ordering comparison")
+}
+
+func TestCheckBagIndexing(t *testing.T) {
+	s := NewSchema()
+	s.Declare("b", &BagOf{Elem: IntType})
+	problems := staticCheck(t, s, `SELECT VALUE x FROM b AS q LET x = q`)
+	if len(problems) != 0 {
+		t.Errorf("unexpected: %v", problems)
+	}
+	s.Declare("holder", &BagOf{Elem: &Struct{Fields: []Field{{Name: "bag", Type: &BagOf{Elem: IntType}}}}})
+	problems = staticCheck(t, s, `SELECT VALUE h.bag[0] FROM holder AS h`)
+	wantProblem(t, problems, "bags are unordered")
+}
+
+func TestMatchesBagAndBytes(t *testing.T) {
+	bt := &BagOf{Elem: IntType}
+	if !bt.Matches(sion.MustParse("{{1, 2}}")) {
+		t.Error("bag of ints should match")
+	}
+	if bt.Matches(sion.MustParse("{{'x'}}")) || bt.Matches(sion.MustParse("[1]")) {
+		t.Error("bag type must reject wrong shapes")
+	}
+	if !BytesType.Matches(sion.MustParse("x'00'")) || BytesType.Matches(sion.MustParse("'s'")) {
+		t.Error("BINARY matching wrong")
+	}
+}
+
+func TestValidateBagPath(t *testing.T) {
+	typ, err := ParseType("BAG<INT>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(sion.MustParse("{{1, 'x'}}"), typ); err == nil {
+		t.Error("bag with a string should fail BAG<INT>")
+	}
+	if err := Validate(sion.MustParse("[1]"), typ); err == nil {
+		t.Error("array should fail BAG<INT>")
+	}
+}
+
+func TestUnifyWithNil(t *testing.T) {
+	if Unify(nil, IntType) != IntType || Unify(IntType, nil) != IntType {
+		t.Error("nil unifies to the other side")
+	}
+	if Unify(Any, IntType) != IntType || Unify(IntType, Any) != IntType {
+		t.Error("Any unifies to the specific side")
+	}
+}
+
+func TestElementTypeHelper(t *testing.T) {
+	if elementType(&ArrayOf{Elem: IntType}) != IntType {
+		t.Error("array element")
+	}
+	if elementType(&BagOf{Elem: StringType}) != StringType {
+		t.Error("bag element")
+	}
+	if elementType(IntType) != IntType {
+		t.Error("non-collection passes through")
+	}
+}
+
+// TestOptionalAdmitsBothAbsenceStyles: one schema with a '?' column
+// validates the null-style and missing-style forms of the same data
+// (§IV-A), which keeps schemas stable under the null/missing guarantee.
+func TestOptionalAdmitsBothAbsenceStyles(t *testing.T) {
+	_, typ, err := ParseCreateTable("CREATE TABLE emp (id INT, title STRING?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullStyle := sion.MustParse(`{{ {'id': 1, 'title': null} }}`)
+	missingStyle := sion.MustParse(`{{ {'id': 1} }}`)
+	presentStyle := sion.MustParse(`{{ {'id': 1, 'title': 'Engineer'} }}`)
+	for _, v := range []struct {
+		name string
+		v    interface{ Kind() value.Kind }
+	}{{"null-style", nullStyle}, {"missing-style", missingStyle}, {"present", presentStyle}} {
+		if err := Validate(v.v.(value.Value), typ); err != nil {
+			t.Errorf("%s rejected: %v", v.name, err)
+		}
+	}
+	// The wrong type still fails even when optional.
+	bad := sion.MustParse(`{{ {'id': 1, 'title': 7} }}`)
+	if err := Validate(bad, typ); err == nil {
+		t.Error("wrong-typed optional attribute must still fail")
+	}
+}

@@ -1,0 +1,147 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/rewrite"
+)
+
+// checkNames adapts the schema to the rewriter's catalog interface for
+// tests: every declared name resolves.
+type checkNames struct{ s *Schema }
+
+func (c checkNames) HasName(name string) bool {
+	_, ok := c.s.TypeOf(name)
+	return ok
+}
+
+func staticCheck(t *testing.T, s *Schema, query string) []Problem {
+	t.Helper()
+	tree, err := parser.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	core, err := rewrite.Rewrite(tree, rewrite.Options{Names: checkNames{s}, Schema: s})
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	return CheckQuery(core, s)
+}
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if _, err := s.DeclareDDL(`CREATE TABLE emp (
+	  id INT,
+	  name STRING,
+	  title STRING?,
+	  projects ARRAY<STRING>,
+	  addr STRUCT<city: STRING, zip: INT>
+	)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeclareDDL(`CREATE TABLE emp_mixed (
+	  id INT,
+	  projects UNIONTYPE<STRING, ARRAY<STRING>>
+	)`); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantProblem(t *testing.T, problems []Problem, substr string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("expected a problem containing %q, got %v", substr, problems)
+}
+
+func TestCheckCleanQueries(t *testing.T) {
+	s := testSchema(t)
+	clean := []string{
+		`SELECT e.name, e.title FROM emp AS e WHERE e.id > 3`,
+		`SELECT e.name, p FROM emp AS e, e.projects AS p WHERE p LIKE '%x%'`,
+		`SELECT e.addr.city AS city FROM emp AS e`,
+		`SELECT e.id + 1 AS next FROM emp AS e`,
+		`SELECT e.name || '!' AS bang FROM emp AS e ORDER BY e.id`,
+		`SELECT COUNT(*) AS n FROM emp AS e GROUP BY e.title`,
+		`SELECT VALUE m.projects FROM emp_mixed AS m`,
+	}
+	for _, q := range clean {
+		if problems := staticCheck(t, s, q); len(problems) != 0 {
+			t.Errorf("clean query %q reported %v", q, problems)
+		}
+	}
+}
+
+func TestCheckNavigationMisses(t *testing.T) {
+	s := testSchema(t)
+	problems := staticCheck(t, s, `SELECT e.salary AS sal FROM emp AS e`)
+	wantProblem(t, problems, `attribute "salary" cannot exist`)
+
+	problems = staticCheck(t, s, `SELECT e.addr.country AS c FROM emp AS e`)
+	wantProblem(t, problems, `attribute "country" cannot exist`)
+
+	problems = staticCheck(t, s, `SELECT e.projects.name AS n FROM emp AS e`)
+	wantProblem(t, problems, "into a collection")
+
+	problems = staticCheck(t, s, `SELECT e.name.first AS f FROM emp AS e`)
+	wantProblem(t, problems, "navigation .first into STRING")
+}
+
+func TestCheckTypeMisuse(t *testing.T) {
+	s := testSchema(t)
+	problems := staticCheck(t, s, `SELECT 2 * e.name AS x FROM emp AS e`)
+	wantProblem(t, problems, "arithmetic * over STRING")
+
+	problems = staticCheck(t, s, `SELECT e.id || 'x' AS x FROM emp AS e`)
+	wantProblem(t, problems, "|| over INT")
+
+	problems = staticCheck(t, s, `SELECT VALUE e.id LIKE 'a%' FROM emp AS e`)
+	wantProblem(t, problems, "LIKE over INT")
+
+	problems = staticCheck(t, s, `SELECT VALUE e.name < e.id FROM emp AS e`)
+	wantProblem(t, problems, "ordering comparison between STRING and INT")
+}
+
+func TestCheckUnionNavigation(t *testing.T) {
+	s := testSchema(t)
+	// Navigating into UNIONTYPE<STRING, ARRAY<STRING>> has no tuple
+	// member: definite miss.
+	problems := staticCheck(t, s, `SELECT m.projects.name AS n FROM emp_mixed AS m`)
+	wantProblem(t, problems, "no tuple member")
+}
+
+func TestCheckUndeclaredIsSilent(t *testing.T) {
+	s := testSchema(t)
+	s.Declare("anything", &BagOf{Elem: &Struct{Open: true}})
+	problems := staticCheck(t, s, `SELECT a.whatever.deeper AS x FROM anything AS a WHERE 2 * a.zzz > 1`)
+	if len(problems) != 0 {
+		t.Errorf("open types must not produce findings, got %v", problems)
+	}
+}
+
+func TestCheckThroughGroupAndSubquery(t *testing.T) {
+	s := testSchema(t)
+	// The key alias carries the key's type into the post-group scope.
+	problems := staticCheck(t, s, `SELECT t || 'x' AS tx FROM emp AS e GROUP BY e.id AS t`)
+	wantProblem(t, problems, "|| over INT")
+	// Subquery element types flow to the outer FROM variable.
+	problems = staticCheck(t, s, `SELECT 2 * n AS x FROM (SELECT VALUE e2.name FROM emp AS e2) AS n`)
+	wantProblem(t, problems, "arithmetic * over STRING")
+}
+
+func TestCheckQueryDirect(t *testing.T) {
+	// CheckQuery on a raw expression without FROM context.
+	s := NewSchema()
+	e := parser.MustParse("1 + 'x'")
+	problems := CheckQuery(e, s)
+	wantProblem(t, problems, "arithmetic + over STRING")
+	var _ ast.Expr = e
+}

@@ -1,0 +1,295 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseCreateTable parses the Hive-flavoured DDL the paper uses in
+// Listing 5 to declare heterogeneous attributes:
+//
+//	CREATE TABLE emp_mixed (
+//	  id INT,
+//	  name STRING,
+//	  title STRING,
+//	  projects UNIONTYPE<STRING, ARRAY<STRING>>
+//	);
+//
+// It returns the table name and a BagOf(closed Struct) type. Supported
+// column types: the primitives (INT/BIGINT/SMALLINT/TINYINT, FLOAT/
+// DOUBLE/REAL, STRING/VARCHAR/CHAR/TEXT, BOOLEAN, BINARY), and the
+// compound forms ARRAY<T>, BAG<T>, STRUCT<name: T, ...>, and
+// UNIONTYPE<T, ...>. A trailing '?' marks a column optional: the
+// attribute may be absent or null (both of §IV-A's absence styles).
+func ParseCreateTable(ddl string) (string, Type, error) {
+	p := &ddlParser{src: ddl}
+	p.skipSpace()
+	if !p.word("CREATE") || !p.word("TABLE") {
+		return "", nil, p.errf("expected CREATE TABLE")
+	}
+	name := p.ident()
+	if name == "" {
+		return "", nil, p.errf("expected table name")
+	}
+	for p.peek() == '.' {
+		p.pos++
+		part := p.ident()
+		if part == "" {
+			return "", nil, p.errf("expected name after '.'")
+		}
+		name += "." + part
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return "", nil, p.errf("expected '(' after table name")
+	}
+	p.pos++
+	s := &Struct{}
+	for {
+		p.skipSpace()
+		col := p.ident()
+		if col == "" {
+			return "", nil, p.errf("expected column name")
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return "", nil, err
+		}
+		optional := false
+		p.skipSpace()
+		if p.peek() == '?' {
+			p.pos++
+			optional = true
+		}
+		s.Fields = append(s.Fields, Field{Name: col, Type: t, Optional: optional})
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			p.skipSpace()
+			if p.peek() == ';' {
+				p.pos++
+			}
+			p.skipSpace()
+			if p.pos != len(p.src) {
+				return "", nil, p.errf("unexpected trailing input")
+			}
+			return name, &BagOf{Elem: s}, nil
+		default:
+			return "", nil, p.errf("expected ',' or ')' in column list")
+		}
+	}
+}
+
+// ParseType parses a standalone type expression in the same syntax.
+func ParseType(src string) (Type, error) {
+	p := &ddlParser{src: src}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected trailing input")
+	}
+	return t, nil
+}
+
+type ddlParser struct {
+	src string
+	pos int
+}
+
+func (p *ddlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("types: ddl offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *ddlParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '-' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (p *ddlParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// word consumes the given keyword case-insensitively.
+func (p *ddlParser) word(w string) bool {
+	p.skipSpace()
+	if len(p.src)-p.pos < len(w) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(w)], w) {
+		return false
+	}
+	end := p.pos + len(w)
+	if end < len(p.src) && (unicode.IsLetter(rune(p.src[end])) || unicode.IsDigit(rune(p.src[end])) || p.src[end] == '_') {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func (p *ddlParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if c == '_' || unicode.IsLetter(c) || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *ddlParser) parseType() (Type, error) {
+	word := strings.ToUpper(p.ident())
+	switch word {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return IntType, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return FloatType, nil
+	case "STRING", "VARCHAR", "CHAR", "TEXT":
+		return p.maybeParens(StringType)
+	case "BOOLEAN", "BOOL":
+		return BoolType, nil
+	case "BINARY", "BYTES", "BLOB":
+		return BytesType, nil
+	case "ANY":
+		return Any, nil
+	case "NULL":
+		return NullType, nil
+	case "ARRAY":
+		elem, err := p.angle1()
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayOf{Elem: elem}, nil
+	case "BAG", "MULTISET":
+		elem, err := p.angle1()
+		if err != nil {
+			return nil, err
+		}
+		return &BagOf{Elem: elem}, nil
+	case "UNIONTYPE", "UNION":
+		members, err := p.angleList(false)
+		if err != nil {
+			return nil, err
+		}
+		ts := make([]Type, len(members))
+		for i, m := range members {
+			ts[i] = m.Type
+		}
+		return mkUnion(ts...), nil
+	case "STRUCT":
+		fields, err := p.angleList(true)
+		if err != nil {
+			return nil, err
+		}
+		return &Struct{Fields: fields}, nil
+	case "":
+		return nil, p.errf("expected type name")
+	}
+	return nil, p.errf("unknown type %q", word)
+}
+
+// maybeParens consumes an optional "(n)" length suffix after VARCHAR etc.
+func (p *ddlParser) maybeParens(t Type) (Type, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return t, nil
+	}
+	for p.pos < len(p.src) && p.src[p.pos] != ')' {
+		p.pos++
+	}
+	if p.peek() != ')' {
+		return nil, p.errf("unterminated length suffix")
+	}
+	p.pos++
+	return t, nil
+}
+
+// angle1 parses "<T>".
+func (p *ddlParser) angle1() (Type, error) {
+	p.skipSpace()
+	if p.peek() != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.pos++
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != '>' {
+		return nil, p.errf("expected '>'")
+	}
+	p.pos++
+	return t, nil
+}
+
+// angleList parses "<T, T, ...>" (named=false) or "<name: T, ...>"
+// (named=true).
+func (p *ddlParser) angleList(named bool) ([]Field, error) {
+	p.skipSpace()
+	if p.peek() != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.pos++
+	var out []Field
+	for {
+		var f Field
+		if named {
+			f.Name = p.ident()
+			if f.Name == "" {
+				return nil, p.errf("expected field name")
+			}
+			p.skipSpace()
+			if p.peek() != ':' {
+				return nil, p.errf("expected ':' after field name")
+			}
+			p.pos++
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.Type = t
+		p.skipSpace()
+		if p.peek() == '?' {
+			p.pos++
+			f.Optional = true
+			p.skipSpace()
+		}
+		out = append(out, f)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '>':
+			p.pos++
+			return out, nil
+		default:
+			return nil, p.errf("expected ',' or '>'")
+		}
+	}
+}

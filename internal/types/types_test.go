@@ -1,0 +1,267 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+func TestPrimitiveMatching(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		v    string
+		want bool
+	}{
+		{BoolType, "true", true},
+		{BoolType, "1", false},
+		{IntType, "1", true},
+		{IntType, "1.5", false},
+		{FloatType, "1.5", true},
+		{FloatType, "1", true}, // ints satisfy DOUBLE
+		{StringType, "'x'", true},
+		{BytesType, "x'00'", true},
+		{NullType, "null", true},
+		{NullType, "1", false},
+		{Any, "{'a': 1}", true},
+	}
+	for _, c := range cases {
+		if got := c.typ.Matches(sion.MustParse(c.v)); got != c.want {
+			t.Errorf("%s.Matches(%s) = %v, want %v", c.typ, c.v, got, c.want)
+		}
+	}
+}
+
+func TestStructMatching(t *testing.T) {
+	s := &Struct{Fields: []Field{
+		{Name: "id", Type: IntType},
+		{Name: "title", Type: StringType, Optional: true},
+	}}
+	cases := []struct {
+		v    string
+		want bool
+	}{
+		{"{'id': 1, 'title': 'x'}", true},
+		{"{'id': 1}", true},           // optional attribute absent
+		{"{'title': 'x'}", false},     // required attribute missing
+		{"{'id': 'x'}", false},        // wrong type
+		{"{'id': 1, 'zz': 2}", false}, // closed struct rejects extras
+		{"5", false},
+	}
+	for _, c := range cases {
+		if got := s.Matches(sion.MustParse(c.v)); got != c.want {
+			t.Errorf("closed struct Matches(%s) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	open := &Struct{Fields: s.Fields, Open: true}
+	if !open.Matches(sion.MustParse("{'id': 1, 'zz': 2}")) {
+		t.Error("open struct should tolerate extra attributes")
+	}
+}
+
+func TestUnionMatching(t *testing.T) {
+	u := &Union{Members: []Type{StringType, &ArrayOf{Elem: StringType}}}
+	if !u.Matches(sion.MustParse("'x'")) || !u.Matches(sion.MustParse("['a', 'b']")) {
+		t.Error("union should match both member shapes")
+	}
+	if u.Matches(sion.MustParse("[1]")) {
+		t.Error("array of ints should not match ARRAY<STRING>")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	typ, err := ParseType("BAG<STRUCT<id: INT, xs: ARRAY<INT>>>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := sion.MustParse("{{ {'id': 1, 'xs': [1, 2]} }}")
+	if err := Validate(good, typ); err != nil {
+		t.Errorf("good value rejected: %v", err)
+	}
+	bad := sion.MustParse("{{ {'id': 1, 'xs': [1, 'two']} }}")
+	err = Validate(bad, typ)
+	if err == nil {
+		t.Fatal("bad value accepted")
+	}
+	if !strings.Contains(err.Error(), ".xs[1]") {
+		t.Errorf("error should cite the path, got %v", err)
+	}
+}
+
+func TestInfer(t *testing.T) {
+	v := sion.MustParse(`{{
+	  {'id': 1, 'name': 'a', 'tags': ['x']},
+	  {'id': 2, 'extra': true}
+	}}`)
+	typ := Infer(v)
+	bag, ok := typ.(*BagOf)
+	if !ok {
+		t.Fatalf("inferred %T", typ)
+	}
+	st, ok := bag.Elem.(*Struct)
+	if !ok {
+		t.Fatalf("element %T", bag.Elem)
+	}
+	byName := map[string]Field{}
+	for _, f := range st.Fields {
+		byName[f.Name] = f
+	}
+	if byName["id"].Optional || byName["id"].Type.String() != "INT" {
+		t.Errorf("id field = %+v", byName["id"])
+	}
+	if !byName["name"].Optional || !byName["extra"].Optional {
+		t.Error("attributes present in only some tuples must be optional")
+	}
+	// The inferred type always validates its own source data.
+	if err := Validate(v, typ); err != nil {
+		t.Errorf("inferred type rejects its source: %v", err)
+	}
+}
+
+func TestInferHeterogeneousAttr(t *testing.T) {
+	v := sion.MustParse(`{{ {'x': 1}, {'x': 'one'} }}`)
+	typ := Infer(v)
+	if !strings.Contains(typ.String(), "UNIONTYPE") {
+		t.Errorf("conflicting attribute types should infer a union: %s", typ)
+	}
+	if err := Validate(v, typ); err != nil {
+		t.Errorf("inferred union rejects source: %v", err)
+	}
+}
+
+func TestUnifyNumericWidening(t *testing.T) {
+	if got := Unify(IntType, FloatType); got != FloatType {
+		t.Errorf("INT ∪ DOUBLE = %s, want DOUBLE", got)
+	}
+	if got := Unify(IntType, IntType); got != IntType {
+		t.Errorf("INT ∪ INT = %s", got)
+	}
+	u := Unify(IntType, StringType)
+	if !strings.Contains(u.String(), "UNIONTYPE") {
+		t.Errorf("INT ∪ STRING = %s", u)
+	}
+	// Unions flatten and dedupe.
+	uu := Unify(u, StringType)
+	if strings.Count(uu.String(), "STRING") != 1 {
+		t.Errorf("union should dedupe: %s", uu)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	// The paper's Listing 5.
+	name, typ, err := ParseCreateTable(`CREATE TABLE emp_mixed (
+	  id INT,
+	  name STRING,
+	  title STRING,
+	  projects UNIONTYPE<STRING, ARRAY<STRING>>
+	);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "emp_mixed" {
+		t.Errorf("name = %q", name)
+	}
+	bag, ok := typ.(*BagOf)
+	if !ok {
+		t.Fatalf("type = %T", typ)
+	}
+	st := bag.Elem.(*Struct)
+	if len(st.Fields) != 4 {
+		t.Fatalf("fields = %d", len(st.Fields))
+	}
+	if !strings.Contains(st.Fields[3].Type.String(), "UNIONTYPE") {
+		t.Errorf("projects type = %s", st.Fields[3].Type)
+	}
+	// Data in either shape validates.
+	data := sion.MustParse(`{{
+	  {'id': 1, 'name': 'a', 'title': 't', 'projects': 'P'},
+	  {'id': 2, 'name': 'b', 'title': 't', 'projects': ['P', 'Q']}
+	}}`)
+	if err := Validate(data, typ); err != nil {
+		t.Errorf("Listing 5 data rejected: %v", err)
+	}
+}
+
+func TestParseCreateTableVariants(t *testing.T) {
+	// Dotted names, optional columns, nested structs, length suffixes.
+	name, typ, err := ParseCreateTable(`CREATE TABLE hr.emp (
+	  id BIGINT,
+	  name VARCHAR(64),
+	  title STRING?,
+	  addr STRUCT<city: STRING, zip: INT?>,
+	  tags BAG<STRING>
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "hr.emp" {
+		t.Errorf("name = %q", name)
+	}
+	st := typ.(*BagOf).Elem.(*Struct)
+	if !st.Fields[2].Optional {
+		t.Error("title should be optional")
+	}
+	inner := st.Fields[3].Type.(*Struct)
+	if !inner.Fields[1].Optional {
+		t.Error("zip should be optional")
+	}
+}
+
+func TestParseCreateTableErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"CREATE VIEW x (a INT)",
+		"CREATE TABLE (a INT)",
+		"CREATE TABLE t a INT",
+		"CREATE TABLE t (a)",
+		"CREATE TABLE t (a FROB)",
+		"CREATE TABLE t (a ARRAY<INT)",
+		"CREATE TABLE t (a INT) trailing",
+	}
+	for _, src := range cases {
+		if _, _, err := ParseCreateTable(src); err == nil {
+			t.Errorf("ParseCreateTable(%q) should fail", src)
+		}
+	}
+}
+
+func TestSchemaOracle(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.DeclareDDL("CREATE TABLE t (a INT, b STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if has, known := s.VarHasAttr("t", "a"); !has || !known {
+		t.Error("declared attribute should be known")
+	}
+	if has, known := s.VarHasAttr("t", "zz"); has || !known {
+		t.Error("closed struct definitively lacks zz")
+	}
+	if _, known := s.VarHasAttr("unknown", "a"); known {
+		t.Error("undeclared collection should be unknown")
+	}
+	// Open structs leave absent attributes unknown.
+	s.Declare("open", &BagOf{Elem: &Struct{Fields: []Field{{Name: "a", Type: IntType}}, Open: true}})
+	if _, known := s.VarHasAttr("open", "zz"); known {
+		t.Error("open struct attribute absence is not known")
+	}
+}
+
+func TestSchemaCheck(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.DeclareDDL("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check("t", sion.MustParse("{{ {'a': 1} }}")); err != nil {
+		t.Errorf("conforming value rejected: %v", err)
+	}
+	if err := s.Check("t", sion.MustParse("{{ {'a': 'x'} }}")); err == nil {
+		t.Error("non-conforming value accepted")
+	}
+	if err := s.Check("undeclared", value.Bag{}); err != nil {
+		t.Errorf("undeclared names pass (schema is optional): %v", err)
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Names = %v", got)
+	}
+}

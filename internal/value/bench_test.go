@@ -1,0 +1,93 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchValues(n int) []Value {
+	r := rand.New(rand.NewSource(1))
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = genValue(r, 3)
+	}
+	return out
+}
+
+func BenchmarkCompare(b *testing.B) {
+	vs := benchValues(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(vs[i%256], vs[(i+1)%256])
+	}
+}
+
+func BenchmarkCompareScalars(b *testing.B) {
+	a, c := Int(42), Float(42.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compare(a, c)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	vs := benchValues(256)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendKey(buf[:0], vs[i%256])
+	}
+}
+
+func BenchmarkKeyTuple(b *testing.B) {
+	t := NewTuple(
+		Field{"id", Int(7)},
+		Field{"name", String("Bob Smith")},
+		Field{"salary", Float(120000)},
+	)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendKey(buf[:0], t)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	vs := benchValues(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Clone(vs[i%64])
+	}
+}
+
+func BenchmarkEquivalent(b *testing.B) {
+	vs := benchValues(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Equivalent(vs[i%64], vs[i%64])
+	}
+}
+
+func BenchmarkTupleGet(b *testing.B) {
+	t := NewTuple(
+		Field{"a", Int(1)}, Field{"b", Int(2)}, Field{"c", Int(3)},
+		Field{"d", Int(4)}, Field{"e", Int(5)},
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Get("e")
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	vs := benchValues(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vs[i%64].String()
+	}
+}

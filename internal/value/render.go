@@ -1,0 +1,156 @@
+package value
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// String renders the value in the paper's object notation.
+func (missingType) String() string { return "MISSING" }
+
+// String renders the value in the paper's object notation.
+func (nullType) String() string { return "null" }
+
+// String renders the value in the paper's object notation.
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// String renders the value in the paper's object notation.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// String renders the value in the paper's object notation. Integral
+// floats keep a trailing ".0" so the rendering round-trips kind.
+func (f Float) String() string {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// String renders the value in the paper's object notation: single quotes,
+// with embedded single quotes doubled, as in SQL literals.
+func (s String) String() string {
+	return "'" + strings.ReplaceAll(string(s), "'", "''") + "'"
+}
+
+// String renders the value as a hexadecimal blob literal.
+func (b Bytes) String() string {
+	const hex = "0123456789abcdef"
+	var sb strings.Builder
+	sb.WriteString("x'")
+	for _, c := range b {
+		sb.WriteByte(hex[c>>4])
+		sb.WriteByte(hex[c&0xf])
+	}
+	sb.WriteString("'")
+	return sb.String()
+}
+
+// String renders the array in the paper's object notation.
+func (a Array) String() string { return renderSeq(a, "[", "]") }
+
+// String renders the bag in the paper's object notation.
+func (b Bag) String() string { return renderSeq(b, "{{", "}}") }
+
+// String renders the tuple in the paper's object notation.
+func (t *Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, f := range t.fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(String(f.Name).String())
+		sb.WriteString(": ")
+		sb.WriteString(f.Value.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func renderSeq(vs []Value, open, close string) string {
+	var sb strings.Builder
+	sb.WriteString(open)
+	for i, v := range vs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(close)
+	return sb.String()
+}
+
+// Pretty renders v with newline indentation, two spaces per level, in the
+// same object notation as String. Useful for diffs and the CLI.
+func Pretty(v Value) string {
+	var sb strings.Builder
+	pretty(&sb, v, 0)
+	return sb.String()
+}
+
+func pretty(sb *strings.Builder, v Value, depth int) {
+	indent := strings.Repeat("  ", depth)
+	child := strings.Repeat("  ", depth+1)
+	switch x := v.(type) {
+	case Array:
+		prettySeq(sb, x, "[", "]", indent, child, depth)
+	case Bag:
+		prettySeq(sb, x, "{{", "}}", indent, child, depth)
+	case *Tuple:
+		if len(x.fields) == 0 {
+			sb.WriteString("{}")
+			return
+		}
+		sb.WriteString("{\n")
+		for i, f := range x.fields {
+			sb.WriteString(child)
+			sb.WriteString(String(f.Name).String())
+			sb.WriteString(": ")
+			pretty(sb, f.Value, depth+1)
+			if i < len(x.fields)-1 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(indent)
+		sb.WriteByte('}')
+	default:
+		sb.WriteString(v.String())
+	}
+}
+
+func prettySeq(sb *strings.Builder, vs []Value, open, close, indent, child string, depth int) {
+	if len(vs) == 0 {
+		sb.WriteString(open)
+		sb.WriteString(close)
+		return
+	}
+	sb.WriteString(open)
+	sb.WriteByte('\n')
+	for i, v := range vs {
+		sb.WriteString(child)
+		pretty(sb, v, depth+1)
+		if i < len(vs)-1 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(indent)
+	sb.WriteString(close)
+}

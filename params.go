@@ -1,0 +1,97 @@
+package sqlpp
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlpp/internal/eval"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/plan"
+	"sqlpp/internal/rewrite"
+	"sqlpp/internal/value"
+)
+
+// Parameterized queries: external values referenced by name inside a
+// query, supplied per execution. Parameter names conventionally start
+// with '$' ($min_salary), which the lexer accepts as identifier text, so
+// they can never collide with catalog names or SQL keywords; any
+// identifier works, though, and parameters shadow catalog names.
+
+// PreparedParams is a compiled parameterized query.
+type PreparedParams struct {
+	engine *Engine
+	core   *Prepared
+	names  []string
+}
+
+// PrepareParams compiles a query whose free references to the given
+// parameter names are left open, to be supplied at execution.
+func (e *Engine) PrepareParams(query string, params ...string) (*PreparedParams, error) {
+	tree, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	ropts := rewrite.Options{
+		Compat: e.opts.Compat,
+		Names:  e.cat,
+		Params: params,
+	}
+	if e.types != nil {
+		ropts.Schema = e.types
+	}
+	core, err := rewrite.Rewrite(tree, ropts)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), params...)
+	sort.Strings(names)
+	return &PreparedParams{
+		engine: e,
+		core:   &Prepared{engine: e, core: core},
+		names:  names,
+	}, nil
+}
+
+// Params returns the declared parameter names, sorted.
+func (p *PreparedParams) Params() []string {
+	return append([]string(nil), p.names...)
+}
+
+// Core returns the SQL++ Core form of the parameterized query.
+func (p *PreparedParams) Core() string { return p.core.Core() }
+
+// Exec runs the query with the given parameter values. Every declared
+// parameter must be supplied (pass value.Null explicitly for an absent
+// value); unknown names are rejected.
+func (p *PreparedParams) Exec(params map[string]value.Value) (value.Value, error) {
+	env := eval.NewEnv()
+	supplied := 0
+	for name, v := range params {
+		if !p.declared(name) {
+			return nil, fmt.Errorf("sqlpp: undeclared parameter %q", name)
+		}
+		if v == nil {
+			return nil, fmt.Errorf("sqlpp: nil value for parameter %q (use value.Null)", name)
+		}
+		env.Bind(name, v)
+		supplied++
+	}
+	if supplied != len(p.names) {
+		for _, name := range p.names {
+			if _, ok := params[name]; !ok {
+				return nil, fmt.Errorf("sqlpp: missing parameter %q", name)
+			}
+		}
+	}
+	ctx := p.engine.newContext()
+	return plan.Run(ctx, env, p.core.core)
+}
+
+func (p *PreparedParams) declared(name string) bool {
+	for _, n := range p.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package sqlpp
+
+import (
+	"strings"
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+func paramDB(t *testing.T) *Engine {
+	t.Helper()
+	db := New(nil)
+	if err := db.RegisterSION("emp", `{{
+	  {'name': 'Ada', 'salary': 120, 'dept': 'eng'},
+	  {'name': 'Bob', 'salary': 80, 'dept': 'eng'},
+	  {'name': 'Cleo', 'salary': 150, 'dept': 'ops'}
+	}}`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPreparedParams(t *testing.T) {
+	db := paramDB(t)
+	p, err := db.PrepareParams(
+		`SELECT e.name AS name FROM emp AS e WHERE e.salary >= $min AND e.dept = $dept`,
+		"$min", "$dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Exec(map[string]value.Value{
+		"$min":  value.Int(100),
+		"$dept": value.String("eng"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(got, MustParseValue(`{{ {'name': 'Ada'} }}`)) {
+		t.Errorf("got %s", got)
+	}
+	// Re-execute with different values: one prepared plan, many runs.
+	got2, err := p.Exec(map[string]value.Value{
+		"$min":  value.Int(0),
+		"$dept": value.String("ops"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(got2, MustParseValue(`{{ {'name': 'Cleo'} }}`)) {
+		t.Errorf("got %s", got2)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	db := paramDB(t)
+	p, err := db.PrepareParams(`SELECT VALUE $x`, "$x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Exec(nil); err == nil || !strings.Contains(err.Error(), "missing parameter") {
+		t.Errorf("missing params should fail: %v", err)
+	}
+	if _, err := p.Exec(map[string]value.Value{"$y": value.Int(1)}); err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("undeclared params should fail: %v", err)
+	}
+	if _, err := p.Exec(map[string]value.Value{"$x": nil}); err == nil {
+		t.Error("nil param should fail")
+	}
+	if got := p.Params(); len(got) != 1 || got[0] != "$x" {
+		t.Errorf("Params = %v", got)
+	}
+	// An undeclared reference stays a compile error.
+	if _, err := db.PrepareParams(`SELECT VALUE $x + $zzz`, "$x"); err == nil {
+		t.Error("unbound reference should fail at compile time")
+	}
+}
+
+func TestParamsBindAnyValue(t *testing.T) {
+	db := paramDB(t)
+	p, err := db.PrepareParams(`SELECT VALUE e.name FROM emp AS e WHERE e.dept IN $depts`, "$depts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Exec(map[string]value.Value{
+		"$depts": MustParseValue(`['eng', 'hr']`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(got, MustParseValue(`{{'Ada', 'Bob'}}`)) {
+		t.Errorf("collection-valued parameter: got %s", got)
+	}
+	// Parameters shadow catalog names.
+	p2, err := db.PrepareParams(`SELECT VALUE x FROM emp AS x`, "emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := p2.Exec(map[string]value.Value{"emp": MustParseValue(`{{42}}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equivalent(got2, MustParseValue(`{{42}}`)) {
+		t.Errorf("parameter should shadow the catalog name: %s", got2)
+	}
+}

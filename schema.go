@@ -1,0 +1,111 @@
+package sqlpp
+
+import (
+	"fmt"
+	"io"
+
+	"sqlpp/internal/datafmt"
+	"sqlpp/internal/types"
+	"sqlpp/internal/value"
+)
+
+// Schema support on the Engine. SQL++ schemas are optional: declaring one
+// turns on registration-time validation and unqualified-name
+// disambiguation, and — per the paper's query stability tenet — never
+// changes the result of a working query.
+
+// DeclareSchema declares the type of a named value using the Hive-style
+// DDL of the paper's Listing 5 (CREATE TABLE ... with UNIONTYPE et al.).
+// It returns the declared table name. If a value is already registered
+// under that name it is validated immediately.
+func (e *Engine) DeclareSchema(ddl string) (string, error) {
+	name, err := e.schema().DeclareDDL(ddl)
+	if err != nil {
+		return "", err
+	}
+	if v, ok := e.cat.LookupValue(name); ok {
+		if err := e.schema().Check(name, v); err != nil {
+			return name, err
+		}
+	}
+	return name, nil
+}
+
+// DeclareType declares the type of a named value directly.
+func (e *Engine) DeclareType(name string, t types.Type) error {
+	e.schema().Declare(name, t)
+	if v, ok := e.cat.LookupValue(name); ok {
+		return e.schema().Check(name, v)
+	}
+	return nil
+}
+
+// InferSchema infers and declares the type of an already-registered
+// named value from its data, returning the inferred type.
+func (e *Engine) InferSchema(name string) (types.Type, error) {
+	v, ok := e.cat.LookupValue(name)
+	if !ok {
+		return nil, fmt.Errorf("sqlpp: no named value %q", name)
+	}
+	t := types.Infer(v)
+	e.schema().Declare(name, t)
+	return t, nil
+}
+
+// SchemaOf returns the declared type of a named value, if any.
+func (e *Engine) SchemaOf(name string) (types.Type, bool) {
+	if e.types == nil {
+		return nil, false
+	}
+	return e.types.TypeOf(name)
+}
+
+// RegisterChecked registers a named value, validating it against its
+// declared schema first (if one exists).
+func (e *Engine) RegisterChecked(name string, v value.Value) error {
+	if err := e.schema().Check(name, v); err != nil {
+		return err
+	}
+	return e.cat.Register(name, v)
+}
+
+// Data-loading helpers: every format decodes to the same logical values,
+// so queries are format-independent (§I).
+
+// RegisterJSON registers a JSON document; a top-level array registers as
+// a bag of documents.
+func (e *Engine) RegisterJSON(name string, r io.Reader) error {
+	v, err := datafmt.DecodeJSONBag(r)
+	if err != nil {
+		return fmt.Errorf("sqlpp: register %s: %w", name, err)
+	}
+	return e.cat.Register(name, v)
+}
+
+// RegisterJSONLines registers newline-delimited JSON documents as a bag.
+func (e *Engine) RegisterJSONLines(name string, r io.Reader) error {
+	v, err := datafmt.DecodeJSONLines(r)
+	if err != nil {
+		return fmt.Errorf("sqlpp: register %s: %w", name, err)
+	}
+	return e.cat.Register(name, v)
+}
+
+// RegisterCSV registers CSV rows as a bag of tuples; the first row names
+// the attributes and scalar types are inferred.
+func (e *Engine) RegisterCSV(name string, r io.Reader) error {
+	v, err := datafmt.DecodeCSV(r, datafmt.CSVOptions{})
+	if err != nil {
+		return fmt.Errorf("sqlpp: register %s: %w", name, err)
+	}
+	return e.cat.Register(name, v)
+}
+
+// RegisterCBOR registers a CBOR data item.
+func (e *Engine) RegisterCBOR(name string, data []byte) error {
+	v, err := datafmt.DecodeCBOR(data)
+	if err != nil {
+		return fmt.Errorf("sqlpp: register %s: %w", name, err)
+	}
+	return e.cat.Register(name, v)
+}

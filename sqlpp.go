@@ -1,0 +1,202 @@
+// Package sqlpp is a complete implementation of the SQL++ query language
+// described in "SQL++: We Can Finally Relax!" (Carey et al., ICDE 2024):
+// a backward-compatible extension of SQL for nested, heterogeneous,
+// schema-optional data.
+//
+// The engine evaluates SQL++ over an in-memory catalog of named values.
+// Data loads from JSON, CSV, CBOR, or the paper's object notation, and
+// every query runs identically regardless of the source format.
+//
+// Quick start:
+//
+//	db := sqlpp.New(nil)
+//	_ = db.RegisterSION("hr.emp", `{{ {'name':'Ada','salary':120} }}`)
+//	v, _ := db.Query("SELECT e.name FROM hr.emp AS e WHERE e.salary > 100")
+//	fmt.Println(v) // {{ {'name': 'Ada'} }}
+package sqlpp
+
+import (
+	"fmt"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/catalog"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/funcs"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/plan"
+	"sqlpp/internal/rewrite"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/types"
+	"sqlpp/internal/value"
+)
+
+// Options configures an Engine. The zero value is the paper's flexible
+// default: permissive typing and full composability (no SQL-compat
+// coercions).
+type Options struct {
+	// Compat is the paper's SQL compatibility flag (§I): sugar SELECT
+	// subqueries coerce by context, MISSING behaves like NULL wherever
+	// SQL maps NULL to a non-null result, and IS NULL matches MISSING.
+	Compat bool
+	// StopOnError selects the stop-on-error typing mode (§IV): the first
+	// dynamic type error aborts the query instead of yielding MISSING.
+	StopOnError bool
+	// MaxCollectionSize caps materialized intermediate results; 0 means
+	// unlimited.
+	MaxCollectionSize int
+	// MaterializeClauses switches the executor from the streaming clause
+	// pipeline to full clause-boundary materialization. Semantics are
+	// identical; the option exists for the execution-strategy ablation
+	// (see EXPERIMENTS.md).
+	MaterializeClauses bool
+}
+
+// Engine is a SQL++ query processor over a catalog of named values. An
+// Engine is safe for concurrent queries; catalog mutation requires
+// external coordination with in-flight queries only in the sense that a
+// query observes the values registered when it starts resolving.
+type Engine struct {
+	opts  Options
+	cat   *catalog.Catalog
+	funcs *funcs.Registry
+	types *types.Schema
+}
+
+// New returns an Engine with the given options; nil selects the
+// defaults.
+func New(opts *Options) *Engine {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{opts: o, cat: catalog.New(), funcs: funcs.NewRegistry()}
+}
+
+// schema lazily creates the engine's schema registry.
+func (e *Engine) schema() *types.Schema {
+	if e.types == nil {
+		e.types = types.NewSchema()
+	}
+	return e.types
+}
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// WithOptions returns a new Engine sharing this engine's catalog,
+// schemas, and function registry but using different options — the
+// paper's compatibility flag as a per-session toggle.
+func (e *Engine) WithOptions(opts Options) *Engine {
+	return &Engine{opts: opts, cat: e.cat, funcs: e.funcs, types: e.types}
+}
+
+// Register binds a named value (the name may be dotted, e.g. "hr.emp").
+func (e *Engine) Register(name string, v value.Value) error {
+	return e.cat.Register(name, v)
+}
+
+// RegisterSION parses src in the paper's object notation and registers it
+// under name.
+func (e *Engine) RegisterSION(name, src string) error {
+	v, err := sion.Parse(src)
+	if err != nil {
+		return fmt.Errorf("sqlpp: register %s: %w", name, err)
+	}
+	return e.cat.Register(name, v)
+}
+
+// Drop removes a named value.
+func (e *Engine) Drop(name string) { e.cat.Drop(name) }
+
+// Names lists the registered named values, sorted.
+func (e *Engine) Names() []string { return e.cat.Names() }
+
+// Lookup returns a registered named value.
+func (e *Engine) Lookup(name string) (value.Value, bool) { return e.cat.LookupValue(name) }
+
+// Prepared is a compiled query, reusable across executions.
+type Prepared struct {
+	engine *Engine
+	core   ast.Expr
+}
+
+// Prepare parses, rewrites to SQL++ Core, and resolves a query against
+// the engine's catalog.
+func (e *Engine) Prepare(query string) (*Prepared, error) {
+	tree, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	ropts := rewrite.Options{
+		Compat: e.opts.Compat,
+		Names:  e.cat,
+	}
+	if e.types != nil {
+		ropts.Schema = e.types
+	}
+	core, err := rewrite.Rewrite(tree, ropts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{engine: e, core: core}, nil
+}
+
+// Core returns the SQL++ Core form of the prepared query as text — the
+// paper's "syntactic sugar" rewritings made visible.
+func (p *Prepared) Core() string { return ast.Format(p.core) }
+
+// Check statically checks the prepared query against the engine's
+// declared schemas (§IV: the optional schema enables static type
+// checking). Findings are advisory: the dynamic semantics would produce
+// MISSING where the checker predicts a fault. Without declared schemas
+// the checker knows nothing and reports nothing.
+func (p *Prepared) Check() []types.Problem {
+	return types.CheckQuery(p.core, p.engine.schema())
+}
+
+// Exec runs the prepared query and returns its result value.
+func (p *Prepared) Exec() (value.Value, error) {
+	ctx := p.engine.newContext()
+	return plan.Run(ctx, eval.NewEnv(), p.core)
+}
+
+func (e *Engine) newContext() *eval.Context {
+	mode := eval.Permissive
+	if e.opts.StopOnError {
+		mode = eval.StopOnError
+	}
+	return &eval.Context{
+		Mode:               mode,
+		Compat:             e.opts.Compat,
+		Names:              e.cat,
+		Funcs:              e.funcs,
+		Run:                plan.Run,
+		MaxCollectionSize:  e.opts.MaxCollectionSize,
+		MaterializeClauses: e.opts.MaterializeClauses,
+	}
+}
+
+// Query parses, compiles, and executes a SQL++ query.
+func (e *Engine) Query(query string) (value.Value, error) {
+	p, err := e.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec()
+}
+
+// MustQuery is Query but panics on error; intended for examples and
+// tests.
+func (e *Engine) MustQuery(query string) value.Value {
+	v, err := e.Query(query)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ParseValue parses a value in the paper's object notation.
+func ParseValue(src string) (value.Value, error) { return sion.Parse(src) }
+
+// MustParseValue is ParseValue but panics on error.
+func MustParseValue(src string) value.Value { return sion.MustParse(src) }
