@@ -20,6 +20,7 @@ import (
 	"sqlpp"
 	"sqlpp/internal/bench"
 	"sqlpp/internal/compat"
+	"sqlpp/internal/server"
 )
 
 // paperDB builds one engine with every paper fixture registered.
@@ -305,6 +306,53 @@ func BenchmarkWindowFunctions(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Plan cache: the query service's hot path. "cold" pays the full
+// lex/parse/rewrite/resolve compile on every execution; "hit" fetches
+// the compiled plan from the LRU cache and only executes. The gap is
+// what the cache buys every repeated API query.
+func BenchmarkPlanCache(b *testing.B) {
+	db := paperDB(b, false)
+	query := `
+		SELECT e.deptno, AVG(e.salary) AS avgsal
+		FROM hr.emp AS e
+		WHERE e.title = 'Engineer'
+		GROUP BY e.deptno`
+	opts := db.Options()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := db.Prepare(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache := server.NewPlanCache(16)
+		key := server.CacheKey(opts, nil, query)
+		p, err := db.Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Put(key, server.Plan{Prepared: p})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan, ok := cache.Get(key)
+			if !ok {
+				b.Fatal("cache miss")
+			}
+			if _, err := plan.Prepared.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Compile cost: parsing + rewriting, the only place the compatibility

@@ -4,6 +4,7 @@
 //	sqlpp-bench -kit         run the full Core SQL++ compatibility kit
 //	sqlpp-bench -perf        run the performance experiments (claims C1/C3/C4/C6 + ablations)
 //	sqlpp-bench -formats     run the format-independence experiment (claim C5)
+//	sqlpp-bench -serve       run the served-vs-embedded query latency comparison
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -27,10 +28,11 @@ func main() {
 	kit := flag.Bool("kit", false, "run the compatibility kit")
 	perf := flag.Bool("perf", false, "run the performance experiments")
 	formats := flag.Bool("formats", false, "run the format-independence experiment")
+	serve := flag.Bool("serve", false, "run the served-vs-embedded latency comparison")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats
+	all := !*listings && !*kit && !*perf && !*formats && !*serve
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -43,6 +45,9 @@ func main() {
 	}
 	if *formats || all {
 		failed = runFormats(*scale) || failed
+	}
+	if *serve || all {
+		failed = runServe(*scale) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,109 @@
+package main
+
+// The served-query experiment: what does putting the engine behind the
+// HTTP API cost per query, and how much of the service-side overhead
+// does the plan cache recover? Four variants of the same query:
+//
+//	embedded/prepared   Prepared.Exec on the in-process engine (floor)
+//	embedded/cold       Engine.Query — compile on every execution
+//	served/cache-hit    HTTP round-trip, plan cache warm
+//	served/cache-miss   HTTP round-trip, cache purged each request
+//
+// served − embedded is the HTTP+JSON tax; cache-miss − cache-hit is
+// what the plan cache saves the server per repeated query.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/bench"
+	"sqlpp/internal/server"
+)
+
+func runServe(scale int) bool {
+	fmt.Println("== Served vs embedded query latency ==")
+
+	db := sqlpp.New(nil)
+	if err := db.Register("emp", bench.FlatEmp(1000*scale, 10, 42)); err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	query := `SELECT e.deptno, AVG(e.salary) AS avgsal FROM emp AS e GROUP BY e.deptno`
+
+	prepared, err := db.Prepare(query)
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+
+	svc := server.New(db, server.Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+	body, _ := json.Marshal(map[string]any{"query": query})
+
+	roundTrip := func() error {
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var reply struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, reply.Error)
+		}
+		return nil
+	}
+	// Smoke-check and warm the plan cache before timing.
+	if err := roundTrip(); err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+
+	variants := []struct {
+		name string
+		run  func() error
+	}{
+		{"embedded/prepared", func() error { _, err := prepared.Exec(); return err }},
+		{"embedded/cold", func() error { _, err := db.Query(query); return err }},
+		{"served/cache-hit", roundTrip},
+		{"served/cache-miss", func() error {
+			svc.Cache().Purge()
+			return roundTrip()
+		}},
+	}
+
+	var base float64
+	failed := false
+	for i, v := range variants {
+		run := v.run
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		perOp := float64(res.NsPerOp())
+		if i == 0 {
+			base = perOp
+		}
+		rel := ""
+		if i > 0 && base > 0 {
+			rel = fmt.Sprintf("  (%.2fx of %s)", perOp/base, variants[0].name)
+		}
+		fmt.Printf("  %-20s %12.0f ns/op%s\n", v.name, perOp, rel)
+	}
+	fmt.Printf("  plan cache: %d hits, %d misses over the run\n\n", svc.Cache().Hits(), svc.Cache().Misses())
+	return failed
+}

@@ -1,0 +1,149 @@
+// Command sqlpp-serve runs the SQL++ query service: an HTTP JSON API
+// over an in-memory engine, with a prepared-plan cache, bounded
+// concurrency, per-request deadlines, and plain-text metrics.
+//
+// Usage:
+//
+//	sqlpp-serve [flags]
+//
+// Flags:
+//
+//	-addr addr          listen address (default :8642)
+//	-data name=path     preload a data file as a named collection (repeatable);
+//	                    format inferred from the extension as in cmd/sqlpp
+//	-compat             enable SQL compatibility mode
+//	-strict             enable stop-on-error typing
+//	-cache n            plan cache capacity (default 256; -1 disables)
+//	-max-concurrent n   queries executing at once (default 4×GOMAXPROCS)
+//	-timeout d          default per-query timeout (default 30s)
+//	-max-timeout d      cap on client-requested timeouts (default 5m)
+//
+// Example session:
+//
+//	sqlpp-serve -addr :8642 &
+//	curl -s -X POST localhost:8642/v1/collections/hr.emp --data-binary \
+//	    "{{ {'name':'Ada','salary':120}, {'name':'Bob','salary':90} }}"
+//	curl -s -X POST localhost:8642/v1/query \
+//	    -d '{"query":"SELECT e.name FROM hr.emp AS e WHERE e.salary > 100"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/server"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlpp-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var data dataFlags
+	addr := flag.String("addr", ":8642", "listen address")
+	flag.Var(&data, "data", "name=path of a data file to preload (repeatable)")
+	compat := flag.Bool("compat", false, "enable SQL compatibility mode")
+	strict := flag.Bool("strict", false, "enable stop-on-error typing")
+	cacheSize := flag.Int("cache", 256, "plan cache capacity (-1 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries executing at once (0 = 4×GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+	flag.Parse()
+
+	db := sqlpp.New(&sqlpp.Options{Compat: *compat, StopOnError: *strict})
+	for _, spec := range data {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-data wants name=path, got %q", spec)
+		}
+		if err := loadFile(db, name, path); err != nil {
+			return err
+		}
+	}
+
+	svc := server.New(db, server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		PlanCacheSize:  *cacheSize,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sqlpp-serve: listening on %s (%d collections preloaded)\n", *addr, len(db.Names()))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "sqlpp-serve: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadFile registers path under name, inferring the format from the
+// extension (mirrors cmd/sqlpp).
+func loadFile(db *sqlpp.Engine, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		return db.RegisterJSON(name, f)
+	case ".jsonl", ".ndjson":
+		return db.RegisterJSONLines(name, f)
+	case ".csv":
+		return db.RegisterCSV(name, f)
+	case ".cbor":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return db.RegisterCBOR(name, data)
+	case ".sion", ".sqlpp", ".txt":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return db.RegisterSION(name, string(data))
+	}
+	return fmt.Errorf("unknown data format for %s (want .json, .jsonl, .csv, .cbor, or .sion)", path)
+}

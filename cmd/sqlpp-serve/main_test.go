@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/server"
+)
+
+// TestServeEndToEnd wires the binary's pieces — preloaded data files,
+// engine, service — behind a real TCP listener on an ephemeral port and
+// walks the ingest → query → cached-query → metrics path over HTTP.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "emp.sion")
+	if err := os.WriteFile(path, []byte(`{{
+		{'name':'Ada','salary':120}, {'name':'Bob','salary':90}
+	}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db := sqlpp.New(nil)
+	if err := loadFile(db, "hr.emp", path); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(db, server.Config{DefaultTimeout: 10 * time.Second})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc}
+	go httpSrv.Serve(ln)
+	t.Cleanup(func() { httpSrv.Close() })
+	base := "http://" + ln.Addr().String()
+
+	// The preloaded collection is served.
+	req := `{"query": "SELECT VALUE e.name FROM hr.emp AS e WHERE e.salary > 100"}`
+	for i, wantCached := range []bool{false, true} {
+		resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var reply struct {
+			Result json.RawMessage `json:"result"`
+			Cached bool            `json:"cached"`
+		}
+		if err := json.Unmarshal(body, &reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Cached != wantCached {
+			t.Errorf("run %d: cached = %v, want %v", i, reply.Cached, wantCached)
+		}
+		var names []string
+		if err := json.Unmarshal(reply.Result, &names); err != nil {
+			t.Fatalf("run %d: result %s: %v", i, reply.Result, err)
+		}
+		if len(names) != 1 || names[0] != "Ada" {
+			t.Errorf("run %d: result = %v", i, names)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "sqlpp_plan_cache_hits_total 1") {
+		t.Errorf("metrics missing the cache hit:\n%s", metrics)
+	}
+}
+
+// TestLoadFileFormats checks extension-based format inference.
+func TestLoadFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.json":  `[{"n":1}]`,
+		"b.jsonl": `{"n":1}` + "\n" + `{"n":2}`,
+		"c.csv":   "n\n1\n2\n",
+		"d.sion":  `{{ {'n': 1} }}`,
+	}
+	db := sqlpp.New(nil)
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := loadFile(db, strings.TrimSuffix(name, filepath.Ext(name)), path); err != nil {
+			t.Errorf("loadFile(%s): %v", name, err)
+		}
+	}
+	if got := len(db.Names()); got != len(files) {
+		t.Errorf("registered %d collections, want %d", got, len(files))
+	}
+	if err := loadFile(db, "x", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.xml")
+	os.WriteFile(bad, []byte("<x/>"), 0o644)
+	if err := loadFile(db, "x", bad); err == nil {
+		t.Error("unknown extension should error")
+	}
+}

@@ -13,6 +13,7 @@
 //	-f path           execute the query in the file and exit
 //	-compat           enable SQL compatibility mode
 //	-strict           enable stop-on-error typing
+//	-timeout d        abort a query after d (e.g. 500ms, 10s); 0 = no limit
 //	-out format       output format: sion (default), json, pretty
 //	-core             print the SQL++ Core rewriting instead of executing
 //
@@ -27,11 +28,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sqlpp"
 	"sqlpp/internal/datafmt"
@@ -62,6 +65,7 @@ func run() error {
 	queryFile := flag.String("f", "", "path to a query file to execute")
 	compat := flag.Bool("compat", false, "enable SQL compatibility mode")
 	strict := flag.Bool("strict", false, "enable stop-on-error typing")
+	timeout := flag.Duration("timeout", 0, "abort a query after this duration (0 = no limit)")
 	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
 	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
 	flag.Parse()
@@ -97,9 +101,9 @@ func run() error {
 		query = string(src)
 	}
 	if strings.TrimSpace(query) != "" {
-		return runOne(db, query, *outFormat, *showCore)
+		return runOne(db, query, *outFormat, *showCore, *timeout)
 	}
-	return repl(db, *outFormat)
+	return repl(db, *outFormat, *timeout)
 }
 
 // loadFile registers path under name, inferring the format from the
@@ -143,7 +147,7 @@ func splitStatements(src string) []string {
 	return out
 }
 
-func runOne(db *sqlpp.Engine, query, outFormat string, showCore bool) error {
+func runOne(db *sqlpp.Engine, query, outFormat string, showCore bool, timeout time.Duration) error {
 	if showCore {
 		p, err := db.Prepare(query)
 		if err != nil {
@@ -152,7 +156,13 @@ func runOne(db *sqlpp.Engine, query, outFormat string, showCore bool) error {
 		fmt.Println(p.Core())
 		return nil
 	}
-	v, err := db.Query(query)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	v, err := db.QueryContext(ctx, query)
 	if err != nil {
 		return err
 	}
@@ -175,7 +185,7 @@ func emit(v value.Value, format string) error {
 	return nil
 }
 
-func repl(db *sqlpp.Engine, outFormat string) error {
+func repl(db *sqlpp.Engine, outFormat string, timeout time.Duration) error {
 	fmt.Println("sqlpp shell — SQL++ per Carey et al., ICDE 2024. \\q quits.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -208,7 +218,7 @@ func repl(db *sqlpp.Engine, outFormat string) error {
 		if q == "" {
 			continue
 		}
-		if err := runOne(db, q, outFormat, false); err != nil {
+		if err := runOne(db, q, outFormat, false, timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -241,7 +251,7 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		}
 		fmt.Fprintf(os.Stderr, "no named value %q\n", rest)
 	case "\\core":
-		if err := runOne(db, rest, outFormat, true); err != nil {
+		if err := runOne(db, rest, outFormat, true, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	case "\\mode":

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sqlpp"
+	"sqlpp/internal/value"
 )
 
 func write(t *testing.T, dir, name, content string) string {
@@ -101,14 +105,41 @@ func TestRunOneOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, format := range []string{"sion", "json", "pretty"} {
-		if err := runOne(db, "SELECT VALUE r.a FROM t AS r", format, false); err != nil {
+		if err := runOne(db, "SELECT VALUE r.a FROM t AS r", format, false, 0); err != nil {
 			t.Errorf("runOne(%s): %v", format, err)
 		}
 	}
-	if err := runOne(db, "SELECT r.a FROM t AS r", "sion", true); err != nil {
+	if err := runOne(db, "SELECT r.a FROM t AS r", "sion", true, 0); err != nil {
 		t.Errorf("runOne core: %v", err)
 	}
-	if err := runOne(db, "SELEC nope", "sion", false); err == nil {
+	if err := runOne(db, "SELEC nope", "sion", false, 0); err == nil {
 		t.Error("bad query should error")
+	}
+}
+
+// TestRunOneTimeout: the -timeout flag's path cancels a runaway cross
+// join instead of letting it run to completion.
+func TestRunOneTimeout(t *testing.T) {
+	db := sqlpp.New(nil)
+	big := make(value.Bag, 3000)
+	for i := range big {
+		big[i] = value.Int(int64(i))
+	}
+	if err := db.Register("big1", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("big2", big); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := runOne(db, "SELECT VALUE a + b FROM big1 AS a, big2 AS b WHERE a + b < 0", "sion", false, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected a deadline error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Errorf("cancellation took %s", elapsed)
 	}
 }

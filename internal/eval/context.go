@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"sqlpp/internal/ast"
@@ -84,6 +85,40 @@ type Context struct {
 	// ablation benchmark comparing the two execution strategies; the
 	// semantics are identical.
 	MaterializeClauses bool
+	// Ctx carries the query's deadline/cancellation signal for
+	// cooperative interruption. Nil (or a context that can never be
+	// cancelled) means the query runs to completion; the facade only
+	// installs contexts that actually carry a Done channel, so the
+	// uncancellable path pays nothing.
+	Ctx context.Context
+	// polls counts Interrupted calls so the cancellation signal is
+	// checked once every pollInterval produced rows rather than on every
+	// row. A Context is used by a single goroutine, so a plain counter
+	// suffices.
+	polls uint
+}
+
+// pollInterval is the number of produced rows between real checks of the
+// cancellation signal — a power of two so the fast path is a mask, small
+// enough that a runaway cross join stops within microseconds of its
+// deadline.
+const pollInterval = 64
+
+// Interrupted reports a non-nil error once the query's context is
+// cancelled or past its deadline. The plan row-production loops call it
+// per row; the fast path is one increment and one mask.
+func (c *Context) Interrupted() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	c.polls++
+	if c.polls&(pollInterval-1) != 0 {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("sqlpp: query interrupted: %w", err)
+	}
+	return nil
 }
 
 // TypeError is a dynamic typing error. In permissive mode it is converted

@@ -57,7 +57,13 @@ func produceScan(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, k emit) erro
 	if err != nil {
 		return err
 	}
+	// Scans are the row-production loops of every query block (cross
+	// products and joins nest them), so this is where a deadline or
+	// cancellation cooperatively stops a runaway query.
 	bind := func(v value.Value, ordinal value.Value) error {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		child := env.Child()
 		child.Bind(x.As, v)
 		if x.AtVar != "" {
@@ -103,6 +109,9 @@ func produceUnpivot(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, k emit
 		return err
 	}
 	bind := func(name string, v value.Value) error {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		child := env.Child()
 		child.Bind(x.ValueVar, v)
 		child.Bind(x.NameVar, value.String(name))
@@ -212,6 +221,9 @@ func newGroupState(ctx *eval.Context, outer *eval.Env, spec *ast.GroupBy) *group
 
 // add folds one binding environment into its group.
 func (g *groupState) add(env *eval.Env) error {
+	if err := g.ctx.Interrupted(); err != nil {
+		return err
+	}
 	keys := make([]value.Value, len(g.spec.Keys))
 	var kb []byte
 	for i, key := range g.spec.Keys {

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/datafmt"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+// queryRequest is the body of POST /v1/query.
+type queryRequest struct {
+	// Query is the SQL++ text.
+	Query string `json:"query"`
+	// Params supplies parameterized-query bindings by name; JSON values
+	// convert to SQL++ values (objects to tuples, arrays to arrays).
+	Params map[string]any `json:"params,omitempty"`
+	// Options overrides the engine's per-session toggles for this
+	// request only. Absent fields keep the server's defaults.
+	Options *queryOptions `json:"options,omitempty"`
+	// TimeoutMS bounds execution; 0 means the server default, and the
+	// server's MaxTimeout caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Format selects the result encoding: "json" (default), "sion"
+	// (the paper's object notation, lossless for MISSING), or "pretty".
+	Format string `json:"format,omitempty"`
+}
+
+type queryOptions struct {
+	Compat             *bool `json:"compat,omitempty"`
+	Strict             *bool `json:"strict,omitempty"`
+	MaxCollectionSize  *int  `json:"max_collection_size,omitempty"`
+	MaterializeClauses *bool `json:"materialize_clauses,omitempty"`
+}
+
+// queryResponse is the body of a successful POST /v1/query.
+type queryResponse struct {
+	// Result is the query result: raw JSON for format "json", a JSON
+	// string holding the rendered text for "sion"/"pretty".
+	Result json.RawMessage `json:"result"`
+	// Cached reports whether the plan came from the cache.
+	Cached bool `json:"cached"`
+	// ElapsedUS is the server-side latency in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.Errors.Add(1)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleQuery runs one query: decode → admission gate → plan cache →
+// execute under deadline → encode.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == "" {
+		s.fail(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The gate bounds executing queries; waiting counts against the
+	// request's own deadline so a saturated server sheds load instead
+	// of queueing without bound.
+	if !s.acquire(ctx) {
+		s.fail(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+		return
+	}
+	defer s.release()
+
+	params, paramNames, err := convertParams(req.Params)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	engine := s.engine
+	opts := engine.Options()
+	if req.Options != nil {
+		if req.Options.Compat != nil {
+			opts.Compat = *req.Options.Compat
+		}
+		if req.Options.Strict != nil {
+			opts.StopOnError = *req.Options.Strict
+		}
+		if req.Options.MaxCollectionSize != nil {
+			opts.MaxCollectionSize = *req.Options.MaxCollectionSize
+		}
+		if req.Options.MaterializeClauses != nil {
+			opts.MaterializeClauses = *req.Options.MaterializeClauses
+		}
+		engine = engine.WithOptions(opts)
+	}
+
+	start := time.Now()
+	plan, cached, err := s.plan(engine, opts, req.Query, paramNames)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+
+	var result value.Value
+	if plan.Params != nil {
+		result, err = plan.Params.ExecContext(ctx, params)
+	} else {
+		result, err = plan.Prepared.ExecContext(ctx)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.Timeouts.Add(1)
+			s.fail(w, http.StatusGatewayTimeout, "query exceeded its deadline after %s: %v", elapsed.Round(time.Millisecond), err)
+			return
+		}
+		s.fail(w, http.StatusUnprocessableEntity, "execute: %v", err)
+		return
+	}
+	s.metrics.Observe(elapsed)
+
+	raw, err := encodeResult(result, req.Format)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "encode result: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Result:    raw,
+		Cached:    cached,
+		ElapsedUS: elapsed.Microseconds(),
+	})
+}
+
+// plan fetches a compiled plan from the cache or compiles and caches
+// one. Concurrent misses on the same key may compile twice; the loser's
+// Put simply refreshes the entry, which is sound because plans are
+// immutable and interchangeable.
+func (s *Server) plan(engine *sqlpp.Engine, opts sqlpp.Options, query string, paramNames []string) (Plan, bool, error) {
+	key := CacheKey(opts, paramNames, query)
+	if p, ok := s.cache.Get(key); ok {
+		return p, true, nil
+	}
+	var p Plan
+	if len(paramNames) > 0 {
+		pp, err := engine.PrepareParams(query, paramNames...)
+		if err != nil {
+			return Plan{}, false, err
+		}
+		p = Plan{Params: pp}
+	} else {
+		prep, err := engine.Prepare(query)
+		if err != nil {
+			return Plan{}, false, err
+		}
+		p = Plan{Prepared: prep}
+	}
+	s.cache.Put(key, p)
+	return p, false, nil
+}
+
+// convertParams maps the request's JSON parameters to SQL++ values,
+// returning the sorted name list used in the cache key.
+func convertParams(in map[string]any) (map[string]value.Value, []string, error) {
+	if len(in) == 0 {
+		return nil, nil, nil
+	}
+	out := make(map[string]value.Value, len(in))
+	names := make([]string, 0, len(in))
+	for name, raw := range in {
+		v, err := jsonToValue(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("param %q: %w", name, err)
+		}
+		out[name] = v
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return out, names, nil
+}
+
+// jsonToValue converts a decoded JSON value (with json.Number for
+// numbers) to the engine's value model. Object attributes are emitted
+// in sorted key order so conversion is deterministic.
+func jsonToValue(x any) (value.Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.Bool(v), nil
+	case string:
+		return value.String(v), nil
+	case json.Number:
+		if i, err := v.Int64(); err == nil {
+			return value.Int(i), nil
+		}
+		f, err := v.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", v.String())
+		}
+		return value.Float(f), nil
+	case []any:
+		out := make(value.Array, 0, len(v))
+		for _, el := range v {
+			ev, err := jsonToValue(el)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ev)
+		}
+		return out, nil
+	case map[string]any:
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		t := value.EmptyTuple()
+		for _, k := range keys {
+			ev, err := jsonToValue(v[k])
+			if err != nil {
+				return nil, err
+			}
+			t.Put(k, ev)
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("unsupported JSON value %T", x)
+}
+
+// encodeResult renders a query result in the requested format as a raw
+// JSON fragment for the response body.
+func encodeResult(v value.Value, format string) (json.RawMessage, error) {
+	switch format {
+	case "", "json":
+		s, err := datafmt.JSONString(v)
+		if err != nil {
+			return nil, err
+		}
+		return json.RawMessage(s), nil
+	case "sion":
+		return json.Marshal(v.String())
+	case "pretty":
+		return json.Marshal(value.Pretty(v))
+	}
+	return nil, fmt.Errorf("unknown result format %q (want json, sion, or pretty)", format)
+}
+
+// handleIngest loads a request body into the catalog under the path's
+// collection name. The format comes from ?format= or the Content-Type;
+// SION is the default, matching the paper's notation.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		s.fail(w, http.StatusBadRequest, "missing collection name")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = formatFromContentType(r.Header.Get("Content-Type"))
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	var err error
+	switch format {
+	case "sion", "":
+		var data []byte
+		if data, err = io.ReadAll(body); err == nil {
+			var v value.Value
+			if v, err = sion.Parse(string(data)); err == nil {
+				err = s.engine.Register(name, v)
+			}
+		}
+	case "json":
+		err = s.engine.RegisterJSON(name, body)
+	case "jsonl", "ndjson":
+		err = s.engine.RegisterJSONLines(name, body)
+	case "csv":
+		err = s.engine.RegisterCSV(name, body)
+	case "cbor":
+		var data []byte
+		if data, err = io.ReadAll(body); err == nil {
+			err = s.engine.RegisterCBOR(name, data)
+		}
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown format %q (want sion, json, jsonl, csv, or cbor)", format)
+		return
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "ingest %s: %v", name, err)
+		return
+	}
+
+	// Compiled plans bake in name resolution against the catalog's name
+	// set, so any registration invalidates them.
+	s.cache.Purge()
+	s.metrics.Ingests.Add(1)
+
+	count := -1
+	if v, ok := s.engine.Lookup(name); ok {
+		if els, ok := value.Elements(v); ok {
+			count = len(els)
+		} else {
+			count = 1
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "count": count})
+}
+
+func formatFromContentType(ct string) string {
+	switch {
+	case ct == "application/json" || ct == "text/json":
+		return "json"
+	case ct == "application/x-ndjson" || ct == "application/jsonl":
+		return "jsonl"
+	case ct == "text/csv":
+		return "csv"
+	case ct == "application/cbor":
+		return "cbor"
+	}
+	return "sion"
+}
+
+// handleCollections lists the registered names and namespaces.
+func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"collections": s.engine.Names()})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"collections": len(s.engine.Names()),
+		"uptime_s":    int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// handleMetrics renders the plain-text counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.WriteTo(w, s.cache.Hits(), s.cache.Misses(), s.cache.Len(), s.inflight.Load())
+}
+

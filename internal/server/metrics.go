@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the service counters exposed at GET /metrics. All
+// counters are monotonic and lock-free; the latency percentiles come
+// from a fixed ring of recent observations so they track current load
+// rather than the process lifetime.
+type Metrics struct {
+	Requests atomic.Uint64 // query requests received
+	Errors   atomic.Uint64 // query requests that failed (any status >= 400)
+	Timeouts atomic.Uint64 // queries stopped by deadline or client cancel
+	Rejected atomic.Uint64 // requests refused at the concurrency gate
+	Ingests  atomic.Uint64 // collection ingests accepted
+
+	lat latencyRing
+}
+
+// Observe records one successful query's end-to-end latency.
+func (m *Metrics) Observe(d time.Duration) { m.lat.observe(d) }
+
+// ringSize is the latency window: large enough for stable p99 under
+// load, small enough that one burst ages out quickly.
+const ringSize = 1024
+
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [ringSize]time.Duration
+	n   int // filled slots, saturates at ringSize
+	idx int // next write position
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.idx] = d
+	r.idx = (r.idx + 1) % ringSize
+	if r.n < ringSize {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the requested quantiles (in [0,1]) over the
+// window using nearest-rank on a sorted snapshot; zeros when nothing
+// has been observed yet.
+func (r *latencyRing) percentiles(qs ...float64) []time.Duration {
+	r.mu.Lock()
+	snap := make([]time.Duration, r.n)
+	copy(snap, r.buf[:r.n])
+	r.mu.Unlock()
+
+	out := make([]time.Duration, len(qs))
+	if len(snap) == 0 {
+		return out
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	for i, q := range qs {
+		k := int(q * float64(len(snap)))
+		if k >= len(snap) {
+			k = len(snap) - 1
+		}
+		out[i] = snap[k]
+	}
+	return out
+}
+
+// WriteTo renders the counters in the plain-text `name value` format
+// (one gauge per line, Prometheus-style naming) together with the
+// cache and gate gauges supplied by the server.
+func (m *Metrics) WriteTo(w io.Writer, cacheHits, cacheMisses uint64, cacheEntries int, inflight int64) {
+	p := m.lat.percentiles(0.50, 0.95, 0.99)
+	fmt.Fprintf(w, "sqlpp_requests_total %d\n", m.Requests.Load())
+	fmt.Fprintf(w, "sqlpp_errors_total %d\n", m.Errors.Load())
+	fmt.Fprintf(w, "sqlpp_timeouts_total %d\n", m.Timeouts.Load())
+	fmt.Fprintf(w, "sqlpp_rejected_total %d\n", m.Rejected.Load())
+	fmt.Fprintf(w, "sqlpp_ingests_total %d\n", m.Ingests.Load())
+	fmt.Fprintf(w, "sqlpp_plan_cache_hits_total %d\n", cacheHits)
+	fmt.Fprintf(w, "sqlpp_plan_cache_misses_total %d\n", cacheMisses)
+	fmt.Fprintf(w, "sqlpp_plan_cache_entries %d\n", cacheEntries)
+	fmt.Fprintf(w, "sqlpp_inflight_queries %d\n", inflight)
+	fmt.Fprintf(w, "sqlpp_latency_p50_us %d\n", p[0].Microseconds())
+	fmt.Fprintf(w, "sqlpp_latency_p95_us %d\n", p[1].Microseconds())
+	fmt.Fprintf(w, "sqlpp_latency_p99_us %d\n", p[2].Microseconds())
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sqlpp"
+)
+
+// Plan is one cached compilation: a plain prepared query or a
+// parameterized one, depending on whether the request supplied params.
+// Exactly one of the two fields is set. Both kinds are immutable after
+// compilation and safe for concurrent execution, so a cache hit can be
+// executed without copying.
+type Plan struct {
+	Prepared *sqlpp.Prepared
+	Params   *sqlpp.PreparedParams
+}
+
+// PlanCache is a concurrency-safe LRU cache of compiled plans keyed by
+// (options fingerprint, parameter names, query text). A hit skips
+// lexing, parsing, rewriting to Core, and name resolution — the entire
+// compile phase — which is the dominant per-request cost for the small
+// repeated queries a programmatic API serves.
+//
+// The cache must be purged whenever the catalog's name set changes:
+// compiled plans bake in name resolution (dotted identifiers
+// disambiguate against the registered names), so registering or
+// dropping a collection can change what a query text means.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key  string
+	plan Plan
+}
+
+// NewPlanCache returns a cache holding up to capacity plans. A
+// capacity <= 0 disables caching: every Get misses and Put is a no-op.
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[string]*list.Element),
+	}
+}
+
+// CacheKey fingerprints everything that feeds compilation: the engine
+// options that change the rewrite (Compat alters the Core form, the
+// rest alter execution), the declared parameter names, and the query
+// text itself.
+func CacheKey(opts sqlpp.Options, paramNames []string, query string) string {
+	var sb strings.Builder
+	sb.Grow(len(query) + 32)
+	sb.WriteByte('c')
+	sb.WriteString(strconv.FormatBool(opts.Compat))
+	sb.WriteByte('s')
+	sb.WriteString(strconv.FormatBool(opts.StopOnError))
+	sb.WriteByte('m')
+	sb.WriteString(strconv.Itoa(opts.MaxCollectionSize))
+	sb.WriteByte('z')
+	sb.WriteString(strconv.FormatBool(opts.MaterializeClauses))
+	if len(paramNames) > 0 {
+		names := append([]string(nil), paramNames...)
+		sort.Strings(names)
+		for _, n := range names {
+			sb.WriteByte('p')
+			sb.WriteString(n)
+		}
+	}
+	sb.WriteByte(0)
+	sb.WriteString(query)
+	return sb.String()
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+func (c *PlanCache) Get(key string) (Plan, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return Plan{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.index[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return Plan{}, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// Put inserts (or refreshes) a plan, evicting the least recently used
+// entry when the cache is full.
+func (c *PlanCache) Put(key string, p Plan) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheEntry).plan = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, plan: p})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Purge drops every cached plan; counters are preserved. Call it after
+// any catalog mutation.
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.index)
+}
+
+// Len reports the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits reports the lifetime hit count.
+func (c *PlanCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses reports the lifetime miss count.
+func (c *PlanCache) Misses() uint64 { return c.misses.Load() }

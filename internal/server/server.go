@@ -1,0 +1,131 @@
+// Package server implements the SQL++ query service: a concurrent HTTP
+// JSON API over an embedded Engine. It is the network face of the
+// engine's Options/Prepared surface — requests compile through an LRU
+// prepared-plan cache, execute under a bounded-concurrency admission
+// gate with per-request deadlines, and the deadlines reach the plan's
+// row-production loops through the engine's cooperative cancellation,
+// so a runaway cross join stops instead of pinning a worker.
+//
+// Endpoints:
+//
+//	POST /v1/query               run a query
+//	                             body: {"query", "params", "options", "timeout_ms", "format"}
+//	POST /v1/collections/{name}  ingest a collection (?format=sion|json|jsonl|csv|cbor)
+//	GET  /v1/collections         list registered collections
+//	GET  /healthz                liveness probe
+//	GET  /metrics                plain-text counters and latency percentiles
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sqlpp"
+)
+
+// Config tunes the service. The zero value selects the defaults noted
+// on each field.
+type Config struct {
+	// MaxConcurrent bounds queries executing at once; excess requests
+	// wait at the gate until a slot frees or their deadline fires.
+	// Default: 4 × GOMAXPROCS.
+	MaxConcurrent int
+	// DefaultTimeout applies when a request names no timeout_ms.
+	// Default: 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. Default: 5m.
+	MaxTimeout time.Duration
+	// PlanCacheSize is the number of compiled plans kept; <= -1
+	// disables the cache. Default (0): 256.
+	PlanCacheSize int
+	// MaxBodyBytes caps request bodies (ingest payloads dominate).
+	// Default: 32 MiB.
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+}
+
+// Server is the HTTP query service. Create one with New; it implements
+// http.Handler.
+type Server struct {
+	engine   *sqlpp.Engine
+	cfg      Config
+	cache    *PlanCache
+	metrics  Metrics
+	gate     chan struct{}
+	inflight atomic.Int64
+	started  time.Time
+	mux      *http.ServeMux
+}
+
+// New builds a Server over engine. The engine's catalog is shared:
+// values registered on it before or after New are visible to queries,
+// and ingests through the API are visible to direct engine use.
+func New(engine *sqlpp.Engine, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		engine:  engine,
+		cfg:     cfg,
+		cache:   NewPlanCache(cfg.PlanCacheSize),
+		gate:    make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/collections/{name}", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/collections", s.handleCollections)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache exposes the plan cache (tests and metrics).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Metrics exposes the service counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Engine returns the underlying engine.
+func (s *Server) Engine() *sqlpp.Engine { return s.engine }
+
+// acquire claims an execution slot, waiting until one frees or ctx
+// (which carries the request's deadline, so queue wait counts against
+// the query budget) fires. It reports false — and counts a rejection —
+// when the caller should give up.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.gate <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	case <-ctx.Done():
+		s.metrics.Rejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.gate
+}

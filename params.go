@@ -1,6 +1,7 @@
 package sqlpp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,8 +63,15 @@ func (p *PreparedParams) Core() string { return p.core.Core() }
 
 // Exec runs the query with the given parameter values. Every declared
 // parameter must be supplied (pass value.Null explicitly for an absent
-// value); unknown names are rejected.
+// value); unknown names are rejected. Like Prepared, a PreparedParams is
+// immutable after compilation and safe for concurrent Exec calls.
 func (p *PreparedParams) Exec(params map[string]value.Value) (value.Value, error) {
+	return p.ExecContext(context.Background(), params)
+}
+
+// ExecContext is Exec under a deadline/cancellation context; see
+// Prepared.ExecContext for the semantics.
+func (p *PreparedParams) ExecContext(ctx context.Context, params map[string]value.Value) (value.Value, error) {
 	env := eval.NewEnv()
 	supplied := 0
 	for name, v := range params {
@@ -83,8 +91,8 @@ func (p *PreparedParams) Exec(params map[string]value.Value) (value.Value, error
 			}
 		}
 	}
-	ctx := p.engine.newContext()
-	return plan.Run(ctx, env, p.core.core)
+	ec := p.engine.newContext(ctx)
+	return plan.Run(ec, env, p.core.core)
 }
 
 func (p *PreparedParams) declared(name string) bool {

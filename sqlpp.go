@@ -16,6 +16,7 @@
 package sqlpp
 
 import (
+	"context"
 	"fmt"
 
 	"sqlpp/internal/ast"
@@ -154,18 +155,34 @@ func (p *Prepared) Check() []types.Problem {
 	return types.CheckQuery(p.core, p.engine.schema())
 }
 
-// Exec runs the prepared query and returns its result value.
+// Exec runs the prepared query and returns its result value. A Prepared
+// is immutable after compilation and every execution gets a fresh
+// evaluation context and environment, so one Prepared may be executed
+// from many goroutines concurrently — the property the server's plan
+// cache relies on.
 func (p *Prepared) Exec() (value.Value, error) {
-	ctx := p.engine.newContext()
-	return plan.Run(ctx, eval.NewEnv(), p.core)
+	return p.ExecContext(context.Background())
 }
 
-func (e *Engine) newContext() *eval.Context {
+// ExecContext runs the prepared query under ctx: cancellation or
+// deadline expiry cooperatively stops the plan's row-production loops,
+// so even a runaway cross join terminates promptly. The returned error
+// wraps ctx.Err() (match it with errors.Is).
+func (p *Prepared) ExecContext(ctx context.Context) (value.Value, error) {
+	ec := p.engine.newContext(ctx)
+	return plan.Run(ec, eval.NewEnv(), p.core)
+}
+
+// newContext builds the per-execution evaluation context. Contexts are
+// never shared between executions: all mutable evaluation state lives
+// here or in the Env, which is what makes concurrent execution of a
+// shared Prepared sound.
+func (e *Engine) newContext(ctx context.Context) *eval.Context {
 	mode := eval.Permissive
 	if e.opts.StopOnError {
 		mode = eval.StopOnError
 	}
-	return &eval.Context{
+	ec := &eval.Context{
 		Mode:               mode,
 		Compat:             e.opts.Compat,
 		Names:              e.cat,
@@ -174,15 +191,27 @@ func (e *Engine) newContext() *eval.Context {
 		MaxCollectionSize:  e.opts.MaxCollectionSize,
 		MaterializeClauses: e.opts.MaterializeClauses,
 	}
+	// Only install contexts that can actually fire, so queries run with
+	// context.Background() skip the per-row poll entirely.
+	if ctx != nil && ctx.Done() != nil {
+		ec.Ctx = ctx
+	}
+	return ec
 }
 
 // Query parses, compiles, and executes a SQL++ query.
 func (e *Engine) Query(query string) (value.Value, error) {
+	return e.QueryContext(context.Background(), query)
+}
+
+// QueryContext parses, compiles, and executes a SQL++ query under ctx;
+// see Prepared.ExecContext for the cancellation semantics.
+func (e *Engine) QueryContext(ctx context.Context, query string) (value.Value, error) {
 	p, err := e.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return p.Exec()
+	return p.ExecContext(ctx)
 }
 
 // MustQuery is Query but panics on error; intended for examples and
