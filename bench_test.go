@@ -230,6 +230,21 @@ func BenchmarkPivotUnpivotScale(b *testing.B) {
 	benchExperiment(b, bench.PivotUnpivotExperiment(100, 50))
 }
 
+// Physical-optimizer benchmarks: each experiment's first variant is the
+// naive/sequential baseline (see EXPERIMENTS.md and BENCH_joins.json).
+
+func BenchmarkHashJoin(b *testing.B) {
+	benchExperiment(b, bench.HashJoinExperiment(1000))
+}
+
+func BenchmarkPushdown(b *testing.B) {
+	benchExperiment(b, bench.PushdownExperiment(5000))
+}
+
+func BenchmarkParallelScan(b *testing.B) {
+	benchExperiment(b, bench.ParallelScanExperiment(100000))
+}
+
 // Claim C5: decode throughput per format over identical data.
 func BenchmarkDecode(b *testing.B) {
 	payload, err := bench.BuildFormatPayload(50, 20)

@@ -5,12 +5,14 @@
 //	sqlpp-bench -perf        run the performance experiments (claims C1/C3/C4/C6 + ablations)
 //	sqlpp-bench -formats     run the format-independence experiment (claim C5)
 //	sqlpp-bench -serve       run the served-vs-embedded query latency comparison
+//	sqlpp-bench -joins       run the physical-optimizer experiments and write BENCH_joins.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +31,12 @@ func main() {
 	perf := flag.Bool("perf", false, "run the performance experiments")
 	formats := flag.Bool("formats", false, "run the format-independence experiment")
 	serve := flag.Bool("serve", false, "run the served-vs-embedded latency comparison")
+	joins := flag.Bool("joins", false, "run the physical-optimizer experiments")
+	joinsOut := flag.String("joins-out", "BENCH_joins.json", "machine-readable output of -joins")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -48,6 +52,9 @@ func main() {
 	}
 	if *serve || all {
 		failed = runServe(*scale) || failed
+	}
+	if *joins || all {
+		failed = runJoins(*scale, *joinsOut) || failed
 	}
 	if failed {
 		os.Exit(1)
@@ -130,6 +137,102 @@ func runPerf(scale int) {
 		}
 	}
 	fmt.Println()
+}
+
+// joinsReport is the machine-readable artifact of -joins.
+type joinsReport struct {
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Scale       int               `json:"scale"`
+	Experiments []joinsExperiment `json:"experiments"`
+}
+
+type joinsExperiment struct {
+	ID       string         `json:"id"`
+	Claim    string         `json:"claim"`
+	Variants []joinsVariant `json:"variants"`
+}
+
+type joinsVariant struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Rows    int     `json:"rows"`
+	// Speedup is baseline-ns / this-ns; 1.0 for the baseline (first)
+	// variant itself.
+	Speedup float64 `json:"speedup_vs_baseline"`
+}
+
+// runJoins measures the physical-optimizer experiments (hash join,
+// predicate pushdown, parallel scan) against the naive/sequential
+// baselines and writes the numbers to outPath. It reports failure when
+// any variant errors or produces a different row count than its
+// baseline — the optimizations must be invisible in the results.
+func runJoins(scale int, outPath string) bool {
+	fmt.Println("== Physical optimizer (hash joins, pushdown, parallel scan) ==")
+	fmt.Printf("(GOMAXPROCS=%d; baseline = first variant of each experiment)\n", runtime.GOMAXPROCS(0))
+	report := joinsReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale}
+	failed := false
+	for _, exp := range bench.PhysicalExperiments(scale) {
+		fmt.Printf("\n%s\n  claim: %s\n", exp.ID, exp.Claim)
+		je := joinsExperiment{ID: exp.ID, Claim: exp.Claim}
+		var base float64
+		baseRows := -1
+		for i, v := range exp.Variants {
+			rows, err := v.Run()
+			if err != nil {
+				fmt.Printf("  %-20s ERROR %v\n", v.Name, err)
+				failed = true
+				continue
+			}
+			if i == 0 {
+				baseRows = rows
+			} else if rows != baseRows {
+				fmt.Printf("  %-20s ROW MISMATCH: %d vs baseline %d\n", v.Name, rows, baseRows)
+				failed = true
+			}
+			prepared, err := v.Prepare()
+			if err != nil {
+				fmt.Printf("  %-20s ERROR %v\n", v.Name, err)
+				failed = true
+				continue
+			}
+			runtime.GC()
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := prepared.Exec(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			perOp := float64(res.NsPerOp())
+			if i == 0 {
+				base = perOp
+			}
+			speedup := 1.0
+			if i > 0 && perOp > 0 {
+				speedup = base / perOp
+			}
+			je.Variants = append(je.Variants, joinsVariant{
+				Name: v.Name, NsPerOp: perOp, Rows: rows, Speedup: speedup,
+			})
+			rel := ""
+			if i > 0 {
+				rel = fmt.Sprintf("  (%.1fx vs %s)", speedup, exp.Variants[0].Name)
+			}
+			fmt.Printf("  %-20s %12.0f ns/op  %6d rows%s\n", v.Name, perOp, rows, rel)
+		}
+		report.Experiments = append(report.Experiments, je)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
 }
 
 // runFormats checks claim C5: the same query over the same data in four

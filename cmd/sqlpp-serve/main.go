@@ -17,6 +17,8 @@
 //	-max-concurrent n   queries executing at once (default 4×GOMAXPROCS)
 //	-timeout d          default per-query timeout (default 30s)
 //	-max-timeout d      cap on client-requested timeouts (default 5m)
+//	-no-opt             disable the physical optimizer (naive clause pipeline)
+//	-parallel n         parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //
 // Example session:
 //
@@ -70,9 +72,16 @@ func run() error {
 	maxConcurrent := flag.Int("max-concurrent", 0, "queries executing at once (0 = 4×GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
+	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	db := sqlpp.New(&sqlpp.Options{Compat: *compat, StopOnError: *strict})
+	db := sqlpp.New(&sqlpp.Options{
+		Compat:           *compat,
+		StopOnError:      *strict,
+		DisableOptimizer: *noOpt,
+		Parallelism:      *parallel,
+	})
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

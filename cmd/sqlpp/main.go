@@ -16,12 +16,15 @@
 //	-timeout d        abort a query after d (e.g. 500ms, 10s); 0 = no limit
 //	-out format       output format: sion (default), json, pretty
 //	-core             print the SQL++ Core rewriting instead of executing
+//	-no-opt           disable the physical optimizer (naive clause pipeline)
+//	-parallel n       parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //
 // With no query and no -f, sqlpp starts a REPL. REPL commands:
 //
 //	\names            list registered named values
 //	\schema <name>    show the declared or inferred schema of a value
 //	\core <query>     show the SQL++ Core form of a query
+//	\plan <query>     show the physical optimizations a query would use
 //	\mode             show the current modes
 //	\q                quit
 package main
@@ -68,9 +71,16 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "abort a query after this duration (0 = no limit)")
 	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
 	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
+	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
+	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	db := sqlpp.New(&sqlpp.Options{Compat: *compat, StopOnError: *strict})
+	db := sqlpp.New(&sqlpp.Options{
+		Compat:           *compat,
+		StopOnError:      *strict,
+		DisableOptimizer: *noOpt,
+		Parallelism:      *parallel,
+	})
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -254,9 +264,24 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		if err := runOne(db, rest, outFormat, true, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
+	case "\\plan":
+		p, err := db.Prepare(rest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		notes := p.PlanNotes()
+		if len(notes) == 0 {
+			fmt.Println("naive pipeline (no physical rewrites)")
+			return false
+		}
+		for _, n := range notes {
+			fmt.Println(n)
+		}
 	case "\\mode":
 		o := db.Options()
-		fmt.Printf("compat=%v strict=%v\n", o.Compat, o.StopOnError)
+		fmt.Printf("compat=%v strict=%v optimizer=%v parallel=%d\n",
+			o.Compat, o.StopOnError, !o.DisableOptimizer, o.Parallelism)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", cmd)
 	}

@@ -326,6 +326,11 @@ type SFW struct {
 	// Windows are the lowered window-function computations of this
 	// block, filled by the rewriter; empty for blocks without OVER.
 	Windows []NamedWindow
+	// Phys is the physical-plan annotation attached by the optimizer
+	// (plan.Optimize). It is opaque to this package and ignored by
+	// printing, cloning, and type checking; nil means the block executes
+	// with the naive clause pipeline.
+	Phys any
 }
 
 // PivotQuery is "PIVOT valueExpr AT nameExpr FROM ... WHERE ... GROUP BY

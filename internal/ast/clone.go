@@ -140,6 +140,7 @@ func cloneExprs(es []Expr) []Expr {
 
 func cloneSFW(q *SFW) *SFW {
 	c := *q
+	c.Phys = nil // physical annotations never survive a clone
 	c.Select.Value = CloneExpr(q.Select.Value)
 	c.Select.Items = make([]SelectItem, len(q.Select.Items))
 	for i, it := range q.Select.Items {

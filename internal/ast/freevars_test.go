@@ -1,0 +1,106 @@
+package ast_test
+
+// Free-variable analysis tests drive the walker through the parser so
+// the scoping cases read as the queries they model. The parser leaves
+// every identifier a VarRef (resolution to NamedRef happens in
+// rewrite), so unresolved collection names count as free here.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/parser"
+)
+
+func freeOf(t *testing.T, query string) []string {
+	t.Helper()
+	e, err := parser.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	var names []string
+	for n := range ast.FreeVars(e) {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestFreeVarsScoping(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		// FROM binds its alias for the rest of the block.
+		{`SELECT VALUE e.name FROM emp AS e`, []string{"emp"}},
+		// A later comma item sees earlier aliases (correlation).
+		{`SELECT VALUE p FROM emp AS e, e.projects AS p`, []string{"emp"}},
+		// A join's right side and ON see the left side's alias.
+		{`SELECT VALUE 1 FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`,
+			[]string{"dept", "emp"}},
+		// LET binds after FROM.
+		{`FROM emp AS e LET s = e.salary WHERE s > 100 SELECT VALUE s`,
+			[]string{"emp"}},
+		// A correlated subquery in SELECT leaks only its outer references.
+		{`SELECT VALUE (SELECT VALUE d FROM dept AS d WHERE d.dno = e.deptno) FROM emp AS e`,
+			[]string{"dept", "emp"}},
+		// An inner alias shadows the outer one.
+		{`SELECT VALUE (FROM e.kids AS e SELECT VALUE e) FROM emp AS e`,
+			[]string{"emp"}},
+		// GROUP BY replaces pre-group variables: e is no longer bound in
+		// SELECT, so referencing it there is a free occurrence.
+		{`FROM emp AS e GROUP BY e.deptno AS dno SELECT VALUE {'d': dno, 'n': e.name}`,
+			[]string{"e", "emp"}},
+		// The key alias and GROUP AS are the post-group bindings.
+		{`FROM emp AS e GROUP BY e.deptno AS dno GROUP AS g
+		  SELECT VALUE {'d': dno, 'names': (FROM g AS v SELECT VALUE v.e.name)}`,
+			[]string{"emp"}},
+		// LIMIT/OFFSET evaluate in the outer environment, outside the
+		// block's bindings.
+		{`SELECT VALUE e FROM emp AS e LIMIT n`, []string{"emp", "n"}},
+		// UNPIVOT binds its value and name variables.
+		{`SELECT VALUE [v, a] FROM UNPIVOT t AS v AT a`, []string{"t"}},
+	}
+	for _, c := range cases {
+		got := freeOf(t, c.query)
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("FreeVars(%s)\n  got  %v\n  want %v", c.query, got, c.want)
+		}
+	}
+}
+
+func TestFreeVarsOver(t *testing.T) {
+	e, err := parser.Parse(`SELECT VALUE d FROM dept AS d WHERE d.dno = e.deptno`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ast.FreeVarsOver(e, map[string]bool{"e": true}) {
+		t.Error("e should occur free in the correlated block")
+	}
+	if ast.FreeVarsOver(e, map[string]bool{"d": true}) {
+		t.Error("d is bound by its own FROM and must not be reported free")
+	}
+	if ast.FreeVarsOver(nil, map[string]bool{"x": true}) {
+		t.Error("a nil expression has no free variables")
+	}
+}
+
+func TestItemVars(t *testing.T) {
+	join := &ast.FromJoin{
+		Left:  &ast.FromExpr{As: "e", AtVar: "i"},
+		Right: &ast.FromExpr{As: "d"},
+	}
+	got := ast.ItemVars(join)
+	want := []string{"e", "i", "d"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ItemVars(join) = %v, want %v", got, want)
+	}
+	unpivot := &ast.FromUnpivot{ValueVar: "v", NameVar: "a"}
+	got = ast.ItemVars(unpivot)
+	want = []string{"v", "a"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ItemVars(unpivot) = %v, want %v", got, want)
+	}
+}

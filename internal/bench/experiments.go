@@ -50,7 +50,11 @@ type Experiment struct {
 }
 
 func newEngine(compat, strict bool, data map[string]value.Value) *sqlpp.Engine {
-	db := sqlpp.New(&sqlpp.Options{Compat: compat, StopOnError: strict})
+	return newEngineOpts(sqlpp.Options{Compat: compat, StopOnError: strict}, data)
+}
+
+func newEngineOpts(opts sqlpp.Options, data map[string]value.Value) *sqlpp.Engine {
+	db := sqlpp.New(&opts)
 	for name, v := range data {
 		if err := db.Register(name, v); err != nil {
 			panic(err)
@@ -58,6 +62,9 @@ func newEngine(compat, strict bool, data map[string]value.Value) *sqlpp.Engine {
 	}
 	return db
 }
+
+// naiveOpts is the physical-layer baseline: optimizer off, one worker.
+var naiveOpts = sqlpp.Options{DisableOptimizer: true, Parallelism: 1}
 
 // GroupAsExperiment measures claim C4 (§V-B): inverting a nested
 // hierarchy with GROUP BY ... GROUP AS versus the equivalent nested
@@ -199,6 +206,99 @@ func PivotUnpivotExperiment(days, symbols int) Experiment {
 			{Name: "unpivot", DB: newEngine(false, false, wide), Query: unpivotQ},
 			{Name: "pivot", DB: newEngine(false, false, tall), Query: pivotQ},
 		},
+	}
+}
+
+// HashJoinExperiment measures the physical layer's equi-join rewrite:
+// an uncorrelated equi-join of two n-element collections runs as a
+// nested loop (O(n^2) predicate evaluations) on the naive pipeline and
+// as a build/probe hash join (O(n)) with the optimizer on. Both comma
+// syntax (WHERE carries the equi-conjunct) and explicit JOIN ... ON are
+// measured; parallelism is pinned to 1 so the gap is the join algorithm
+// alone.
+func HashJoinExperiment(n int) Experiment {
+	data := map[string]value.Value{
+		"emp":  FlatEmp(n, n, 42),
+		"dept": Departments(n, 42),
+	}
+	comma := `
+		SELECT e.name AS emp_name, d.name AS dept_name
+		FROM emp AS e, dept AS d
+		WHERE e.deptno = d.dno`
+	joinOn := `
+		SELECT e.name AS emp_name, d.name AS dept_name
+		FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`
+	seq := sqlpp.Options{Parallelism: 1}
+	return Experiment{
+		ID:    fmt.Sprintf("phys/hash-join/N=%d", n),
+		Claim: "uncorrelated equi-joins run as hash build/probe instead of nested loops",
+		Variants: []Variant{
+			{Name: "naive-nested-loop", DB: newEngineOpts(naiveOpts, data), Query: comma},
+			{Name: "hash-comma", DB: newEngineOpts(seq, data), Query: comma},
+			{Name: "hash-join-on", DB: newEngineOpts(seq, data), Query: joinOn},
+		},
+	}
+}
+
+// PushdownExperiment measures predicate pushdown in isolation: a
+// selective filter on the outer variable of a correlated unnest. The
+// naive pipeline unnests every employee's projects and filters the
+// joined rows; with pushdown the filter runs before the unnest, so
+// filtered-out employees never pay for it. The inner source is
+// correlated, so no hash join can fire — the gap is pushdown alone.
+func PushdownExperiment(n int) Experiment {
+	data := map[string]value.Value{
+		"emp": HR(HROptions{N: n, Seed: 42}),
+	}
+	q := fmt.Sprintf(`
+		SELECT e.name AS emp_name, p.name AS proj_name
+		FROM emp AS e, e.projects AS p
+		WHERE e.id <= %d`, n/20)
+	return Experiment{
+		ID:    fmt.Sprintf("phys/pushdown/N=%d", n),
+		Claim: "WHERE conjuncts apply at the earliest FROM-chain point they can",
+		Variants: []Variant{
+			{Name: "naive-late-filter", DB: newEngineOpts(naiveOpts, data), Query: q},
+			{Name: "pushdown", DB: newEngineOpts(sqlpp.Options{Parallelism: 1}, data), Query: q},
+		},
+	}
+}
+
+// ParallelScanExperiment measures the partitioned outer scan: a
+// grouped aggregation over a large flat collection, sequential versus
+// the worker-pool scan. The "parallel" variant uses Parallelism 0
+// (= GOMAXPROCS), so on a single-core host it falls back to sequential
+// by design; "parallel-4" forces four workers regardless, which
+// measures the partition/merge overhead there and the full win on
+// multicore. Results are byte-identical in every variant.
+func ParallelScanExperiment(n int) Experiment {
+	data := map[string]value.Value{"emp": FlatEmp(n, 100, 42)}
+	q := `
+		SELECT e.deptno, AVG(e.salary) AS avgsal, COUNT(*) AS cnt
+		FROM emp AS e
+		WHERE e.salary > 60000
+		GROUP BY e.deptno`
+	return Experiment{
+		ID:    fmt.Sprintf("phys/parallel-scan/N=%d", n),
+		Claim: "the outermost scan partitions across a worker pool with a deterministic merge",
+		Variants: []Variant{
+			{Name: "sequential", DB: newEngineOpts(sqlpp.Options{Parallelism: 1}, data), Query: q},
+			{Name: "parallel", DB: newEngineOpts(sqlpp.Options{Parallelism: 0}, data), Query: q},
+			{Name: "parallel-4", DB: newEngineOpts(sqlpp.Options{Parallelism: 4}, data), Query: q},
+		},
+	}
+}
+
+// PhysicalExperiments returns the physical-optimization experiment set
+// (the BENCH_joins.json artifact) at the given scale factor.
+func PhysicalExperiments(scale int) []Experiment {
+	if scale < 1 {
+		scale = 1
+	}
+	return []Experiment{
+		HashJoinExperiment(1000 * scale),
+		PushdownExperiment(5000 * scale),
+		ParallelScanExperiment(200000 * scale),
 	}
 }
 

@@ -109,6 +109,21 @@ func FlatEmp(n, depts int, seed int64) value.Bag {
 	return out
 }
 
+// Departments generates a dept table {dno, name, budget} with one row
+// per department number, pairing with FlatEmp's deptno for equi-joins.
+func Departments(n int, seed int64) value.Bag {
+	r := rand.New(rand.NewSource(seed + 3))
+	out := make(value.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		t := value.EmptyTuple()
+		t.Put("dno", value.Int(int64(i+1)))
+		t.Put("name", value.String(fmt.Sprintf("Dept %d", i+1)))
+		t.Put("budget", value.Int(int64(100000+r.Intn(900000))))
+		out = append(out, t)
+	}
+	return out
+}
+
 // FlatEmpProjects flattens the nested HR data into the join-table shape
 // a SQL database would use: one (emp_id, project) row per membership.
 // It pairs with HR for the unnest-versus-join comparison.

@@ -13,6 +13,7 @@ package compat
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"sqlpp/internal/ast"
@@ -164,12 +165,16 @@ func Execute(data map[string]string, query string, compatMode, strict bool) (val
 	if strict {
 		mode = eval.StopOnError
 	}
+	// The kit exercises the optimized physical plans: listing results
+	// must be identical with every rewrite enabled.
+	plan.Optimize(core, plan.OptOptions{Mode: mode})
 	ctx := &eval.Context{
-		Mode:   mode,
-		Compat: compatMode,
-		Names:  cat,
-		Funcs:  sharedFuncs,
-		Run:    plan.Run,
+		Mode:        mode,
+		Compat:      compatMode,
+		Names:       cat,
+		Funcs:       sharedFuncs,
+		Run:         plan.Run,
+		Parallelism: runtime.GOMAXPROCS(0),
 	}
 	return plan.Run(ctx, eval.NewEnv(), core)
 }
@@ -196,12 +201,14 @@ func ExecuteValues(data map[string]value.Value, query string, compatMode, strict
 	if strict {
 		mode = eval.StopOnError
 	}
+	plan.Optimize(core, plan.OptOptions{Mode: mode})
 	ctx := &eval.Context{
-		Mode:   mode,
-		Compat: compatMode,
-		Names:  cat,
-		Funcs:  sharedFuncs,
-		Run:    plan.Run,
+		Mode:        mode,
+		Compat:      compatMode,
+		Names:       cat,
+		Funcs:       sharedFuncs,
+		Run:         plan.Run,
+		Parallelism: runtime.GOMAXPROCS(0),
 	}
 	return plan.Run(ctx, eval.NewEnv(), core)
 }

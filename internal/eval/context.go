@@ -85,6 +85,9 @@ type Context struct {
 	// ablation benchmark comparing the two execution strategies; the
 	// semantics are identical.
 	MaterializeClauses bool
+	// Parallelism bounds the worker pool a parallel outer scan may use;
+	// values below 2 keep execution fully sequential.
+	Parallelism int
 	// Ctx carries the query's deadline/cancellation signal for
 	// cooperative interruption. Nil (or a context that can never be
 	// cancelled) means the query runs to completion; the facade only
@@ -119,6 +122,16 @@ func (c *Context) Interrupted() error {
 		return fmt.Errorf("sqlpp: query interrupted: %w", err)
 	}
 	return nil
+}
+
+// Fork returns a copy of c for one worker of a parallel scan. All the
+// shared fields (catalog, functions, runner, deadline context) are safe
+// for concurrent reads; only the poll counter is per-goroutine state,
+// and each fork gets its own.
+func (c *Context) Fork() *Context {
+	cp := *c
+	cp.polls = 0
+	return &cp
 }
 
 // TypeError is a dynamic typing error. In permissive mode it is converted

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/eval"
@@ -57,6 +58,12 @@ func produceScan(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, k emit) erro
 	if err != nil {
 		return err
 	}
+	return scanValue(ctx, env, x, src, k)
+}
+
+// scanValue binds x's variables over an already-evaluated source value;
+// the physical plan reuses it with a hoisted source.
+func scanValue(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, src value.Value, k emit) error {
 	// Scans are the row-production loops of every query block (cross
 	// products and joins nest them), so this is where a deadline or
 	// cancellation cooperatively stops a runaway query.
@@ -108,6 +115,12 @@ func produceUnpivot(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, k emit
 	if err != nil {
 		return err
 	}
+	return unpivotValue(ctx, env, x, src, k)
+}
+
+// unpivotValue binds x's variables over an already-evaluated source
+// tuple; the physical plan reuses it with a hoisted source.
+func unpivotValue(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, src value.Value, k emit) error {
 	bind := func(name string, v value.Value) error {
 		if err := ctx.Interrupted(); err != nil {
 			return err
@@ -161,7 +174,7 @@ func produceJoin(ctx *eval.Context, env *eval.Env, x *ast.FromJoin, k emit) erro
 		}
 		if !matched && x.Kind == ast.JoinLeft {
 			padded := left.Child()
-			for _, name := range itemVars(x.Right) {
+			for _, name := range ast.ItemVars(x.Right) {
 				padded.Bind(name, value.Null)
 			}
 			return k(padded)
@@ -170,22 +183,113 @@ func produceJoin(ctx *eval.Context, env *eval.Env, x *ast.FromJoin, k emit) erro
 	})
 }
 
-// itemVars lists the variables a FROM item introduces, for LEFT JOIN
-// padding.
-func itemVars(item ast.FromItem) []string {
-	switch x := item.(type) {
-	case *ast.FromExpr:
-		vars := []string{x.As}
-		if x.AtVar != "" {
-			vars = append(vars, x.AtVar)
-		}
-		return vars
-	case *ast.FromUnpivot:
-		return []string{x.ValueVar, x.NameVar}
-	case *ast.FromJoin:
-		return append(itemVars(x.Left), itemVars(x.Right)...)
+// physState is the per-invocation runtime of a block's physical plan:
+// lazily hoisted sources and hash tables, indexed by step. The lazy
+// cells synchronize on sync.Once so the workers of a parallel scan can
+// share one physState — whichever binding first needs a hoisted source
+// or a hash table builds it, and a source the naive plan would never
+// evaluate (empty left side) is still never evaluated.
+type physState struct {
+	phys    *sfwPhys
+	outer   *eval.Env
+	sources []lazyValue
+	tables  []lazyTable
+}
+
+func newPhysState(phys *sfwPhys, outer *eval.Env) *physState {
+	return &physState{
+		phys:    phys,
+		outer:   outer,
+		sources: make([]lazyValue, len(phys.steps)),
+		tables:  make([]lazyTable, len(phys.steps)),
 	}
-	return nil
+}
+
+type lazyValue struct {
+	once sync.Once
+	val  value.Value
+	err  error
+}
+
+func (l *lazyValue) get(f func() (value.Value, error)) (value.Value, error) {
+	l.once.Do(func() { l.val, l.err = f() })
+	return l.val, l.err
+}
+
+type lazyTable struct {
+	once sync.Once
+	tab  *hashTable
+	err  error
+}
+
+func (l *lazyTable) get(f func() (*hashTable, error)) (*hashTable, error) {
+	l.once.Do(func() { l.tab, l.err = f() })
+	return l.tab, l.err
+}
+
+// produce streams the FROM chain's bindings under the physical plan:
+// pre-filters first (once), then the step chain.
+func (st *physState) produce(ctx *eval.Context, k emit) error {
+	ok, err := evalFilters(ctx, st.outer, st.phys.pre)
+	if err != nil || !ok {
+		return err
+	}
+	return st.run(ctx, st.outer, 0, k)
+}
+
+// run produces step i's bindings over env and forwards each through the
+// step's pushed filters to the next step.
+func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error {
+	if i == len(st.phys.steps) {
+		return k(env)
+	}
+	step := &st.phys.steps[i]
+	next := func(child *eval.Env) error {
+		ok, err := evalFilters(ctx, child, step.filters)
+		if err != nil || !ok {
+			return err
+		}
+		return st.run(ctx, child, i+1, k)
+	}
+	if step.hash != nil {
+		return st.runHash(ctx, env, i, step.hash, next)
+	}
+	if step.hoist {
+		switch x := step.item.(type) {
+		case *ast.FromExpr:
+			src, err := st.sources[i].get(func() (value.Value, error) {
+				return eval.Eval(ctx, st.outer, x.Expr)
+			})
+			if err != nil {
+				return err
+			}
+			return scanValue(ctx, env, x, src, next)
+		case *ast.FromUnpivot:
+			src, err := st.sources[i].get(func() (value.Value, error) {
+				return eval.Eval(ctx, st.outer, x.Expr)
+			})
+			if err != nil {
+				return err
+			}
+			return unpivotValue(ctx, env, x, src, next)
+		}
+	}
+	return produceItem(ctx, env, step.item, next)
+}
+
+// evalFilters evaluates pushed conjuncts; the binding survives only when
+// every conjunct is exactly TRUE, the same test WHERE applies.
+func evalFilters(ctx *eval.Context, env *eval.Env, filters []ast.Expr) (bool, error) {
+	for _, f := range filters {
+		cond, err := eval.Eval(ctx, env, f)
+		if err != nil {
+			return false, err
+		}
+		if !eval.IsTrue(cond) {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // groupState materializes GROUP BY groups (§V-B). Each input binding

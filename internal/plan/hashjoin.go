@@ -1,0 +1,132 @@
+package plan
+
+import (
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// Hash equi-join runtime. The table is built once per block invocation
+// over the uncorrelated side, keyed by the canonical value.AppendKey
+// encoding of the build keys, and probed once per left binding. Buckets
+// are candidate prefilters only: every candidate pair is re-verified
+// with the original predicate, so the observable semantics — numeric
+// coercion in '=', NULL/MISSING never matching, LEFT JOIN padding — are
+// exactly those of the nested loop it replaces.
+
+// hashTable maps the canonical encoding of the build keys to the
+// build-side rows carrying that key.
+type hashTable struct {
+	buckets map[string][]hashRow
+	rows    int
+}
+
+// hashRow is one build-side binding: the variables its scan introduced.
+type hashRow struct {
+	names []string
+	vals  []value.Value
+}
+
+// buildHashTable evaluates the build side once and indexes its bindings.
+// Rows whose key contains NULL or MISSING are dropped: '=' with an
+// absent operand is never TRUE, so they cannot match any probe (a LEFT
+// JOIN pads from the probe side, which is unaffected).
+func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashTable, error) {
+	t := &hashTable{buckets: map[string][]hashRow{}}
+	var kb []byte
+	err := produceItem(ctx, outer, h.right, func(renv *eval.Env) error {
+		kb = kb[:0]
+		for _, bk := range h.buildKeys {
+			v, err := eval.Eval(ctx, renv, bk)
+			if err != nil {
+				return err
+			}
+			if value.IsAbsent(v) {
+				return nil
+			}
+			kb = value.AppendKey(kb, v)
+		}
+		names := renv.Names()
+		row := hashRow{names: names, vals: make([]value.Value, len(names))}
+		for i, n := range names {
+			v, _ := renv.Lookup(n)
+			row.vals[i] = v
+		}
+		t.rows++
+		if err := checkSize(ctx, t.rows); err != nil {
+			return err
+		}
+		t.buckets[string(kb)] = append(t.buckets[string(kb)], row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// runHash produces the bindings of a hash-join step. When h.left is set
+// (JOIN ... ON), the left subtree's bindings probe; otherwise the
+// incoming environment itself probes (comma cross product).
+func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoinStep, k emit) error {
+	probe := func(lenv *eval.Env) error {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
+		// The table builds on first probe, so a join whose probe side is
+		// empty never evaluates the build side — as the nested loop
+		// wouldn't.
+		tbl, err := st.tables[i].get(func() (*hashTable, error) {
+			return buildHashTable(ctx, st.outer, h)
+		})
+		if err != nil {
+			return err
+		}
+		var kb []byte
+		absent := false
+		for _, pk := range h.probeKeys {
+			v, err := eval.Eval(ctx, lenv, pk)
+			if err != nil {
+				return err
+			}
+			if value.IsAbsent(v) {
+				absent = true
+				break
+			}
+			kb = value.AppendKey(kb, v)
+		}
+		var bucket []hashRow
+		if !absent {
+			bucket = tbl.buckets[string(kb)]
+		}
+		matched := false
+		for _, row := range bucket {
+			cand := lenv.Child()
+			for j, n := range row.names {
+				cand.Bind(n, row.vals[j])
+			}
+			ok, err := evalFilters(ctx, cand, h.verify)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			if err := k(cand); err != nil {
+				return err
+			}
+		}
+		if !matched && h.leftJoin {
+			padded := lenv.Child()
+			for _, n := range h.padVars {
+				padded.Bind(n, value.Null)
+			}
+			return k(padded)
+		}
+		return nil
+	}
+	if h.left != nil {
+		return produceItem(ctx, env, h.left, probe)
+	}
+	return probe(env)
+}

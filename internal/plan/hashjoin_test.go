@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"testing"
+
+	"sqlpp/internal/catalog"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/rewrite"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+// execPhys is exec with the physical optimizer applied and a chosen
+// worker count — the optimized counterpart of plan_test.go's exec.
+func execPhys(t *testing.T, data map[string]string, query string, strict bool, parallelism int) (value.Value, error) {
+	t.Helper()
+	cat := catalog.New()
+	for name, src := range data {
+		if err := cat.Register(name, sion.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := parser.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	core, err := rewrite.Rewrite(tree, rewrite.Options{Names: cat})
+	if err != nil {
+		return nil, err
+	}
+	mode := eval.Permissive
+	if strict {
+		mode = eval.StopOnError
+	}
+	Optimize(core, OptOptions{Mode: mode})
+	ctx := &eval.Context{Mode: mode, Names: cat, Funcs: registry, Run: Run, Parallelism: parallelism}
+	return Run(ctx, eval.NewEnv(), core)
+}
+
+// checkPhysMatchesNaive runs the query both ways and requires
+// byte-identical renderings — the optimizer contract.
+func checkPhysMatchesNaive(t *testing.T, data map[string]string, query string) {
+	t.Helper()
+	naive, err := exec(t, data, query, false, false)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	opt, err := execPhys(t, data, query, false, 1)
+	if err != nil {
+		t.Fatalf("optimized: %v", err)
+	}
+	if naive.String() != opt.String() {
+		t.Errorf("optimized result diverges for %s:\n  naive     %s\n  optimized %s",
+			query, naive, opt)
+	}
+}
+
+// joinData exercises the hash join's semantic edge cases: a NULL key, a
+// MISSING key (no deptno attribute), an int key matching a float dept
+// number, and duplicate build rows.
+var joinData = map[string]string{
+	"emp": `{{
+		{'id': 1, 'deptno': 10},
+		{'id': 2, 'deptno': 20},
+		{'id': 3, 'deptno': null},
+		{'id': 4},
+		{'id': 5, 'deptno': 10},
+		{'id': 6, 'deptno': 99}
+	}}`,
+	"dept": `{{
+		{'dno': 10, 'name': 'eng'},
+		{'dno': 20.0, 'name': 'ops'},
+		{'dno': 20, 'name': 'ops-dup'},
+		{'dno': null, 'name': 'limbo'}
+	}}`,
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	queries := []string{
+		// INNER JOIN: NULL/MISSING keys never match; 20 must find the
+		// float 20.0 row (equality coerces numerics).
+		`SELECT e.id AS id, d.name AS dept FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`,
+		// Keys reversed in the ON condition.
+		`SELECT e.id AS id, d.name AS dept FROM emp AS e JOIN dept AS d ON d.dno = e.deptno`,
+		// LEFT JOIN: unmatched probe rows pad d with NULL, including the
+		// NULL- and MISSING-keyed employees.
+		`SELECT e.id AS id, d.name AS dept FROM emp AS e LEFT JOIN dept AS d ON e.deptno = d.dno`,
+		// Extra non-equi conjunct rides along in the verification.
+		`SELECT e.id AS id, d.name AS dept
+		 FROM emp AS e LEFT JOIN dept AS d ON e.deptno = d.dno AND e.id < 5`,
+		// Comma cross product with the equi-conjunct in WHERE.
+		`SELECT e.id AS id, d.name AS dept FROM emp AS e, dept AS d WHERE e.deptno = d.dno`,
+		// Mixed equi and non-equi conjuncts.
+		`SELECT e.id AS id, d.name AS dept
+		 FROM emp AS e, dept AS d WHERE e.deptno = d.dno AND d.name LIKE 'o%'`,
+		// Compound keys: a constructed expression on each side.
+		`SELECT e.id AS id FROM emp AS e JOIN dept AS d ON e.deptno + 1 = d.dno + 1`,
+	}
+	for _, q := range queries {
+		checkPhysMatchesNaive(t, joinData, q)
+	}
+}
+
+func TestHashJoinEmptySides(t *testing.T) {
+	empty := map[string]string{
+		"emp":  `{{ {'id': 1, 'deptno': 10} }}`,
+		"dept": `{{ }}`,
+	}
+	checkPhysMatchesNaive(t, empty,
+		`SELECT e.id AS id, d.name AS dept FROM emp AS e LEFT JOIN dept AS d ON e.deptno = d.dno`)
+	checkPhysMatchesNaive(t, map[string]string{"emp": `{{ }}`, "dept": joinData["dept"]},
+		`SELECT e.id AS id FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`)
+}
+
+// TestHashJoinLazyBuild: with an empty probe side the build side must
+// never be evaluated, because the naive nested loop never evaluates it
+// either — observable through an error-raising build expression in
+// strict mode.
+func TestHashJoinLazyBuild(t *testing.T) {
+	data := map[string]string{
+		"emp":  `{{ }}`,
+		"dept": `{{ {'dno': 'x'} }}`,
+	}
+	// 1 + 'x' is a type error in strict mode, but only if a dept row is
+	// ever touched; the empty emp means it never is.
+	q := `SELECT e.id AS id
+	      FROM emp AS e JOIN (SELECT VALUE {'dno': 1 + d.dno} FROM dept AS d) AS j
+	      ON e.deptno = j.dno`
+	naive, nerr := exec(t, data, q, false, true)
+	opt, oerr := execPhys(t, data, q, true, 1)
+	if (nerr == nil) != (oerr == nil) {
+		t.Fatalf("error behavior diverges: naive err=%v, optimized err=%v", nerr, oerr)
+	}
+	if nerr == nil && naive.String() != opt.String() {
+		t.Errorf("results diverge:\n  naive     %s\n  optimized %s", naive, opt)
+	}
+}
+
+func TestHoistedSourceMatchesNaive(t *testing.T) {
+	// dept is uncorrelated, so it hoists; the filter is non-equi, so no
+	// hash join hides the hoisting path.
+	checkPhysMatchesNaive(t, joinData,
+		`SELECT e.id AS id, d.name AS dept FROM emp AS e, dept AS d WHERE e.deptno < d.dno`)
+	// A correlated inner source must not hoist and still match.
+	checkPhysMatchesNaive(t, map[string]string{
+		"emp": `{{ {'id': 1, 'kids': [{'k': 1}, {'k': 2}]}, {'id': 2, 'kids': []} }}`,
+	}, `SELECT e.id AS id, c.k AS k FROM emp AS e, e.kids AS c`)
+}

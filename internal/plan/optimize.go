@@ -1,0 +1,401 @@
+package plan
+
+import (
+	"fmt"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/eval"
+)
+
+// The physical optimization pass. Optimize annotates every query block in
+// a rewritten Core tree with an execution strategy that produces the same
+// bindings as the naive clause pipeline but cheaper:
+//
+//   - source hoisting: a FROM item whose source expression has no free
+//     variables bound by items to its left is evaluated once per block
+//     invocation instead of once per left binding (lazily, so a source
+//     that the naive plan would never evaluate is still never evaluated);
+//   - hash equi-joins: JOIN ... ON conditions and comma cross products
+//     whose pushed WHERE conjuncts contain lhs = rhs terms splitting
+//     cleanly across the two sides build a hash table on the uncorrelated
+//     side, keyed by value.AppendKey, and probe it instead of looping.
+//     Buckets are only candidate prefilters — every candidate is verified
+//     with the original predicate, so the equality semantics (numeric
+//     coercion, NULL, MISSING, collections) stay bit-identical;
+//   - predicate pushdown: WHERE splits into AND-conjuncts, each applied
+//     at the earliest point in the FROM chain where its free variables
+//     are bound;
+//   - parallel outer scans: unordered blocks without LIMIT/OFFSET or
+//     window functions mark the outermost scan as partitionable across a
+//     worker pool (see parallel.go).
+//
+// Pushdown and hash joins change which rows a predicate is evaluated on
+// (a conjunct may run before its AND-siblings, and non-candidate pairs
+// skip the ON condition entirely). In permissive mode that is invisible —
+// a mistyped conjunct yields MISSING and just fails the filter — but in
+// stop-on-error mode it could change which error surfaces, so those
+// rewrites only fire in permissive mode. Hoisting and parallel scans
+// preserve the evaluation set exactly and stay enabled in both modes.
+
+// OptOptions configures the optimization pass.
+type OptOptions struct {
+	// Mode is the engine's typing mode; equality-based rewrites
+	// (pushdown, hash joins) require Permissive.
+	Mode eval.TypingMode
+}
+
+// sfwPhys is the physical plan of one query block, stored in ast.SFW.Phys.
+type sfwPhys struct {
+	// pre are WHERE conjuncts with no free block variables: evaluated
+	// once before any binding is produced; a non-TRUE value empties the
+	// block.
+	pre []ast.Expr
+	// steps mirror q.From; step i produces item i's bindings and applies
+	// its pushed conjuncts.
+	steps []fromStep
+	// residual are WHERE conjuncts that must run in clause position
+	// (they reference LET or window names, or pushdown is disabled).
+	residual []ast.Expr
+	// parallel marks the outermost scan as eligible for partitioned
+	// execution.
+	parallel bool
+}
+
+// fromStep is the physical form of one top-level FROM item.
+type fromStep struct {
+	// item is the FROM item to produce; nil when hash is a probe-only
+	// step (comma-derived hash join: the incoming environment probes).
+	item ast.FromItem
+	// filters are pushed WHERE conjuncts applied to each binding this
+	// step emits.
+	filters []ast.Expr
+	// hoist marks a FromExpr/FromUnpivot source as uncorrelated: its
+	// source expression is evaluated once per block invocation.
+	hoist bool
+	// hash, when non-nil, replaces the nested-loop production of this
+	// item with a hash-table probe.
+	hash *hashJoinStep
+}
+
+// hashJoinStep describes one hash equi-join.
+type hashJoinStep struct {
+	// left, when non-nil, is the probe-side FROM item (a JOIN's left
+	// subtree); nil means the incoming environment itself probes (comma
+	// cross product).
+	left ast.FromItem
+	// right is the uncorrelated build side.
+	right *ast.FromExpr
+	// probeKeys/buildKeys are the paired sides of the equi-conjuncts:
+	// probeKeys evaluate without right's variables, buildKeys without
+	// any earlier block variable.
+	probeKeys, buildKeys []ast.Expr
+	// verify is evaluated per bucket candidate; all must be TRUE. For a
+	// JOIN it is the full ON condition; for a comma product, the
+	// equi-conjuncts themselves.
+	verify []ast.Expr
+	// leftJoin enables the LEFT JOIN null-padding path over padVars.
+	leftJoin bool
+	padVars  []string
+}
+
+// Optimize annotates every query block under root with a physical plan
+// and returns human-readable notes describing the rewrites that fired.
+// It must run after rewrite (it relies on catalog names being resolved to
+// NamedRef) and before the tree is shared across goroutines: annotations
+// are written once here and only read during execution.
+func Optimize(root ast.Expr, o OptOptions) []string {
+	var notes []string
+	ast.Inspect(root, func(e ast.Expr) bool {
+		q, ok := e.(*ast.SFW)
+		if !ok {
+			return true
+		}
+		phys, ns := analyzeSFW(q, o)
+		q.Phys = phys
+		notes = append(notes, ns...)
+		return true
+	})
+	return notes
+}
+
+// analyzeSFW computes the physical plan of one block, or nil when the
+// naive pipeline is already optimal (no FROM items).
+func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
+	if q.Select.Value == nil || len(q.From) == 0 {
+		return nil, nil
+	}
+	permissive := o.Mode == eval.Permissive
+	n := len(q.From)
+
+	// Variable sets: per top-level item, and the names WHERE conjuncts
+	// may not be pushed past (LET and window bindings happen after FROM).
+	itemV := make([]map[string]bool, n)
+	for i, item := range q.From {
+		itemV[i] = nameSet(ast.ItemVars(item))
+	}
+	late := map[string]bool{}
+	for _, l := range q.Lets {
+		late[l.Name] = true
+	}
+	for _, w := range q.Windows {
+		late[w.Name] = true
+	}
+
+	phys := &sfwPhys{steps: make([]fromStep, n)}
+	for i := range phys.steps {
+		phys.steps[i].item = q.From[i]
+	}
+
+	// Predicate pushdown: each conjunct runs right after the last item
+	// binding one of its free variables.
+	pushed := 0
+	if q.Where != nil {
+		if permissive {
+			for _, c := range conjuncts(q.Where) {
+				fv := ast.FreeVars(c)
+				if intersects(fv, late) {
+					phys.residual = append(phys.residual, c)
+					continue
+				}
+				level := -1
+				for i := range itemV {
+					if intersects(fv, itemV[i]) {
+						level = i
+					}
+				}
+				if level < 0 {
+					phys.pre = append(phys.pre, c)
+					pushed++
+				} else {
+					phys.steps[level].filters = append(phys.steps[level].filters, c)
+					if level < n-1 {
+						pushed++
+					}
+				}
+			}
+		} else {
+			phys.residual = conjuncts(q.Where)
+		}
+	}
+
+	// Source hoisting: item i's source is uncorrelated when it has no
+	// free variable bound by items 0..i-1. The outermost item is
+	// evaluated once regardless.
+	earlier := map[string]bool{}
+	hoisted := 0
+	for i, item := range q.From {
+		switch x := item.(type) {
+		case *ast.FromExpr:
+			if i > 0 && !ast.FreeVarsOver(x.Expr, earlier) {
+				phys.steps[i].hoist = true
+				hoisted++
+			}
+		case *ast.FromUnpivot:
+			if i > 0 && !ast.FreeVarsOver(x.Expr, earlier) {
+				phys.steps[i].hoist = true
+				hoisted++
+			}
+		}
+		for v := range itemV[i] {
+			earlier[v] = true
+		}
+	}
+
+	// Hash equi-joins.
+	hashed := 0
+	if permissive {
+		earlier = map[string]bool{}
+		for i, item := range q.From {
+			step := &phys.steps[i]
+			switch x := item.(type) {
+			case *ast.FromJoin:
+				if h := analyzeJoinHash(x, earlier); h != nil {
+					step.hash = h
+					hashed++
+				}
+			case *ast.FromExpr:
+				// Comma-derived: the uncorrelated right side pairs with
+				// the bindings accumulated so far via pushed equi-conjuncts.
+				if !step.hoist || len(step.filters) == 0 {
+					break
+				}
+				if h := analyzeCommaHash(x, step, itemV[i], earlier); h != nil {
+					step.hash = h
+					step.item = nil
+					hashed++
+				}
+			}
+			for v := range itemV[i] {
+				earlier[v] = true
+			}
+		}
+	}
+
+	// Parallel outer scan: bag output, no LIMIT/OFFSET (their early-stop
+	// and slicing need global order), no window functions, and a plain
+	// scan as the outermost item. GROUP BY, DISTINCT, and HAVING all
+	// merge deterministically (see parallel.go).
+	if len(q.OrderBy) == 0 && q.Limit == nil && q.Offset == nil && len(q.Windows) == 0 {
+		if _, ok := phys.steps[0].item.(*ast.FromExpr); ok && phys.steps[0].hash == nil {
+			phys.parallel = true
+		}
+	}
+
+	var notes []string
+	pos := q.Pos()
+	add := func(format string, args ...any) {
+		notes = append(notes, fmt.Sprintf("%s at %v", fmt.Sprintf(format, args...), pos))
+	}
+	if pushed > 0 {
+		add("pushdown(%d)", pushed)
+	}
+	if hoisted > 0 {
+		add("hoist(%d)", hoisted)
+	}
+	if hashed > 0 {
+		add("hash-join(%d)", hashed)
+	}
+	if phys.parallel {
+		add("parallel-scan")
+	}
+	return phys, notes
+}
+
+// analyzeJoinHash turns an INNER or LEFT JOIN with an uncorrelated
+// FromExpr right side and splittable equi-conjuncts in its ON condition
+// into a hash join. earlier is the set of variables bound by items to the
+// join's left in the enclosing block.
+func analyzeJoinHash(x *ast.FromJoin, earlier map[string]bool) *hashJoinStep {
+	if x.Kind != ast.JoinInner && x.Kind != ast.JoinLeft {
+		return nil
+	}
+	if x.On == nil {
+		return nil
+	}
+	right, ok := x.Right.(*ast.FromExpr)
+	if !ok {
+		return nil
+	}
+	leftVars := nameSet(ast.ItemVars(x.Left))
+	probeSide := union(earlier, leftVars)
+	if ast.FreeVarsOver(right.Expr, probeSide) {
+		return nil
+	}
+	rightVars := nameSet(ast.ItemVars(right))
+	probeKeys, buildKeys := splitEquiKeys(conjuncts(x.On), rightVars, probeSide)
+	if len(probeKeys) == 0 {
+		return nil
+	}
+	return &hashJoinStep{
+		left:      x.Left,
+		right:     right,
+		probeKeys: probeKeys,
+		buildKeys: buildKeys,
+		// The full ON condition re-verifies every candidate, keeping
+		// join semantics exactly those of the nested loop.
+		verify:   []ast.Expr{x.On},
+		leftJoin: x.Kind == ast.JoinLeft,
+		padVars:  ast.ItemVars(right),
+	}
+}
+
+// analyzeCommaHash turns an uncorrelated comma item with pushed
+// equi-conjuncts into a probe-only hash join: the incoming environment
+// probes the table built over the item's source.
+func analyzeCommaHash(x *ast.FromExpr, step *fromStep, ownVars, earlier map[string]bool) *hashJoinStep {
+	var equi []ast.Expr
+	var rest []ast.Expr
+	var probeKeys, buildKeys []ast.Expr
+	for _, c := range step.filters {
+		p, b, ok := splitEquiConjunct(c, ownVars, earlier)
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		equi = append(equi, c)
+		probeKeys = append(probeKeys, p)
+		buildKeys = append(buildKeys, b)
+	}
+	if len(equi) == 0 {
+		return nil
+	}
+	step.filters = rest
+	return &hashJoinStep{
+		right:     x,
+		probeKeys: probeKeys,
+		buildKeys: buildKeys,
+		verify:    equi,
+		padVars:   ast.ItemVars(x),
+	}
+}
+
+// splitEquiKeys extracts the equi-conjuncts of an ON condition: terms
+// lhs = rhs where one side avoids the build variables and the other
+// avoids the probe variables.
+func splitEquiKeys(cs []ast.Expr, buildVars, probeVars map[string]bool) (probeKeys, buildKeys []ast.Expr) {
+	for _, c := range cs {
+		if p, b, ok := splitEquiConjunct(c, buildVars, probeVars); ok {
+			probeKeys = append(probeKeys, p)
+			buildKeys = append(buildKeys, b)
+		}
+	}
+	return probeKeys, buildKeys
+}
+
+// splitEquiConjunct splits one conjunct of the form lhs = rhs into a
+// probe-side key (no build variables free) and a build-side key (no
+// probe variables free).
+func splitEquiConjunct(c ast.Expr, buildVars, probeVars map[string]bool) (probe, build ast.Expr, ok bool) {
+	eq, isBin := c.(*ast.Binary)
+	if !isBin || eq.Op != "=" {
+		return nil, nil, false
+	}
+	lFree := ast.FreeVars(eq.L)
+	rFree := ast.FreeVars(eq.R)
+	if !intersects(lFree, buildVars) && !intersects(rFree, probeVars) {
+		return eq.L, eq.R, true
+	}
+	if !intersects(rFree, buildVars) && !intersects(lFree, probeVars) {
+		return eq.R, eq.L, true
+	}
+	return nil, nil, false
+}
+
+// conjuncts flattens nested AND expressions into their conjunct list.
+func conjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []ast.Expr{e}
+}
+
+func nameSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	s := make(map[string]bool, len(a)+len(b))
+	for n := range a {
+		s[n] = true
+	}
+	for n := range b {
+		s[n] = true
+	}
+	return s
+}
+
+func intersects(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for n := range a {
+		if b[n] {
+			return true
+		}
+	}
+	return false
+}

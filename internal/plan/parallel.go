@@ -1,0 +1,212 @@
+package plan
+
+import (
+	"sync"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+// Parallel outer scan. An unordered block whose outermost FROM item is a
+// plain scan partitions the scanned collection into contiguous chunks,
+// runs the rest of the pipeline over each chunk in its own worker, and
+// merges the per-worker results in chunk order. Because the chunks are
+// contiguous and the merge walks them in order, the output is
+// byte-identical to sequential execution: group first-appearance order,
+// group content order, DISTINCT first occurrences, and row order are all
+// the sequential ones. Workers never observe each other's failures; the
+// merge reports the first error in chunk order, which is the error the
+// sequential plan would have hit.
+
+// parallelMinRows is the smallest outer-scan cardinality worth
+// parallelizing: below it, worker startup and merge overhead dominate.
+// A variable so tests can lower it.
+var parallelMinRows = 1024
+
+// parallelMinChunk bounds how finely the scan is split, so a scan barely
+// over the threshold does not fan out into trivial chunks.
+const parallelMinChunk = 256
+
+// runSFWParallel executes an eligible block with a partitioned outer
+// scan. done reports whether the block was handled; when false the
+// caller falls back to sequential execution (the source was not a
+// materialized collection, or is too small to be worth it).
+func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhys) (result value.Value, done bool, err error) {
+	scan := q.From[0].(*ast.FromExpr)
+
+	// The pre filters and the outer source evaluate exactly once, as in
+	// the sequential plan.
+	ok, err := evalFilters(ctx, outer, phys.pre)
+	if err != nil {
+		return nil, true, err
+	}
+	if !ok {
+		return value.Bag(nil), true, nil
+	}
+	src, err := eval.Eval(ctx, outer, scan.Expr)
+	if err != nil {
+		return nil, true, err
+	}
+	var elems []value.Value
+	isArray := false
+	switch s := src.(type) {
+	case value.Array:
+		elems = s
+		isArray = true
+	case value.Bag:
+		elems = s
+	default:
+		// MISSING, singleton, or error sources keep the sequential
+		// path's handling.
+		return nil, false, nil
+	}
+	if len(elems) < parallelMinRows {
+		return nil, false, nil
+	}
+	workers := ctx.Parallelism
+	if most := len(elems) / parallelMinChunk; workers > most {
+		workers = most
+	}
+	if workers < 2 {
+		return nil, false, nil
+	}
+
+	// Steps 1..n share one physState: hoisted sources and hash tables
+	// build once (under sync.Once) and are read-only afterwards.
+	st := newPhysState(phys, outer)
+	filters := phys.steps[0].filters
+
+	type worker struct {
+		sink    *rowSink
+		grouper *groupState
+		err     error
+	}
+	ws := make([]worker, workers)
+	chunk := (len(elems) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(elems) {
+			hi = len(elems)
+		}
+		wctx := ctx.Fork()
+		sink := newRowSink(wctx, q, false, -1, 0)
+		sink.keepKeys = q.Select.Distinct
+		ws[w].sink = sink
+		var consume emit
+		if q.GroupBy != nil {
+			ws[w].grouper = newGroupState(wctx, outer, q.GroupBy)
+			consume = ws[w].grouper.add
+		} else {
+			consume = havingChain(wctx, q, sink.project)
+		}
+		consume = preGroupChain(wctx, q, phys, consume)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				if err := wctx.Interrupted(); err != nil {
+					ws[w].err = err
+					return
+				}
+				child := outer.Child()
+				child.Bind(scan.As, elems[j])
+				if scan.AtVar != "" {
+					// Bags are unordered: AT binds MISSING.
+					ord := value.Missing
+					if isArray {
+						ord = value.Int(int64(j))
+					}
+					child.Bind(scan.AtVar, ord)
+				}
+				ok, err := evalFilters(wctx, child, filters)
+				if err != nil {
+					ws[w].err = err
+					return
+				}
+				if !ok {
+					continue
+				}
+				if err := st.run(wctx, child, 1, consume); err != nil {
+					if err == errStop {
+						return
+					}
+					ws[w].err = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for i := range ws {
+		if ws[i].err != nil {
+			return nil, true, ws[i].err
+		}
+	}
+
+	if q.GroupBy != nil {
+		merged := newGroupState(ctx, outer, q.GroupBy)
+		for i := range ws {
+			if err := merged.merge(ws[i].grouper); err != nil {
+				return nil, true, err
+			}
+		}
+		sink := newRowSink(ctx, q, false, -1, 0)
+		if err := merged.flush(havingChain(ctx, q, sink.project)); err != nil && err != errStop {
+			return nil, true, err
+		}
+		return value.Bag(sink.out), true, nil
+	}
+
+	if q.Select.Distinct {
+		seen := map[string]bool{}
+		var out []value.Value
+		for i := range ws {
+			s := ws[i].sink
+			for j, v := range s.out {
+				if seen[s.keys[j]] {
+					continue
+				}
+				seen[s.keys[j]] = true
+				out = append(out, v)
+				if err := checkSize(ctx, len(out)); err != nil {
+					return nil, true, err
+				}
+			}
+		}
+		return value.Bag(out), true, nil
+	}
+
+	total := 0
+	for i := range ws {
+		total += len(ws[i].sink.out)
+	}
+	if err := checkSize(ctx, total); err != nil {
+		return nil, true, err
+	}
+	out := make([]value.Value, 0, total)
+	for i := range ws {
+		out = append(out, ws[i].sink.out...)
+	}
+	return value.Bag(out), true, nil
+}
+
+// merge folds another worker's groups into g, preserving g's (chunk
+// order) group-appearance order and appending content in chunk order.
+func (g *groupState) merge(w *groupState) error {
+	for _, ks := range w.order {
+		if _, ok := g.content[ks]; !ok {
+			g.order = append(g.order, ks)
+			g.keyVals[ks] = w.keyVals[ks]
+			g.content[ks] = w.content[ks]
+		} else {
+			g.content[ks] = append(g.content[ks], w.content[ks]...)
+		}
+		if err := checkSize(g.ctx, len(g.content[ks])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@
 package plan
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,114 +56,163 @@ func Run(ctx *eval.Context, env *eval.Env, e ast.Expr) (value.Value, error) {
 // stream (errStop aborts without failing the query).
 type emit func(*eval.Env) error
 
-// runSFW executes one query block.
-func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error) {
-	if q.Select.Value == nil {
-		return nil, fmt.Errorf("plan: query block not in Core form (SELECT sugar not lowered) at %s", q.Pos())
+// rowSink collects a block's projected rows: DISTINCT filtering, ORDER
+// BY key evaluation (full sort or bounded top-K heap), LIMIT early-stop,
+// and the collection-size guard. The parallel executor runs one sink per
+// worker and merges them in chunk order, which is why the sink is a
+// struct rather than closure state.
+type rowSink struct {
+	ctx     *eval.Context
+	q       *ast.SFW
+	ordered bool
+	// stopAt is offset+limit when LIMIT can stop the pipeline early
+	// (no ORDER BY, DISTINCT, GROUP BY, or windows); -1 otherwise.
+	stopAt int64
+	out    []value.Value
+	// keys are the canonical DISTINCT keys of out's rows, kept only for
+	// parallel workers so the merge can re-deduplicate globally.
+	keys     []string
+	keepKeys bool
+	rows     []sortRow
+	top      *topKHeap
+	seen     map[string]bool
+	keyBuf   []byte
+	seq      int
+}
+
+func newRowSink(ctx *eval.Context, q *ast.SFW, ordered bool, limit, offset int64) *rowSink {
+	s := &rowSink{ctx: ctx, q: q, ordered: ordered, stopAt: -1}
+	if q.Select.Distinct {
+		s.seen = map[string]bool{}
 	}
-	if ctx.MaterializeClauses {
-		return runSFWMaterialized(ctx, outer, q)
-	}
-
-	ordered := len(q.OrderBy) > 0
-	limit, offset, err := evalLimitOffset(ctx, outer, q)
-	if err != nil {
-		return nil, err
-	}
-
-	var rows []sortRow
-	var out []value.Value
-	seen := map[string]bool{} // DISTINCT filter
-	produced := 0             // rows collected, for LIMIT pushdown
-
-	// canStopEarly: without ORDER BY or DISTINCT, LIMIT can stop the
-	// whole pipeline as soon as enough rows exist.
-	canStopEarly := !ordered && !q.Select.Distinct && limit >= 0 && q.GroupBy == nil
-
-	project := func(env *eval.Env) error {
-		v, err := eval.Eval(ctx, env, q.Select.Value)
-		if err != nil {
-			return err
-		}
-		if v.Kind() == value.KindMissing {
-			// A MISSING output value vanishes from a bag result; in an
-			// ordered (array) result it becomes NULL to keep positions,
-			// mirroring the bag/array constructors.
-			if !ordered {
-				return nil
-			}
-			v = value.Null
-		}
-		if q.Select.Distinct {
-			k := value.Key(v)
-			if seen[k] {
-				return nil
-			}
-			seen[k] = true
-		}
+	if limit >= 0 {
 		if ordered {
-			keys := make([]value.Value, len(q.OrderBy))
-			for i, o := range q.OrderBy {
-				kv, err := eval.Eval(ctx, env, o.Expr)
-				if err != nil {
-					return err
-				}
-				keys[i] = kv
-			}
-			rows = append(rows, sortRow{val: v, keys: keys})
-			return checkSize(ctx, len(rows))
+			// Top-K: ORDER BY ... LIMIT k needs only the offset+limit
+			// smallest rows under (sort key, arrival order), which is
+			// exactly what a stable full sort would slice off.
+			s.top = newTopKHeap(int(offset+limit), q.OrderBy)
+		} else if !q.Select.Distinct && q.GroupBy == nil && len(q.Windows) == 0 {
+			s.stopAt = offset + limit
 		}
-		out = append(out, v)
-		if err := checkSize(ctx, len(out)); err != nil {
+	}
+	return s
+}
+
+// project evaluates SELECT VALUE for one binding and folds the row in.
+func (s *rowSink) project(env *eval.Env) error {
+	v, err := eval.Eval(s.ctx, env, s.q.Select.Value)
+	if err != nil {
+		return err
+	}
+	if v.Kind() == value.KindMissing {
+		// A MISSING output value vanishes from a bag result; in an
+		// ordered (array) result it becomes NULL to keep positions,
+		// mirroring the bag/array constructors.
+		if !s.ordered {
+			return nil
+		}
+		v = value.Null
+	}
+	var rowKey string
+	if s.q.Select.Distinct {
+		s.keyBuf = value.AppendKey(s.keyBuf[:0], v)
+		if s.seen[string(s.keyBuf)] {
+			return nil
+		}
+		rowKey = string(s.keyBuf)
+		s.seen[rowKey] = true
+		if err := checkSize(s.ctx, len(s.seen)); err != nil {
 			return err
 		}
-		produced++
-		if canStopEarly && int64(produced) >= offset+limit {
-			return errStop
-		}
-		return nil
 	}
-
-	// Window functions force materialization of the post-group bindings:
-	// each partition must be complete before any row's value is known.
-	var windowEnvs []*eval.Env
-	postHaving := project
-	if len(q.Windows) > 0 {
-		canStopEarly = false
-		postHaving = func(env *eval.Env) error {
-			windowEnvs = append(windowEnvs, env)
-			return checkSize(ctx, len(windowEnvs))
-		}
-	}
-
-	// postGroup runs HAVING and then projection (or window collection)
-	// for a group-output binding.
-	postGroup := postHaving
-	if q.Having != nil {
-		inner := postGroup
-		postGroup = func(env *eval.Env) error {
-			cond, err := eval.Eval(ctx, env, q.Having)
+	if s.ordered {
+		keys := make([]value.Value, len(s.q.OrderBy))
+		for i, o := range s.q.OrderBy {
+			kv, err := eval.Eval(s.ctx, env, o.Expr)
 			if err != nil {
 				return err
 			}
-			if !eval.IsTrue(cond) {
-				return nil
-			}
-			return inner(env)
+			keys[i] = kv
+		}
+		r := sortRow{val: v, keys: keys, seq: s.seq}
+		s.seq++
+		if s.top != nil {
+			s.top.offer(r)
+			return nil
+		}
+		s.rows = append(s.rows, r)
+		return checkSize(s.ctx, len(s.rows))
+	}
+	s.out = append(s.out, v)
+	if s.keepKeys {
+		s.keys = append(s.keys, rowKey)
+	}
+	if err := checkSize(s.ctx, len(s.out)); err != nil {
+		return err
+	}
+	if s.stopAt >= 0 && int64(len(s.out)) >= s.stopAt {
+		return errStop
+	}
+	return nil
+}
+
+// finish sorts (if ordered) and applies LIMIT/OFFSET, returning the
+// block's result collection.
+func (s *rowSink) finish(limit, offset int64) value.Value {
+	out := s.out
+	if s.ordered {
+		rows := s.rows
+		if s.top != nil {
+			rows = s.top.finish()
+		} else {
+			sortRows(rows, s.q.OrderBy)
+		}
+		out = make([]value.Value, len(rows))
+		for i, r := range rows {
+			out[i] = r.val
 		}
 	}
-
-	// The consumer of FROM/WHERE bindings.
-	var consume emit
-	var grouper *groupState
-	if q.GroupBy != nil {
-		grouper = newGroupState(ctx, outer, q.GroupBy)
-		consume = grouper.add
-	} else {
-		consume = postGroup
+	out = applyLimitOffset(out, limit, offset)
+	if s.ordered {
+		return value.Array(out)
 	}
+	return value.Bag(out)
+}
 
-	if q.Where != nil {
+// havingChain wraps inner with the HAVING filter.
+func havingChain(ctx *eval.Context, q *ast.SFW, inner emit) emit {
+	if q.Having == nil {
+		return inner
+	}
+	return func(env *eval.Env) error {
+		cond, err := eval.Eval(ctx, env, q.Having)
+		if err != nil {
+			return err
+		}
+		if !eval.IsTrue(cond) {
+			return nil
+		}
+		return inner(env)
+	}
+}
+
+// preGroupChain wraps consume with the block's WHERE (or the optimizer's
+// residual conjuncts) and LET clauses, in pipeline order: LETs bind
+// first, then WHERE filters.
+func preGroupChain(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, consume emit) emit {
+	if phys != nil {
+		if len(phys.residual) > 0 {
+			inner := consume
+			residual := phys.residual
+			consume = func(env *eval.Env) error {
+				ok, err := evalFilters(ctx, env, residual)
+				if err != nil || !ok {
+					return err
+				}
+				return inner(env)
+			}
+		}
+	} else if q.Where != nil {
 		inner := consume
 		consume = func(env *eval.Env) error {
 			cond, err := eval.Eval(ctx, env, q.Where)
@@ -189,8 +239,66 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 			return inner(env)
 		}
 	}
+	return consume
+}
 
-	if err := produceFrom(ctx, outer, q.From, consume); err != nil && err != errStop {
+// runSFW executes one query block.
+func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error) {
+	if q.Select.Value == nil {
+		return nil, fmt.Errorf("plan: query block not in Core form (SELECT sugar not lowered) at %s", q.Pos())
+	}
+	if ctx.MaterializeClauses {
+		return runSFWMaterialized(ctx, outer, q)
+	}
+
+	ordered := len(q.OrderBy) > 0
+	limit, offset, err := evalLimitOffset(ctx, outer, q)
+	if err != nil {
+		return nil, err
+	}
+
+	phys, _ := q.Phys.(*sfwPhys)
+	if phys != nil && phys.parallel && ctx.Parallelism > 1 {
+		if v, done, err := runSFWParallel(ctx, outer, q, phys); done {
+			return v, err
+		}
+	}
+
+	sink := newRowSink(ctx, q, ordered, limit, offset)
+
+	// Window functions force materialization of the post-group bindings:
+	// each partition must be complete before any row's value is known.
+	var windowEnvs []*eval.Env
+	postHaving := sink.project
+	if len(q.Windows) > 0 {
+		sink.stopAt = -1
+		postHaving = func(env *eval.Env) error {
+			windowEnvs = append(windowEnvs, env)
+			return checkSize(ctx, len(windowEnvs))
+		}
+	}
+
+	// postGroup runs HAVING and then projection (or window collection)
+	// for a group-output binding.
+	postGroup := havingChain(ctx, q, postHaving)
+
+	// The consumer of FROM/WHERE bindings.
+	var consume emit
+	var grouper *groupState
+	if q.GroupBy != nil {
+		grouper = newGroupState(ctx, outer, q.GroupBy)
+		consume = grouper.add
+	} else {
+		consume = postGroup
+	}
+	consume = preGroupChain(ctx, q, phys, consume)
+
+	if phys != nil {
+		err = newPhysState(phys, outer).produce(ctx, consume)
+	} else {
+		err = produceFrom(ctx, outer, q.From, consume)
+	}
+	if err != nil && err != errStop {
 		return nil, err
 	}
 
@@ -205,7 +313,7 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 			return nil, err
 		}
 		for _, wenv := range windowEnvs {
-			if err := project(wenv); err != nil {
+			if err := sink.project(wenv); err != nil {
 				if err == errStop {
 					break
 				}
@@ -214,19 +322,7 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 		}
 	}
 
-	if ordered {
-		sortRows(rows, q.OrderBy)
-		out = make([]value.Value, len(rows))
-		for i, r := range rows {
-			out[i] = r.val
-		}
-	}
-
-	out = applyLimitOffset(out, limit, offset)
-	if ordered {
-		return value.Array(out), nil
-	}
-	return value.Bag(out), nil
+	return sink.finish(limit, offset), nil
 }
 
 // evalLimitOffset evaluates LIMIT and OFFSET in the outer environment.
@@ -282,34 +378,96 @@ func checkSize(ctx *eval.Context, n int) error {
 type sortRow struct {
 	val  value.Value
 	keys []value.Value
+	// seq is the row's arrival order; the top-K heap breaks sort-key
+	// ties on it to reproduce the stable full sort exactly.
+	seq int
 }
 
-// sortRows orders rows by the ORDER BY items using the SQL++ total order,
-// honouring DESC and NULLS FIRST/LAST. In the total order the absent
-// values sort lowest, which matches SQL's NULLS-FIRST-ascending when no
-// modifier is given; an explicit modifier overrides.
+// cmpRows orders two rows by the ORDER BY items using the SQL++ total
+// order, honouring DESC and NULLS FIRST/LAST. In the total order the
+// absent values sort lowest, which matches SQL's NULLS-FIRST-ascending
+// when no modifier is given; an explicit modifier overrides.
+func cmpRows(a, b sortRow, items []ast.OrderItem) int {
+	for k, o := range items {
+		av, bv := a.keys[k], b.keys[k]
+		aAbs, bAbs := value.IsAbsent(av), value.IsAbsent(bv)
+		if aAbs != bAbs && o.NullsFirst != nil {
+			if *o.NullsFirst == aAbs {
+				return -1
+			}
+			return 1
+		}
+		c := value.Compare(av, bv)
+		if c == 0 {
+			continue
+		}
+		if o.Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// sortRows stably orders rows by the ORDER BY items.
 func sortRows(rows []sortRow, items []ast.OrderItem) {
 	sort.SliceStable(rows, func(i, j int) bool {
-		for k, o := range items {
-			a, b := rows[i].keys[k], rows[j].keys[k]
-			aAbs, bAbs := value.IsAbsent(a), value.IsAbsent(b)
-			if aAbs != bAbs && o.NullsFirst != nil {
-				if *o.NullsFirst {
-					return aAbs
-				}
-				return bAbs
-			}
-			c := value.Compare(a, b)
-			if c == 0 {
-				continue
-			}
-			if o.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return cmpRows(rows[i], rows[j], items) < 0
 	})
+}
+
+// topKHeap keeps the k first rows of the stable ORDER BY order: a
+// max-heap under (sort key, arrival order) whose root is the worst row
+// kept so far. ORDER BY ... LIMIT then costs O(n log k) time and O(k)
+// space instead of materializing and sorting all n rows.
+type topKHeap struct {
+	k     int
+	items []ast.OrderItem
+	rows  []sortRow
+}
+
+func newTopKHeap(k int, items []ast.OrderItem) *topKHeap {
+	return &topKHeap{k: k, items: items}
+}
+
+// before reports whether a precedes b in the final output order.
+func (h *topKHeap) before(a, b sortRow) bool {
+	c := cmpRows(a, b, h.items)
+	return c < 0 || (c == 0 && a.seq < b.seq)
+}
+
+func (h *topKHeap) Len() int            { return len(h.rows) }
+func (h *topKHeap) Less(i, j int) bool  { return h.before(h.rows[j], h.rows[i]) }
+func (h *topKHeap) Swap(i, j int)       { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topKHeap) Push(x any)          { h.rows = append(h.rows, x.(sortRow)) }
+func (h *topKHeap) Pop() any {
+	r := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return r
+}
+
+// offer folds one row in, keeping only the k output-first rows. A row
+// tying the current worst is discarded: its arrival order places it
+// after every row already kept.
+func (h *topKHeap) offer(r sortRow) {
+	if h.k == 0 {
+		return
+	}
+	if len(h.rows) < h.k {
+		heap.Push(h, r)
+		return
+	}
+	if h.before(r, h.rows[0]) {
+		h.rows[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// finish returns the kept rows in output order.
+func (h *topKHeap) finish() []sortRow {
+	rows := h.rows
+	sort.Slice(rows, func(i, j int) bool { return h.before(rows[i], rows[j]) })
+	return rows
 }
 
 // runPivot executes a PIVOT query (§VI-B): the pipeline's bindings each

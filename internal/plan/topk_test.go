@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+// topkData: 200 rows, sort keys deliberately full of ties (k = id % 10)
+// so the bounded heap's tie-breaking is observable against the stable
+// full sort.
+func topkData() map[string]string {
+	var sb strings.Builder
+	sb.WriteString("{{")
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "{'id': %d, 'k': %d}", i+1, i%10)
+	}
+	// A NULL and a MISSING sort key exercise the absent-ordering arms.
+	sb.WriteString(",{'id': 201, 'k': null},{'id': 202}")
+	sb.WriteString("}}")
+	return map[string]string{"t": sb.String()}
+}
+
+// TestTopKMatchesFullSort checks the bounded-heap path (ORDER BY with
+// LIMIT) against the full stable sort sliced by hand: identical rows in
+// identical order, ties resolved by arrival order in both.
+func TestTopKMatchesFullSort(t *testing.T) {
+	data := topkData()
+	orders := []string{
+		`ORDER BY r.k`,
+		`ORDER BY r.k DESC`,
+		`ORDER BY r.k NULLS FIRST`,
+		`ORDER BY r.k DESC, r.id DESC`,
+	}
+	limits := []struct{ limit, offset int }{
+		{1, 0}, {7, 0}, {7, 3}, {25, 190}, {500, 0}, {0, 0}, {3, 500},
+	}
+	for _, ord := range orders {
+		full, err := exec(t, data, `SELECT VALUE r.id FROM t AS r `+ord, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, ok := full.(value.Array)
+		if !ok {
+			t.Fatalf("ordered query should yield an array, got %T", full)
+		}
+		for _, lo := range limits {
+			q := fmt.Sprintf(`SELECT VALUE r.id FROM t AS r %s LIMIT %d OFFSET %d`,
+				ord, lo.limit, lo.offset)
+			got, err := exec(t, data, q, false, false)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			start := lo.offset
+			if start > len(all) {
+				start = len(all)
+			}
+			end := start + lo.limit
+			if end > len(all) {
+				end = len(all)
+			}
+			want := value.Array(all[start:end])
+			if got.String() != want.String() {
+				t.Errorf("%s:\n  got  %s\n  want %s", q, got, want)
+			}
+		}
+	}
+}
+
+// TestTopKOffsetOnly: OFFSET without LIMIT cannot bound the heap and
+// must still slice the full ordering correctly.
+func TestTopKOffsetOnly(t *testing.T) {
+	data := topkData()
+	full, err := exec(t, data, `SELECT VALUE r.id FROM t AS r ORDER BY r.k, r.id`, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := full.(value.Array)
+	got, err := exec(t, data, `SELECT VALUE r.id FROM t AS r ORDER BY r.k, r.id OFFSET 195`, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.Array(all[195:])
+	if got.String() != want.String() {
+		t.Errorf("OFFSET without LIMIT:\n  got  %s\n  want %s", got, want)
+	}
+}

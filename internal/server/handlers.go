@@ -39,6 +39,11 @@ type queryOptions struct {
 	Strict             *bool `json:"strict,omitempty"`
 	MaxCollectionSize  *int  `json:"max_collection_size,omitempty"`
 	MaterializeClauses *bool `json:"materialize_clauses,omitempty"`
+	// DisableOptimizer skips the physical optimization pass for this
+	// request; Parallelism bounds the parallel-scan worker pool (0 =
+	// GOMAXPROCS, 1 = sequential).
+	DisableOptimizer *bool `json:"disable_optimizer,omitempty"`
+	Parallelism      *int  `json:"parallelism,omitempty"`
 }
 
 // queryResponse is the body of a successful POST /v1/query.
@@ -50,6 +55,9 @@ type queryResponse struct {
 	Cached bool `json:"cached"`
 	// ElapsedUS is the server-side latency in microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// Plan notes the physical optimizations applied to the query, one
+	// entry per rewrite that fired; absent when none did.
+	Plan []string `json:"plan,omitempty"`
 }
 
 type errorResponse struct {
@@ -124,6 +132,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if req.Options.MaterializeClauses != nil {
 			opts.MaterializeClauses = *req.Options.MaterializeClauses
 		}
+		if req.Options.DisableOptimizer != nil {
+			opts.DisableOptimizer = *req.Options.DisableOptimizer
+		}
+		if req.Options.Parallelism != nil {
+			opts.Parallelism = *req.Options.Parallelism
+		}
 		engine = engine.WithOptions(opts)
 	}
 
@@ -157,10 +171,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, "encode result: %v", err)
 		return
 	}
+	var notes []string
+	if plan.Params != nil {
+		notes = plan.Params.PlanNotes()
+	} else {
+		notes = plan.Prepared.PlanNotes()
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Result:    raw,
 		Cached:    cached,
 		ElapsedUS: elapsed.Microseconds(),
+		Plan:      notes,
 	})
 }
 

@@ -71,6 +71,10 @@ func CacheKey(opts sqlpp.Options, paramNames []string, query string) string {
 	sb.WriteString(strconv.Itoa(opts.MaxCollectionSize))
 	sb.WriteByte('z')
 	sb.WriteString(strconv.FormatBool(opts.MaterializeClauses))
+	sb.WriteByte('o')
+	sb.WriteString(strconv.FormatBool(opts.DisableOptimizer))
+	sb.WriteByte('w')
+	sb.WriteString(strconv.Itoa(opts.Parallelism))
 	if len(paramNames) > 0 {
 		names := append([]string(nil), paramNames...)
 		sort.Strings(names)

@@ -31,6 +31,7 @@ type queryReply struct {
 	Result    json.RawMessage `json:"result"`
 	Cached    bool            `json:"cached"`
 	ElapsedUS int64           `json:"elapsed_us"`
+	Plan      []string        `json:"plan"`
 	Error     string          `json:"error"`
 }
 
@@ -427,5 +428,58 @@ func TestJSONResultFormat(t *testing.T) {
 	}
 	if len(rows) != 1 || rows[0]["name"] != "Ada" {
 		t.Errorf("rows = %v", rows)
+	}
+}
+
+// TestPlanNotesAndOptimizerOptions checks the physical-optimizer
+// surface of the API: join queries report their plan notes, the
+// disable_optimizer override suppresses them, and the two configurations
+// never share a plan-cache entry.
+func TestPlanNotesAndOptimizerOptions(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.Config{})
+	ingest(t, ts.URL, "emp", "sion", `{{ {'id':1,'dno':1}, {'id':2,'dno':2} }}`)
+	ingest(t, ts.URL, "dept", "sion", `{{ {'dno':1,'name':'eng'} }}`)
+
+	join := `SELECT e.id AS id, d.name AS dn FROM emp AS e JOIN dept AS d ON e.dno = d.dno`
+	status, reply := postQuery(t, ts.URL,
+		`{"query": "`+join+`", "format": "sion"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, reply.Error)
+	}
+	if len(reply.Plan) == 0 {
+		t.Error("an equi-join should report plan notes")
+	}
+	hasHash := false
+	for _, n := range reply.Plan {
+		if strings.HasPrefix(n, "hash-join(") {
+			hasHash = true
+		}
+	}
+	if !hasHash {
+		t.Errorf("plan notes missing hash-join: %v", reply.Plan)
+	}
+
+	status, off := postQuery(t, ts.URL,
+		`{"query": "`+join+`", "format": "sion", "options": {"disable_optimizer": true}}`)
+	if status != http.StatusOK {
+		t.Fatalf("disable_optimizer: status %d (%s)", status, off.Error)
+	}
+	if len(off.Plan) != 0 {
+		t.Errorf("disable_optimizer should suppress plan notes, got %v", off.Plan)
+	}
+	if off.Cached {
+		t.Error("optimizer-off request must not reuse the optimizer-on plan")
+	}
+	if got, want := sionResult(t, off.Result), sionResult(t, reply.Result); !value.Equivalent(got, want) {
+		t.Errorf("optimizer changed the result:\n  on  %s\n  off %s", want, got)
+	}
+
+	status, par := postQuery(t, ts.URL,
+		`{"query": "`+join+`", "format": "sion", "options": {"parallelism": 2}}`)
+	if status != http.StatusOK {
+		t.Fatalf("parallelism: status %d (%s)", status, par.Error)
+	}
+	if par.Cached {
+		t.Error("a different parallelism must key a different plan")
 	}
 }

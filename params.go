@@ -48,10 +48,14 @@ func (e *Engine) PrepareParams(query string, params ...string) (*PreparedParams,
 	sort.Strings(names)
 	return &PreparedParams{
 		engine: e,
-		core:   &Prepared{engine: e, core: core},
+		core:   &Prepared{engine: e, core: core, planNotes: e.optimize(core)},
 		names:  names,
 	}, nil
 }
+
+// PlanNotes describes the physical optimizations applied to the
+// parameterized query; see Prepared.PlanNotes.
+func (p *PreparedParams) PlanNotes() []string { return p.core.PlanNotes() }
 
 // Params returns the declared parameter names, sorted.
 func (p *PreparedParams) Params() []string {

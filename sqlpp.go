@@ -18,6 +18,7 @@ package sqlpp
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/catalog"
@@ -50,6 +51,14 @@ type Options struct {
 	// identical; the option exists for the execution-strategy ablation
 	// (see EXPERIMENTS.md).
 	MaterializeClauses bool
+	// DisableOptimizer skips the physical optimization pass (predicate
+	// pushdown, source hoisting, hash joins, parallel scans), executing
+	// every block with the naive clause pipeline. Results are identical;
+	// the option exists for debugging and A/B measurement.
+	DisableOptimizer bool
+	// Parallelism bounds the worker pool of parallel outer scans. Zero
+	// selects GOMAXPROCS; 1 restores fully sequential execution.
+	Parallelism int
 }
 
 // Engine is a SQL++ query processor over a catalog of named values. An
@@ -117,12 +126,13 @@ func (e *Engine) Lookup(name string) (value.Value, bool) { return e.cat.LookupVa
 
 // Prepared is a compiled query, reusable across executions.
 type Prepared struct {
-	engine *Engine
-	core   ast.Expr
+	engine    *Engine
+	core      ast.Expr
+	planNotes []string
 }
 
-// Prepare parses, rewrites to SQL++ Core, and resolves a query against
-// the engine's catalog.
+// Prepare parses, rewrites to SQL++ Core, resolves a query against the
+// engine's catalog, and runs the physical optimization pass.
 func (e *Engine) Prepare(query string) (*Prepared, error) {
 	tree, err := parser.Parse(query)
 	if err != nil {
@@ -139,7 +149,30 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{engine: e, core: core}, nil
+	return &Prepared{engine: e, core: core, planNotes: e.optimize(core)}, nil
+}
+
+// optimize runs the physical optimization pass over a rewritten Core
+// tree. It runs at prepare time, before the Prepared is shared, so the
+// annotations it writes are immutable during execution.
+func (e *Engine) optimize(core ast.Expr) []string {
+	if e.opts.DisableOptimizer {
+		return nil
+	}
+	mode := eval.Permissive
+	if e.opts.StopOnError {
+		mode = eval.StopOnError
+	}
+	return plan.Optimize(core, plan.OptOptions{Mode: mode})
+}
+
+// PlanNotes describes the physical optimizations applied to the prepared
+// query, one note per rewrite that fired; empty when the query runs on
+// the naive pipeline.
+func (p *Prepared) PlanNotes() []string {
+	notes := make([]string, len(p.planNotes))
+	copy(notes, p.planNotes)
+	return notes
 }
 
 // Core returns the SQL++ Core form of the prepared query as text — the
@@ -182,6 +215,10 @@ func (e *Engine) newContext(ctx context.Context) *eval.Context {
 	if e.opts.StopOnError {
 		mode = eval.StopOnError
 	}
+	parallelism := e.opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	ec := &eval.Context{
 		Mode:               mode,
 		Compat:             e.opts.Compat,
@@ -190,6 +227,7 @@ func (e *Engine) newContext(ctx context.Context) *eval.Context {
 		Run:                plan.Run,
 		MaxCollectionSize:  e.opts.MaxCollectionSize,
 		MaterializeClauses: e.opts.MaterializeClauses,
+		Parallelism:        parallelism,
 	}
 	// Only install contexts that can actually fire, so queries run with
 	// context.Background() skip the per-row poll entirely.
