@@ -14,6 +14,7 @@ package sqlpp_test
 //	BenchmarkCompile        — parse+rewrite cost in both modes
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -368,6 +369,50 @@ func BenchmarkPlanCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// EXPLAIN ANALYZE overhead: the same prepared queries executed plain
+// (nil stats sink — the fast path every normal query takes) and
+// instrumented (a full per-operator stats tree). The disabled variants
+// must stay within noise of the pre-instrumentation numbers: every
+// instrumentation site is one pointer test when the sink is nil.
+func BenchmarkExplainOverhead(b *testing.B) {
+	db := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	if err := db.Register("emp", bench.FlatEmp(20000, 20, 42)); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Register("dept", bench.Departments(20, 42)); err != nil {
+		b.Fatal(err)
+	}
+	queries := []struct{ name, q string }{
+		{"scan-filter", `SELECT e.name AS n FROM emp AS e WHERE e.salary > 100000`},
+		{"hash-join", `SELECT e.name AS n, d.name AS dn FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`},
+		{"group", `SELECT e.deptno AS dno, AVG(e.salary) AS a FROM emp AS e GROUP BY e.deptno`},
+		{"top-k", `SELECT VALUE e.name FROM emp AS e ORDER BY e.salary DESC LIMIT 10`},
+	}
+	for _, tc := range queries {
+		p, err := db.Prepare(tc.q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("disabled/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Exec(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("analyze/"+tc.name, func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.ExplainAnalyze(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Compile cost: parsing + rewriting, the only place the compatibility

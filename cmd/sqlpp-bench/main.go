@@ -6,12 +6,14 @@
 //	sqlpp-bench -formats     run the format-independence experiment (claim C5)
 //	sqlpp-bench -serve       run the served-vs-embedded query latency comparison
 //	sqlpp-bench -joins       run the physical-optimizer experiments and write BENCH_joins.json
+//	sqlpp-bench -explain     measure EXPLAIN ANALYZE overhead and write BENCH_explain.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +22,7 @@ import (
 	"strings"
 	"testing"
 
+	"sqlpp"
 	"sqlpp/internal/bench"
 	"sqlpp/internal/compat"
 	"sqlpp/internal/value"
@@ -33,10 +36,12 @@ func main() {
 	serve := flag.Bool("serve", false, "run the served-vs-embedded latency comparison")
 	joins := flag.Bool("joins", false, "run the physical-optimizer experiments")
 	joinsOut := flag.String("joins-out", "BENCH_joins.json", "machine-readable output of -joins")
+	explain := flag.Bool("explain", false, "measure EXPLAIN ANALYZE instrumentation overhead")
+	explainOut := flag.String("explain-out", "BENCH_explain.json", "machine-readable output of -explain")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -55,6 +60,9 @@ func main() {
 	}
 	if *joins || all {
 		failed = runJoins(*scale, *joinsOut) || failed
+	}
+	if *explain || all {
+		failed = runExplain(*scale, *explainOut) || failed
 	}
 	if failed {
 		os.Exit(1)
@@ -221,6 +229,110 @@ func runJoins(scale int, outPath string) bool {
 			fmt.Printf("  %-20s %12.0f ns/op  %6d rows%s\n", v.Name, perOp, rows, rel)
 		}
 		report.Experiments = append(report.Experiments, je)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
+}
+
+// explainReport is the machine-readable artifact of -explain.
+type explainReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Scale      int             `json:"scale"`
+	Queries    []explainResult `json:"queries"`
+}
+
+type explainResult struct {
+	Name       string  `json:"name"`
+	DisabledNs float64 `json:"disabled_ns_per_op"`
+	AnalyzeNs  float64 `json:"analyze_ns_per_op"`
+	// Overhead is analyze-ns / disabled-ns: the full cost of collecting
+	// the per-operator stats tree relative to the nil-sink fast path.
+	Overhead float64 `json:"overhead"`
+}
+
+// runExplain measures the cost of EXPLAIN ANALYZE instrumentation: each
+// query runs plain (nil stats sink, the fast path) and instrumented, and
+// the results must render identically — instrumentation is observation,
+// never behavior. The numbers land in outPath.
+func runExplain(scale int, outPath string) bool {
+	fmt.Println("== EXPLAIN ANALYZE overhead (nil-sink fast path vs instrumented) ==")
+	db := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	if err := db.Register("emp", bench.FlatEmp(20000*scale, 20, 42)); err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	if err := db.Register("dept", bench.Departments(20, 42)); err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	queries := []struct{ name, q string }{
+		{"scan-filter", `SELECT e.name AS n FROM emp AS e WHERE e.salary > 100000`},
+		{"hash-join", `SELECT e.name AS n, d.name AS dn FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`},
+		{"group", `SELECT e.deptno AS dno, AVG(e.salary) AS a FROM emp AS e GROUP BY e.deptno`},
+		{"top-k", `SELECT VALUE e.name FROM emp AS e ORDER BY e.salary DESC LIMIT 10`},
+	}
+	report := explainReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale}
+	failed := false
+	ctx := context.Background()
+	for _, tc := range queries {
+		p, err := db.Prepare(tc.q)
+		if err != nil {
+			fmt.Printf("  %-12s ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		plain, err := p.Exec()
+		if err != nil {
+			fmt.Printf("  %-12s ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		inst, _, err := p.ExplainAnalyze(ctx)
+		if err != nil {
+			fmt.Printf("  %-12s instrumented ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		if plain.String() != inst.String() {
+			fmt.Printf("  %-12s RESULT MISMATCH: instrumentation changed the result\n", tc.name)
+			failed = true
+			continue
+		}
+		runtime.GC()
+		disabled := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Exec(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		runtime.GC()
+		analyze := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.ExplainAnalyze(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		dNs, aNs := float64(disabled.NsPerOp()), float64(analyze.NsPerOp())
+		overhead := 0.0
+		if dNs > 0 {
+			overhead = aNs / dNs
+		}
+		report.Queries = append(report.Queries, explainResult{
+			Name: tc.name, DisabledNs: dNs, AnalyzeNs: aNs, Overhead: overhead,
+		})
+		fmt.Printf("  %-12s disabled %12.0f ns/op   analyze %12.0f ns/op   (%.3fx)\n",
+			tc.name, dNs, aNs, overhead)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

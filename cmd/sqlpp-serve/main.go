@@ -19,6 +19,7 @@
 //	-max-timeout d      cap on client-requested timeouts (default 5m)
 //	-no-opt             disable the physical optimizer (naive clause pipeline)
 //	-parallel n         parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
+//	-pprof              expose net/http/pprof profiling under /debug/pprof/
 //
 // Example session:
 //
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -74,6 +76,7 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	flag.Parse()
 
 	db := sqlpp.New(&sqlpp.Options{
@@ -98,9 +101,23 @@ func run() error {
 		MaxTimeout:     *maxTimeout,
 		PlanCacheSize:  *cacheSize,
 	})
+	var handler http.Handler = svc
+	if *enablePprof {
+		// Profiling rides on the service mux only when asked for: the
+		// endpoints expose stacks and heap contents, so they are opt-in
+		// and should stay off internet-facing deployments.
+		mux := http.NewServeMux()
+		mux.Handle("/", svc)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -16,6 +16,9 @@
 //	-timeout d        abort a query after d (e.g. 500ms, 10s); 0 = no limit
 //	-out format       output format: sion (default), json, pretty
 //	-core             print the SQL++ Core rewriting instead of executing
+//	-explain          execute with EXPLAIN ANALYZE: print the per-operator
+//	                  stats tree (rows in/out, wall time, counters) after
+//	                  the result
 //	-no-opt           disable the physical optimizer (naive clause pipeline)
 //	-parallel n       parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //
@@ -25,6 +28,8 @@
 //	\schema <name>    show the declared or inferred schema of a value
 //	\core <query>     show the SQL++ Core form of a query
 //	\plan <query>     show the physical optimizations a query would use
+//	\explain analyze <query>
+//	                  execute the query and show the per-operator stats tree
 //	\mode             show the current modes
 //	\q                quit
 package main
@@ -71,6 +76,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "abort a query after this duration (0 = no limit)")
 	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
 	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
+	explain := flag.Bool("explain", false, "execute with EXPLAIN ANALYZE and print the per-operator stats tree")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
@@ -111,7 +117,7 @@ func run() error {
 		query = string(src)
 	}
 	if strings.TrimSpace(query) != "" {
-		return runOne(db, query, *outFormat, *showCore, *timeout)
+		return runOne(db, query, *outFormat, *showCore, *explain, *timeout)
 	}
 	return repl(db, *outFormat, *timeout)
 }
@@ -157,7 +163,7 @@ func splitStatements(src string) []string {
 	return out
 }
 
-func runOne(db *sqlpp.Engine, query, outFormat string, showCore bool, timeout time.Duration) error {
+func runOne(db *sqlpp.Engine, query, outFormat string, showCore, explain bool, timeout time.Duration) error {
 	if showCore {
 		p, err := db.Prepare(query)
 		if err != nil {
@@ -171,6 +177,22 @@ func runOne(db *sqlpp.Engine, query, outFormat string, showCore bool, timeout ti
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	if explain {
+		p, err := db.Prepare(query)
+		if err != nil {
+			return err
+		}
+		v, stats, err := p.ExplainAnalyze(ctx)
+		if err != nil {
+			return err
+		}
+		if err := emit(v, outFormat); err != nil {
+			return err
+		}
+		fmt.Println("-- explain analyze --")
+		fmt.Print(stats.Render(false))
+		return nil
 	}
 	v, err := db.QueryContext(ctx, query)
 	if err != nil {
@@ -228,7 +250,7 @@ func repl(db *sqlpp.Engine, outFormat string, timeout time.Duration) error {
 		if q == "" {
 			continue
 		}
-		if err := runOne(db, q, outFormat, false, timeout); err != nil {
+		if err := runOne(db, q, outFormat, false, false, timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -261,7 +283,16 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		}
 		fmt.Fprintf(os.Stderr, "no named value %q\n", rest)
 	case "\\core":
-		if err := runOne(db, rest, outFormat, true, 0); err != nil {
+		if err := runOne(db, rest, outFormat, true, false, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	case "\\explain":
+		sub, q, _ := strings.Cut(rest, " ")
+		if !strings.EqualFold(sub, "analyze") || strings.TrimSpace(q) == "" {
+			fmt.Fprintln(os.Stderr, "usage: \\explain analyze <query>")
+			return false
+		}
+		if err := runOne(db, strings.TrimSpace(q), outFormat, false, true, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	case "\\plan":

@@ -105,15 +105,18 @@ func TestRunOneOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, format := range []string{"sion", "json", "pretty"} {
-		if err := runOne(db, "SELECT VALUE r.a FROM t AS r", format, false, 0); err != nil {
+		if err := runOne(db, "SELECT VALUE r.a FROM t AS r", format, false, false, 0); err != nil {
 			t.Errorf("runOne(%s): %v", format, err)
 		}
 	}
-	if err := runOne(db, "SELECT r.a FROM t AS r", "sion", true, 0); err != nil {
+	if err := runOne(db, "SELECT r.a FROM t AS r", "sion", true, false, 0); err != nil {
 		t.Errorf("runOne core: %v", err)
 	}
-	if err := runOne(db, "SELEC nope", "sion", false, 0); err == nil {
+	if err := runOne(db, "SELEC nope", "sion", false, false, 0); err == nil {
 		t.Error("bad query should error")
+	}
+	if err := runOne(db, "SELECT VALUE r.a FROM t AS r", "sion", false, true, 0); err != nil {
+		t.Errorf("runOne explain: %v", err)
 	}
 }
 
@@ -132,7 +135,7 @@ func TestRunOneTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := runOne(db, "SELECT VALUE a + b FROM big1 AS a, big2 AS b WHERE a + b < 0", "sion", false, 50*time.Millisecond)
+	err := runOne(db, "SELECT VALUE a + b FROM big1 AS a, big2 AS b WHERE a + b < 0", "sion", false, false, 50*time.Millisecond)
 	if err == nil {
 		t.Fatal("expected a deadline error")
 	}

@@ -1,0 +1,42 @@
+package sqlpp_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/compat"
+)
+
+// FuzzEvalPermissive drives the whole engine end to end: parse arbitrary
+// input and, when it parses, execute it in permissive mode against a
+// small fixed catalog. The engine must never panic — type mismatches
+// become MISSING/NULL per the paper's permissive semantics, and anything
+// else surfaces as an error value.
+//
+// MaxCollectionSize bounds materialized intermediates and the deadline
+// bounds wall time, so fuzz-invented cross joins fail fast instead of
+// stalling the fuzz loop.
+func FuzzEvalPermissive(f *testing.F) {
+	for _, c := range compat.Suite() {
+		f.Add(c.Query)
+	}
+	f.Add(`SELECT VALUE t FROM t AS t WHERE t.a + 'x' > 0`)
+	f.Add(`SELECT COUNT(*) AS n FROM t AS x GROUP BY x.a HAVING COUNT(*) > 0`)
+	f.Add(`SELECT VALUE v FROM t AS x, UNPIVOT x AS v AT n ORDER BY v LIMIT 3`)
+
+	db := sqlpp.New(&sqlpp.Options{MaxCollectionSize: 4096})
+	if err := db.RegisterSION("t", `{{ {'a': 1, 'b': 'one'}, {'a': 2}, {'a': null, 'b': 3.5}, 7, 'str', [1, 2] }}`); err != nil {
+		f.Fatal(err)
+	}
+	if err := db.RegisterSION("u", `[ {'k': 'x', 'v': 1}, {'k': 'y', 'v': 2} ]`); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = db.QueryContext(ctx, src) // errors fine; panics are not
+	})
+}

@@ -94,6 +94,15 @@ type Context struct {
 	// installs contexts that actually carry a Done channel, so the
 	// uncancellable path pays nothing.
 	Ctx context.Context
+	// Stats, when non-nil, turns on EXPLAIN ANALYZE instrumentation:
+	// physical operators record rows in/out, wall time, and per-operator
+	// counters into its tree. Nil is the fast path — each site pays one
+	// pointer test and nothing else.
+	Stats *StatsSink
+	// StatsParent is the tree node new operator nodes attach under; the
+	// plan saves/restores it around nested query blocks so subquery
+	// operators nest under the enclosing block.
+	StatsParent *StatsNode
 	// polls counts Interrupted calls so the cancellation signal is
 	// checked once every pollInterval produced rows rather than on every
 	// row. A Context is used by a single goroutine, so a plain counter

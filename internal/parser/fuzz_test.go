@@ -1,0 +1,35 @@
+package parser_test
+
+import (
+	"testing"
+
+	"sqlpp/internal/ast"
+	"sqlpp/internal/compat"
+	"sqlpp/internal/parser"
+)
+
+// FuzzParse feeds arbitrary input through the full parser. Parsing must
+// either produce an AST or a positioned error — never panic — and any
+// AST it accepts must survive formatting and re-parsing (the printed
+// form is itself valid SQL++).
+//
+// Seeded with every conformance-suite query so mutation explores the
+// grammar's real surface, not just garbage rejection.
+func FuzzParse(f *testing.F) {
+	for _, c := range compat.Suite() {
+		f.Add(c.Query)
+	}
+	f.Add("SELECT VALUE (FROM g AS v SELECT VALUE v) FROM t AS g")
+	f.Add("PIVOT x.v AT x.k FROM t AS x")
+	f.Add("SELECT a FROM t ORDER BY a LIMIT 1 OFFSET 2")
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		printed := ast.Format(tree)
+		if _, err := parser.Parse(printed); err != nil {
+			t.Fatalf("accepted %q but rejected its own formatting %q: %v", src, printed, err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/eval"
@@ -37,6 +38,15 @@ func produceItems(ctx *eval.Context, env *eval.Env, items []ast.FromItem, i int,
 // produceItem streams the bindings of a single FROM item, each in a new
 // child environment of env.
 func produceItem(ctx *eval.Context, env *eval.Env, item ast.FromItem, k emit) error {
+	if ctx.Stats != nil {
+		n := itemNode(ctx, item)
+		inner := k
+		k = func(child *eval.Env) error {
+			n.AddOut(1)
+			return inner(child)
+		}
+		defer n.Timer()()
+	}
 	switch x := item.(type) {
 	case *ast.FromExpr:
 		return produceScan(ctx, env, x, k)
@@ -64,6 +74,19 @@ func produceScan(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, k emit) erro
 // scanValue binds x's variables over an already-evaluated source value;
 // the physical plan reuses it with a hoisted source.
 func scanValue(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, src value.Value, k emit) error {
+	if ctx.Stats != nil {
+		n := itemNode(ctx, x)
+		switch s := src.(type) {
+		case value.Array:
+			n.AddIn(int64(len(s)))
+		case value.Bag:
+			n.AddIn(int64(len(s)))
+		default:
+			if src.Kind() != value.KindMissing {
+				n.AddIn(1)
+			}
+		}
+	}
 	// Scans are the row-production loops of every query block (cross
 	// products and joins nest them), so this is where a deadline or
 	// cancellation cooperatively stops a runaway query.
@@ -121,6 +144,14 @@ func produceUnpivot(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, k emit
 // unpivotValue binds x's variables over an already-evaluated source
 // tuple; the physical plan reuses it with a hoisted source.
 func unpivotValue(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, src value.Value, k emit) error {
+	if ctx.Stats != nil {
+		n := itemNode(ctx, x)
+		if t, ok := src.(*value.Tuple); ok {
+			n.AddIn(int64(len(t.Fields())))
+		} else if src.Kind() != value.KindMissing {
+			n.AddIn(1)
+		}
+	}
 	bind := func(name string, v value.Value) error {
 		if err := ctx.Interrupted(); err != nil {
 			return err
@@ -154,6 +185,10 @@ func unpivotValue(ctx *eval.Context, env *eval.Env, x *ast.FromUnpivot, src valu
 // binding with the right side's variables bound to NULL when no right
 // binding satisfies the ON condition.
 func produceJoin(ctx *eval.Context, env *eval.Env, x *ast.FromJoin, k emit) error {
+	var pads *atomic.Int64
+	if ctx.Stats != nil && x.Kind == ast.JoinLeft {
+		pads = itemNode(ctx, x).Counter("left_pads")
+	}
 	return produceItem(ctx, env, x.Left, func(left *eval.Env) error {
 		matched := false
 		err := produceItem(ctx, left, x.Right, func(right *eval.Env) error {
@@ -173,6 +208,9 @@ func produceJoin(ctx *eval.Context, env *eval.Env, x *ast.FromJoin, k emit) erro
 			return err
 		}
 		if !matched && x.Kind == ast.JoinLeft {
+			if pads != nil {
+				pads.Add(1)
+			}
 			padded := left.Child()
 			for _, name := range ast.ItemVars(x.Right) {
 				padded.Bind(name, value.Null)
@@ -194,15 +232,57 @@ type physState struct {
 	outer   *eval.Env
 	sources []lazyValue
 	tables  []lazyTable
+	// preFilter and stats are the pre-resolved EXPLAIN ANALYZE nodes and
+	// counters, nil when instrumentation is off. Resolving once here
+	// keeps the per-row work to nil tests and atomic adds even in
+	// parallel workers, which share this physState.
+	preFilter *eval.StatsNode
+	stats     []stepStats
 }
 
-func newPhysState(phys *sfwPhys, outer *eval.Env) *physState {
-	return &physState{
+// stepStats is one FROM step's pre-resolved instrumentation.
+type stepStats struct {
+	node   *eval.StatsNode // the step's scan/unpivot/join/hash-join node
+	filter *eval.StatsNode // pushed-filter node, nil when no filters
+	// hash-join hot counters (nil for non-hash steps).
+	candidates *atomic.Int64
+	verified   *atomic.Int64
+	pads       *atomic.Int64
+}
+
+func newPhysState(ctx *eval.Context, phys *sfwPhys, outer *eval.Env) *physState {
+	st := &physState{
 		phys:    phys,
 		outer:   outer,
 		sources: make([]lazyValue, len(phys.steps)),
 		tables:  make([]lazyTable, len(phys.steps)),
 	}
+	if ctx.Stats != nil {
+		parent := statsParent(ctx)
+		if len(phys.pre) > 0 {
+			st.preFilter = ctx.Stats.Node(parent, phys, "pre", "filter", "pre")
+		}
+		st.stats = make([]stepStats, len(phys.steps))
+		for i := range phys.steps {
+			step := &phys.steps[i]
+			ss := &st.stats[i]
+			if step.hash != nil {
+				ss.node = hashNode(ctx, parent, step.hash)
+				ss.candidates = ss.node.Counter("candidates")
+				ss.verified = ss.node.Counter("verified")
+				if step.hash.leftJoin {
+					ss.pads = ss.node.Counter("left_pads")
+				}
+			} else {
+				op, label := describeItem(step.item)
+				ss.node = ctx.Stats.Node(parent, step.item, "item", op, label)
+			}
+			if len(step.filters) > 0 {
+				ss.filter = ctx.Stats.Node(ss.node, step, "filter", "filter", "pushed")
+			}
+		}
+	}
+	return st
 }
 
 type lazyValue struct {
@@ -230,9 +310,15 @@ func (l *lazyTable) get(f func() (*hashTable, error)) (*hashTable, error) {
 // produce streams the FROM chain's bindings under the physical plan:
 // pre-filters first (once), then the step chain.
 func (st *physState) produce(ctx *eval.Context, k emit) error {
+	if st.preFilter != nil {
+		st.preFilter.AddIn(1)
+	}
 	ok, err := evalFilters(ctx, st.outer, st.phys.pre)
 	if err != nil || !ok {
 		return err
+	}
+	if st.preFilter != nil {
+		st.preFilter.AddOut(1)
 	}
 	return st.run(ctx, st.outer, 0, k)
 }
@@ -244,10 +330,20 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		return k(env)
 	}
 	step := &st.phys.steps[i]
+	var ss *stepStats
+	if st.stats != nil {
+		ss = &st.stats[i]
+	}
 	next := func(child *eval.Env) error {
+		if ss != nil && ss.filter != nil {
+			ss.filter.AddIn(1)
+		}
 		ok, err := evalFilters(ctx, child, step.filters)
 		if err != nil || !ok {
 			return err
+		}
+		if ss != nil && ss.filter != nil {
+			ss.filter.AddOut(1)
 		}
 		return st.run(ctx, child, i+1, k)
 	}
@@ -255,6 +351,17 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		return st.runHash(ctx, env, i, step.hash, next)
 	}
 	if step.hoist {
+		// The hoisted paths bypass produceItem, so the step node's
+		// emitted-row count is recorded here.
+		emitNext := next
+		if ss != nil {
+			n := ss.node
+			inner := next
+			emitNext = func(child *eval.Env) error {
+				n.AddOut(1)
+				return inner(child)
+			}
+		}
 		switch x := step.item.(type) {
 		case *ast.FromExpr:
 			src, err := st.sources[i].get(func() (value.Value, error) {
@@ -263,7 +370,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 			if err != nil {
 				return err
 			}
-			return scanValue(ctx, env, x, src, next)
+			return scanValue(ctx, env, x, src, emitNext)
 		case *ast.FromUnpivot:
 			src, err := st.sources[i].get(func() (value.Value, error) {
 				return eval.Eval(ctx, st.outer, x.Expr)
@@ -271,7 +378,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 			if err != nil {
 				return err
 			}
-			return unpivotValue(ctx, env, x, src, next)
+			return unpivotValue(ctx, env, x, src, emitNext)
 		}
 	}
 	return produceItem(ctx, env, step.item, next)
@@ -295,7 +402,8 @@ func evalFilters(ctx *eval.Context, env *eval.Env, filters []ast.Expr) (bool, er
 // groupState materializes GROUP BY groups (§V-B). Each input binding
 // contributes its block variables as one content tuple; groups key on
 // the canonical encoding of their key values, so NULL and MISSING each
-// group on their own, and 1 groups with 1.0.
+// group on their own (coalesced in SQL compatibility mode), and 1
+// groups with 1.0.
 type groupState struct {
 	ctx     *eval.Context
 	outer   *eval.Env
@@ -303,6 +411,11 @@ type groupState struct {
 	order   []string // insertion order of group keys
 	keyVals map[string][]value.Value
 	content map[string]value.Bag
+	// st is the EXPLAIN ANALYZE node, nil when instrumentation is off.
+	// Parallel workers each hold their own groupState but resolve the
+	// same keyed node, so rows-in sums across workers and groups-out is
+	// recorded once by the merged state's flush.
+	st *eval.StatsNode
 }
 
 func newGroupState(ctx *eval.Context, outer *eval.Env, spec *ast.GroupBy) *groupState {
@@ -312,6 +425,9 @@ func newGroupState(ctx *eval.Context, outer *eval.Env, spec *ast.GroupBy) *group
 		spec:    spec,
 		keyVals: map[string][]value.Value{},
 		content: map[string]value.Bag{},
+	}
+	if ctx.Stats != nil {
+		g.st = ctx.Stats.Node(statsParent(ctx), spec, "group", "group-by", "")
 	}
 	// The implicit single group of aggregate-only queries exists even
 	// for empty input (SELECT AVG(x) over nothing yields one NULL row).
@@ -328,6 +444,9 @@ func (g *groupState) add(env *eval.Env) error {
 	if err := g.ctx.Interrupted(); err != nil {
 		return err
 	}
+	if g.st != nil {
+		g.st.AddIn(1)
+	}
 	keys := make([]value.Value, len(g.spec.Keys))
 	var kb []byte
 	for i, key := range g.spec.Keys {
@@ -336,21 +455,47 @@ func (g *groupState) add(env *eval.Env) error {
 			return err
 		}
 		keys[i] = v
+		// SQL compatibility mode must not let a query distinguish null
+		// from missing (§IV-B): a missing grouping key joins the NULL
+		// group instead of forming its own. Only the encoding coalesces;
+		// the representative stays MISSING unless some contributor was
+		// null (mergeCompatKeys), so an all-missing image keeps
+		// missing-style output per the guarantee.
+		if g.ctx.Compat && v.Kind() == value.KindMissing {
+			v = value.Null
+		}
 		kb = value.AppendKey(kb, v)
 	}
 	ks := string(kb)
-	if _, ok := g.content[ks]; !ok {
+	if have, ok := g.keyVals[ks]; !ok {
 		g.order = append(g.order, ks)
 		g.keyVals[ks] = keys
+	} else if g.ctx.Compat {
+		mergeCompatKeys(have, keys)
 	}
 	g.content[ks] = append(g.content[ks], env.SnapshotBelow(g.outer))
 	return checkSize(g.ctx, len(g.content[ks]))
+}
+
+// mergeCompatKeys upgrades MISSING representatives to NULL when another
+// contributor to the same compat-coalesced group supplied a null key.
+// The upgrade is order-independent: the representative is MISSING iff
+// every row in the group had the key missing.
+func mergeCompatKeys(have, incoming []value.Value) {
+	for i, kv := range have {
+		if kv.Kind() == value.KindMissing && incoming[i].Kind() != value.KindMissing {
+			have[i] = value.Null
+		}
+	}
 }
 
 // flush emits one binding per group: the key aliases plus the GROUP AS
 // collection (Listing 14's p/g bindings).
 func (g *groupState) flush(k emit) error {
 	for _, ks := range g.order {
+		if g.st != nil {
+			g.st.AddOut(1)
+		}
 		env := g.outer.Child()
 		for i, key := range g.spec.Keys {
 			alias := key.Alias

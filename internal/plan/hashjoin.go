@@ -68,6 +68,10 @@ func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashT
 // (JOIN ... ON), the left subtree's bindings probe; otherwise the
 // incoming environment itself probes (comma cross product).
 func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoinStep, k emit) error {
+	var ss *stepStats
+	if st.stats != nil {
+		ss = &st.stats[i]
+	}
 	probe := func(lenv *eval.Env) error {
 		if err := ctx.Interrupted(); err != nil {
 			return err
@@ -76,10 +80,25 @@ func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoi
 		// empty never evaluates the build side — as the nested loop
 		// wouldn't.
 		tbl, err := st.tables[i].get(func() (*hashTable, error) {
-			return buildHashTable(ctx, st.outer, h)
+			if ss == nil {
+				return buildHashTable(ctx, st.outer, h)
+			}
+			// The hash node's time is the build; probe work is counted on
+			// the probe side's own nodes.
+			stop := ss.node.Timer()
+			t, err := buildHashTable(ctx, st.outer, h)
+			stop()
+			if err == nil {
+				ss.node.Counter("buckets").Store(int64(len(t.buckets)))
+				ss.node.Counter("build_rows").Store(int64(t.rows))
+			}
+			return t, err
 		})
 		if err != nil {
 			return err
+		}
+		if ss != nil {
+			ss.node.AddIn(1)
 		}
 		var kb []byte
 		absent := false
@@ -100,6 +119,9 @@ func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoi
 		}
 		matched := false
 		for _, row := range bucket {
+			if ss != nil {
+				ss.candidates.Add(1)
+			}
 			cand := lenv.Child()
 			for j, n := range row.names {
 				cand.Bind(n, row.vals[j])
@@ -112,11 +134,19 @@ func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoi
 				continue
 			}
 			matched = true
+			if ss != nil {
+				ss.verified.Add(1)
+				ss.node.AddOut(1)
+			}
 			if err := k(cand); err != nil {
 				return err
 			}
 		}
 		if !matched && h.leftJoin {
+			if ss != nil {
+				ss.pads.Add(1)
+				ss.node.AddOut(1)
+			}
 			padded := lenv.Child()
 			for _, n := range h.padVars {
 				padded.Bind(n, value.Null)

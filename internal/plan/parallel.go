@@ -42,6 +42,9 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 		return nil, true, err
 	}
 	if !ok {
+		if ctx.Stats != nil && len(phys.pre) > 0 {
+			ctx.Stats.Node(statsParent(ctx), phys, "pre", "filter", "pre").AddIn(1)
+		}
 		return value.Bag(nil), true, nil
 	}
 	src, err := eval.Eval(ctx, outer, scan.Expr)
@@ -74,8 +77,23 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 
 	// Steps 1..n share one physState: hoisted sources and hash tables
 	// build once (under sync.Once) and are read-only afterwards.
-	st := newPhysState(phys, outer)
+	st := newPhysState(ctx, phys, outer)
 	filters := phys.steps[0].filters
+
+	// EXPLAIN ANALYZE: the workers fold into the same keyed nodes the
+	// sequential plan would use; only the counters below are recorded
+	// here because the partitioned scan replaces step 0's production.
+	var scanNode, filterNode *eval.StatsNode
+	if ctx.Stats != nil {
+		if st.preFilter != nil {
+			st.preFilter.AddIn(1)
+			st.preFilter.AddOut(1)
+		}
+		scanNode = st.stats[0].node
+		scanNode.AddIn(int64(len(elems)))
+		scanNode.Counter("chunks").Store(int64(workers))
+		filterNode = st.stats[0].filter
+	}
 
 	type worker struct {
 		sink    *rowSink
@@ -121,6 +139,12 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 					}
 					child.Bind(scan.AtVar, ord)
 				}
+				if scanNode != nil {
+					scanNode.AddOut(1)
+					if filterNode != nil {
+						filterNode.AddIn(1)
+					}
+				}
 				ok, err := evalFilters(wctx, child, filters)
 				if err != nil {
 					ws[w].err = err
@@ -128,6 +152,9 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 				}
 				if !ok {
 					continue
+				}
+				if filterNode != nil {
+					filterNode.AddOut(1)
 				}
 				if err := st.run(wctx, child, 1, consume); err != nil {
 					if err == errStop {
@@ -176,6 +203,11 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 				}
 			}
 		}
+		if ctx.Stats != nil {
+			// The worker sinks each counted their local uniques; the
+			// global re-deduplication is the true output cardinality.
+			ctx.Stats.Node(statsParent(ctx), q, "distinct", "distinct", "").SetOut(int64(len(out)))
+		}
 		return value.Bag(out), true, nil
 	}
 
@@ -202,6 +234,9 @@ func (g *groupState) merge(w *groupState) error {
 			g.keyVals[ks] = w.keyVals[ks]
 			g.content[ks] = w.content[ks]
 		} else {
+			if g.ctx.Compat {
+				mergeCompatKeys(g.keyVals[ks], w.keyVals[ks])
+			}
 			g.content[ks] = append(g.content[ks], w.content[ks]...)
 		}
 		if err := checkSize(g.ctx, len(g.content[ks])); err != nil {

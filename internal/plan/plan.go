@@ -78,6 +78,11 @@ type rowSink struct {
 	seen     map[string]bool
 	keyBuf   []byte
 	seq      int
+	// EXPLAIN ANALYZE nodes, nil when instrumentation is off. They are
+	// resolved once here so project() pays a nil test per row.
+	stDistinct *eval.StatsNode
+	stOrder    *eval.StatsNode
+	stLimit    *eval.StatsNode
 }
 
 func newRowSink(ctx *eval.Context, q *ast.SFW, ordered bool, limit, offset int64) *rowSink {
@@ -93,6 +98,22 @@ func newRowSink(ctx *eval.Context, q *ast.SFW, ordered bool, limit, offset int64
 			s.top = newTopKHeap(int(offset+limit), q.OrderBy)
 		} else if !q.Select.Distinct && q.GroupBy == nil && len(q.Windows) == 0 {
 			s.stopAt = offset + limit
+		}
+	}
+	if ctx.Stats != nil {
+		parent := statsParent(ctx)
+		if q.Select.Distinct {
+			s.stDistinct = ctx.Stats.Node(parent, q, "distinct", "distinct", "")
+		}
+		if ordered {
+			op := "order-by"
+			if s.top != nil {
+				op = "top-k"
+			}
+			s.stOrder = ctx.Stats.Node(parent, q, "order", op, "")
+		}
+		if limit >= 0 || offset > 0 {
+			s.stLimit = ctx.Stats.Node(parent, q, "limit", "limit", "")
 		}
 	}
 	return s
@@ -115,6 +136,9 @@ func (s *rowSink) project(env *eval.Env) error {
 	}
 	var rowKey string
 	if s.q.Select.Distinct {
+		if s.stDistinct != nil {
+			s.stDistinct.AddIn(1)
+		}
 		s.keyBuf = value.AppendKey(s.keyBuf[:0], v)
 		if s.seen[string(s.keyBuf)] {
 			return nil
@@ -124,8 +148,14 @@ func (s *rowSink) project(env *eval.Env) error {
 		if err := checkSize(s.ctx, len(s.seen)); err != nil {
 			return err
 		}
+		if s.stDistinct != nil {
+			s.stDistinct.AddOut(1)
+		}
 	}
 	if s.ordered {
+		if s.stOrder != nil {
+			s.stOrder.AddIn(1)
+		}
 		keys := make([]value.Value, len(s.q.OrderBy))
 		for i, o := range s.q.OrderBy {
 			kv, err := eval.Eval(s.ctx, env, o.Expr)
@@ -161,9 +191,16 @@ func (s *rowSink) project(env *eval.Env) error {
 func (s *rowSink) finish(limit, offset int64) value.Value {
 	out := s.out
 	if s.ordered {
+		var stopSort func()
+		if s.stOrder != nil {
+			stopSort = s.stOrder.Timer()
+		}
 		rows := s.rows
 		if s.top != nil {
 			rows = s.top.finish()
+			if s.stOrder != nil {
+				s.stOrder.Counter("heap_evictions").Store(s.top.evicted)
+			}
 		} else {
 			sortRows(rows, s.q.OrderBy)
 		}
@@ -171,8 +208,18 @@ func (s *rowSink) finish(limit, offset int64) value.Value {
 		for i, r := range rows {
 			out[i] = r.val
 		}
+		if stopSort != nil {
+			stopSort()
+			s.stOrder.AddOut(int64(len(out)))
+		}
+	}
+	if s.stLimit != nil {
+		s.stLimit.AddIn(int64(len(out)))
 	}
 	out = applyLimitOffset(out, limit, offset)
+	if s.stLimit != nil {
+		s.stLimit.AddOut(int64(len(out)))
+	}
 	if s.ordered {
 		return value.Array(out)
 	}
@@ -184,13 +231,23 @@ func havingChain(ctx *eval.Context, q *ast.SFW, inner emit) emit {
 	if q.Having == nil {
 		return inner
 	}
+	var st *eval.StatsNode
+	if ctx.Stats != nil {
+		st = ctx.Stats.Node(statsParent(ctx), q, "having", "filter", "having")
+	}
 	return func(env *eval.Env) error {
+		if st != nil {
+			st.AddIn(1)
+		}
 		cond, err := eval.Eval(ctx, env, q.Having)
 		if err != nil {
 			return err
 		}
 		if !eval.IsTrue(cond) {
 			return nil
+		}
+		if st != nil {
+			st.AddOut(1)
 		}
 		return inner(env)
 	}
@@ -204,23 +261,43 @@ func preGroupChain(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, consume emit) e
 		if len(phys.residual) > 0 {
 			inner := consume
 			residual := phys.residual
+			var st *eval.StatsNode
+			if ctx.Stats != nil {
+				st = ctx.Stats.Node(statsParent(ctx), q, "where", "filter", "residual")
+			}
 			consume = func(env *eval.Env) error {
+				if st != nil {
+					st.AddIn(1)
+				}
 				ok, err := evalFilters(ctx, env, residual)
 				if err != nil || !ok {
 					return err
+				}
+				if st != nil {
+					st.AddOut(1)
 				}
 				return inner(env)
 			}
 		}
 	} else if q.Where != nil {
 		inner := consume
+		var st *eval.StatsNode
+		if ctx.Stats != nil {
+			st = ctx.Stats.Node(statsParent(ctx), q, "where", "filter", "where")
+		}
 		consume = func(env *eval.Env) error {
+			if st != nil {
+				st.AddIn(1)
+			}
 			cond, err := eval.Eval(ctx, env, q.Where)
 			if err != nil {
 				return err
 			}
 			if !eval.IsTrue(cond) {
 				return nil
+			}
+			if st != nil {
+				st.AddOut(1)
 			}
 			return inner(env)
 		}
@@ -258,8 +335,25 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 	}
 
 	phys, _ := q.Phys.(*sfwPhys)
+
+	// EXPLAIN ANALYZE: create this block's node and pre-create its
+	// operator skeleton in pipeline order, then make the block the parent
+	// for everything (including subqueries) executed while it runs.
+	var block *eval.StatsNode
+	if ctx.Stats != nil {
+		block = ctx.Stats.Node(statsParent(ctx), q, "block", "select", q.Pos().String())
+		buildBlockSkeleton(ctx, q, phys, limit, offset, block)
+		saved := ctx.StatsParent
+		ctx.StatsParent = block
+		defer func() { ctx.StatsParent = saved }()
+		defer block.Timer()()
+	}
+
 	if phys != nil && phys.parallel && ctx.Parallelism > 1 {
 		if v, done, err := runSFWParallel(ctx, outer, q, phys); done {
+			if block != nil && err == nil {
+				block.SetOut(resultLen(v))
+			}
 			return v, err
 		}
 	}
@@ -294,7 +388,7 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 	consume = preGroupChain(ctx, q, phys, consume)
 
 	if phys != nil {
-		err = newPhysState(phys, outer).produce(ctx, consume)
+		err = newPhysState(ctx, phys, outer).produce(ctx, consume)
 	} else {
 		err = produceFrom(ctx, outer, q.From, consume)
 	}
@@ -309,8 +403,18 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 	}
 
 	if len(q.Windows) > 0 {
+		var stopWin func()
+		if block != nil {
+			wn := ctx.Stats.Node(block, q, "window", "window", "")
+			wn.AddIn(int64(len(windowEnvs)))
+			wn.AddOut(int64(len(windowEnvs)))
+			stopWin = wn.Timer()
+		}
 		if err := computeWindows(ctx, q.Windows, windowEnvs); err != nil {
 			return nil, err
+		}
+		if stopWin != nil {
+			stopWin()
 		}
 		for _, wenv := range windowEnvs {
 			if err := sink.project(wenv); err != nil {
@@ -322,7 +426,11 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 		}
 	}
 
-	return sink.finish(limit, offset), nil
+	res := sink.finish(limit, offset)
+	if block != nil {
+		block.SetOut(resultLen(res))
+	}
+	return res, nil
 }
 
 // evalLimitOffset evaluates LIMIT and OFFSET in the outer environment.
@@ -424,6 +532,9 @@ type topKHeap struct {
 	k     int
 	items []ast.OrderItem
 	rows  []sortRow
+	// evicted counts root replacements once the heap is full — the rows a
+	// full sort would have materialized but the heap discarded.
+	evicted int64
 }
 
 func newTopKHeap(k int, items []ast.OrderItem) *topKHeap {
@@ -460,6 +571,7 @@ func (h *topKHeap) offer(r sortRow) {
 	if h.before(r, h.rows[0]) {
 		h.rows[0] = r
 		heap.Fix(h, 0)
+		h.evicted++
 	}
 }
 
@@ -475,6 +587,14 @@ func (h *topKHeap) finish() []sortRow {
 // Bindings whose name is not a string or whose value is MISSING are
 // skipped in permissive mode and are an error in stop-on-error mode.
 func runPivot(ctx *eval.Context, outer *eval.Env, q *ast.PivotQuery) (value.Value, error) {
+	if ctx.Stats != nil {
+		block := ctx.Stats.Node(statsParent(ctx), q, "block", "pivot", q.Pos().String())
+		block.AddOut(1)
+		saved := ctx.StatsParent
+		ctx.StatsParent = block
+		defer func() { ctx.StatsParent = saved }()
+		defer block.Timer()()
+	}
 	result := value.EmptyTuple()
 	project := func(env *eval.Env) error {
 		nameV, err := eval.Eval(ctx, env, q.Name)

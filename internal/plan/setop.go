@@ -11,6 +11,18 @@ import (
 // multiplicities (INTERSECT ALL keeps the minimum count, EXCEPT ALL
 // subtracts counts), the plain variants deduplicate.
 func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, error) {
+	var node *eval.StatsNode
+	if ctx.Stats != nil {
+		op := q.Op
+		if q.All {
+			op += " ALL"
+		}
+		node = ctx.Stats.Node(statsParent(ctx), q, "setop", "set-op", op)
+		saved := ctx.StatsParent
+		ctx.StatsParent = node
+		defer func() { ctx.StatsParent = saved }()
+		defer node.Timer()()
+	}
 	lv, err := Run(ctx, env, q.L)
 	if err != nil {
 		return nil, err
@@ -27,6 +39,15 @@ func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, erro
 		}
 		return value.Missing, nil
 	}
+	if node != nil {
+		node.AddIn(int64(len(left) + len(right)))
+	}
+	done := func(out value.Bag) (value.Value, error) {
+		if node != nil {
+			node.AddOut(int64(len(out)))
+		}
+		return out, nil
+	}
 	switch q.Op {
 	case "UNION":
 		out := make(value.Bag, 0, len(left)+len(right))
@@ -35,7 +56,7 @@ func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, erro
 		if !q.All {
 			out = dedupe(out)
 		}
-		return out, nil
+		return done(out)
 	case "INTERSECT":
 		counts := countByKey(right)
 		var out value.Bag
@@ -49,7 +70,7 @@ func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, erro
 		if !q.All {
 			out = dedupe(out)
 		}
-		return out, nil
+		return done(out)
 	case "EXCEPT":
 		counts := countByKey(right)
 		var out value.Bag
@@ -67,7 +88,7 @@ func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, erro
 		if !q.All {
 			out = dedupe(out)
 		}
-		return out, nil
+		return done(out)
 	}
 	return nil, &eval.TypeError{Pos: q.Pos(), Op: q.Op, Detail: "unknown set operation"}
 }

@@ -1,0 +1,138 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/server"
+)
+
+type explainReply struct {
+	Result json.RawMessage `json:"result"`
+	Cached bool            `json:"cached"`
+	Stats  *sqlpp.OpStats  `json:"stats"`
+	Error  string          `json:"error"`
+}
+
+func postExplain(t *testing.T, base, body string) (int, explainReply) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out explainReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode reply: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestExplainOption: "explain": "analyze" returns the same result plus a
+// stats tree whose redacted rendering matches the CLI's golden shape,
+// and the per-operator totals surface on /metrics.
+func TestExplainOption(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.Config{})
+	ingest(t, ts.URL, "emp", "sion", `{{
+	  {'id': 1, 'name': 'Ada', 'salary': 120},
+	  {'id': 2, 'name': 'Bob', 'salary': 95},
+	  {'id': 3, 'name': 'Cyd', 'salary': 140}
+	}}`)
+
+	plainReq := `{"query": "SELECT e.name AS n FROM emp AS e WHERE e.salary > 100", "format": "sion"}`
+	explainReq := `{"query": "SELECT e.name AS n FROM emp AS e WHERE e.salary > 100", "format": "sion", "explain": "analyze"}`
+
+	status, plain := postExplain(t, ts.URL, plainReq)
+	if status != http.StatusOK {
+		t.Fatalf("plain query: status %d (%s)", status, plain.Error)
+	}
+	if plain.Stats != nil {
+		t.Error("uninstrumented request returned a stats tree")
+	}
+
+	status, inst := postExplain(t, ts.URL, explainReq)
+	if status != http.StatusOK {
+		t.Fatalf("explain query: status %d (%s)", status, inst.Error)
+	}
+	if string(plain.Result) != string(inst.Result) {
+		t.Errorf("explain changed the result:\n  plain   %s\n  explain %s", plain.Result, inst.Result)
+	}
+	if inst.Stats == nil {
+		t.Fatal("explain request returned no stats tree")
+	}
+	want := `query in=0 out=0
+  select(1:1) in=0 out=2
+    scan(e) in=3 out=3
+      filter(pushed) in=3 out=2
+`
+	if got := inst.Stats.Render(true); got != want {
+		t.Errorf("stats tree mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, line := range []string{
+		"sqlpp_op_scan_rows_in_total 3",
+		"sqlpp_op_scan_rows_out_total 3",
+		"sqlpp_op_filter_rows_out_total 2",
+		"sqlpp_op_select_observations_total 1",
+	} {
+		if !strings.Contains(string(metrics), line) {
+			t.Errorf("metrics missing %q:\n%s", line, metrics)
+		}
+	}
+}
+
+// TestExplainCacheKeyed: instrumented and plain requests for the same
+// query compile to distinct cache entries, and repeating an explain
+// request hits its entry while still returning fresh stats.
+func TestExplainCacheKeyed(t *testing.T) {
+	svc, ts := newTestServer(t, nil, server.Config{})
+	ingest(t, ts.URL, "t", "sion", `{{ {'a': 1}, {'a': 2} }}`)
+
+	plainReq := `{"query": "SELECT VALUE r.a FROM t AS r", "format": "sion"}`
+	explainReq := `{"query": "SELECT VALUE r.a FROM t AS r", "format": "sion", "explain": "analyze"}`
+
+	if status, out := postExplain(t, ts.URL, plainReq); status != http.StatusOK {
+		t.Fatalf("plain: status %d (%s)", status, out.Error)
+	}
+	if status, out := postExplain(t, ts.URL, explainReq); status != http.StatusOK {
+		t.Fatalf("explain: status %d (%s)", status, out.Error)
+	} else if out.Cached {
+		t.Error("first explain request claims a cache hit — explain must not share the plain entry")
+	}
+	if svc.Cache().Len() != 2 {
+		t.Errorf("cache entries = %d, want 2 (plain and explain keyed apart)", svc.Cache().Len())
+	}
+	status, again := postExplain(t, ts.URL, explainReq)
+	if status != http.StatusOK {
+		t.Fatalf("explain again: status %d (%s)", status, again.Error)
+	}
+	if !again.Cached {
+		t.Error("second explain request missed the cache")
+	}
+	if again.Stats == nil {
+		t.Error("cached explain execution returned no stats tree")
+	}
+}
+
+// TestExplainBadMode: an unknown explain mode is a 400, not a silent
+// fallback.
+func TestExplainBadMode(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.Config{})
+	status, out := postExplain(t, ts.URL, `{"query": "SELECT VALUE 1", "explain": "verbose"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	if !strings.Contains(out.Error, "explain") {
+		t.Errorf("error %q does not mention explain", out.Error)
+	}
+}

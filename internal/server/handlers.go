@@ -32,6 +32,10 @@ type queryRequest struct {
 	// Format selects the result encoding: "json" (default), "sion"
 	// (the paper's object notation, lossless for MISSING), or "pretty".
 	Format string `json:"format,omitempty"`
+	// Explain set to "analyze" executes the query with per-operator
+	// instrumentation and returns the stats tree in the response's
+	// "stats" field. The result is identical to an uninstrumented run.
+	Explain string `json:"explain,omitempty"`
 }
 
 type queryOptions struct {
@@ -58,6 +62,9 @@ type queryResponse struct {
 	// Plan notes the physical optimizations applied to the query, one
 	// entry per rewrite that fired; absent when none did.
 	Plan []string `json:"plan,omitempty"`
+	// Stats is the EXPLAIN ANALYZE operator tree, present only when the
+	// request set "explain": "analyze".
+	Stats *sqlpp.OpStats `json:"stats,omitempty"`
 }
 
 type errorResponse struct {
@@ -89,6 +96,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Query == "" {
 		s.fail(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	explain := false
+	switch req.Explain {
+	case "":
+	case "analyze":
+		explain = true
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown explain mode %q (want \"analyze\")", req.Explain)
 		return
 	}
 
@@ -142,16 +158,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	plan, cached, err := s.plan(engine, opts, req.Query, paramNames)
+	// The explain marker is part of the cache key so instrumented and
+	// plain requests for the same text keep distinct hit/miss accounting
+	// even though the compiled plans are interchangeable.
+	var extras []string
+	if explain {
+		extras = append(extras, "explain=analyze")
+	}
+	plan, cached, err := s.plan(engine, opts, req.Query, paramNames, extras...)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "compile: %v", err)
 		return
 	}
 
 	var result value.Value
-	if plan.Params != nil {
+	var stats *sqlpp.OpStats
+	switch {
+	case plan.Params != nil && explain:
+		result, stats, err = plan.Params.ExplainAnalyze(ctx, params)
+	case plan.Params != nil:
 		result, err = plan.Params.ExecContext(ctx, params)
-	} else {
+	case explain:
+		result, stats, err = plan.Prepared.ExplainAnalyze(ctx)
+	default:
 		result, err = plan.Prepared.ExecContext(ctx)
 	}
 	elapsed := time.Since(start)
@@ -165,6 +194,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Observe(elapsed)
+	if stats != nil {
+		s.metrics.ObserveOps(stats)
+	}
 
 	raw, err := encodeResult(result, req.Format)
 	if err != nil {
@@ -182,6 +214,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:    cached,
 		ElapsedUS: elapsed.Microseconds(),
 		Plan:      notes,
+		Stats:     stats,
 	})
 }
 
@@ -189,8 +222,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // one. Concurrent misses on the same key may compile twice; the loser's
 // Put simply refreshes the entry, which is sound because plans are
 // immutable and interchangeable.
-func (s *Server) plan(engine *sqlpp.Engine, opts sqlpp.Options, query string, paramNames []string) (Plan, bool, error) {
-	key := CacheKey(opts, paramNames, query)
+func (s *Server) plan(engine *sqlpp.Engine, opts sqlpp.Options, query string, paramNames []string, extras ...string) (Plan, bool, error) {
+	key := CacheKey(opts, paramNames, query, extras...)
 	if p, ok := s.cache.Get(key); ok {
 		return p, true, nil
 	}

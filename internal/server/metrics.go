@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sqlpp"
 )
 
 // Metrics aggregates the service counters exposed at GET /metrics. All
@@ -21,10 +24,46 @@ type Metrics struct {
 	Ingests  atomic.Uint64 // collection ingests accepted
 
 	lat latencyRing
+
+	// ops aggregates EXPLAIN ANALYZE trees by operator type: every
+	// instrumented query's per-operator rows and times fold into these
+	// running totals, exposed as sqlpp_op_* gauges.
+	opMu sync.Mutex
+	ops  map[string]*opAgg
+}
+
+// opAgg is one operator type's running totals across instrumented
+// queries.
+type opAgg struct {
+	observations int64 // operator nodes folded in
+	rowsIn       int64
+	rowsOut      int64
+	timeNS       int64
 }
 
 // Observe records one successful query's end-to-end latency.
 func (m *Metrics) Observe(d time.Duration) { m.lat.observe(d) }
+
+// ObserveOps folds an EXPLAIN ANALYZE tree into the per-operator
+// totals.
+func (m *Metrics) ObserveOps(root *sqlpp.OpStats) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	if m.ops == nil {
+		m.ops = map[string]*opAgg{}
+	}
+	root.Walk(func(s *sqlpp.OpStats) {
+		a := m.ops[s.Op]
+		if a == nil {
+			a = &opAgg{}
+			m.ops[s.Op] = a
+		}
+		a.observations++
+		a.rowsIn += s.RowsIn
+		a.rowsOut += s.RowsOut
+		a.timeNS += s.TimeNS
+	})
+}
 
 // ringSize is the latency window: large enough for stable p99 under
 // load, small enough that one burst ages out quickly.
@@ -88,4 +127,20 @@ func (m *Metrics) WriteTo(w io.Writer, cacheHits, cacheMisses uint64, cacheEntri
 	fmt.Fprintf(w, "sqlpp_latency_p50_us %d\n", p[0].Microseconds())
 	fmt.Fprintf(w, "sqlpp_latency_p95_us %d\n", p[1].Microseconds())
 	fmt.Fprintf(w, "sqlpp_latency_p99_us %d\n", p[2].Microseconds())
+
+	m.opMu.Lock()
+	names := make([]string, 0, len(m.ops))
+	for name := range m.ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := m.ops[name]
+		id := strings.ReplaceAll(name, "-", "_")
+		fmt.Fprintf(w, "sqlpp_op_%s_observations_total %d\n", id, a.observations)
+		fmt.Fprintf(w, "sqlpp_op_%s_rows_in_total %d\n", id, a.rowsIn)
+		fmt.Fprintf(w, "sqlpp_op_%s_rows_out_total %d\n", id, a.rowsOut)
+		fmt.Fprintf(w, "sqlpp_op_%s_time_us_total %d\n", id, a.timeNS/1000)
+	}
+	m.opMu.Unlock()
 }

@@ -59,8 +59,10 @@ func NewPlanCache(capacity int) *PlanCache {
 // CacheKey fingerprints everything that feeds compilation: the engine
 // options that change the rewrite (Compat alters the Core form, the
 // rest alter execution), the declared parameter names, and the query
-// text itself.
-func CacheKey(opts sqlpp.Options, paramNames []string, query string) string {
+// text itself. Extras are additional request attributes folded into the
+// key — the explain mode, which distinguishes instrumented requests'
+// cache accounting.
+func CacheKey(opts sqlpp.Options, paramNames []string, query string, extras ...string) string {
 	var sb strings.Builder
 	sb.Grow(len(query) + 32)
 	sb.WriteByte('c')
@@ -82,6 +84,10 @@ func CacheKey(opts sqlpp.Options, paramNames []string, query string) string {
 			sb.WriteByte('p')
 			sb.WriteString(n)
 		}
+	}
+	for _, x := range extras {
+		sb.WriteByte('x')
+		sb.WriteString(x)
 	}
 	sb.WriteByte(0)
 	sb.WriteString(query)

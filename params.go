@@ -76,14 +76,25 @@ func (p *PreparedParams) Exec(params map[string]value.Value) (value.Value, error
 // ExecContext is Exec under a deadline/cancellation context; see
 // Prepared.ExecContext for the semantics.
 func (p *PreparedParams) ExecContext(ctx context.Context, params map[string]value.Value) (value.Value, error) {
+	v, _, err := p.exec(ctx, params, false)
+	return v, err
+}
+
+// ExplainAnalyze executes the parameterized query with per-operator
+// instrumentation; see Prepared.ExplainAnalyze.
+func (p *PreparedParams) ExplainAnalyze(ctx context.Context, params map[string]value.Value) (value.Value, *OpStats, error) {
+	return p.exec(ctx, params, true)
+}
+
+func (p *PreparedParams) exec(ctx context.Context, params map[string]value.Value, explain bool) (value.Value, *OpStats, error) {
 	env := eval.NewEnv()
 	supplied := 0
 	for name, v := range params {
 		if !p.declared(name) {
-			return nil, fmt.Errorf("sqlpp: undeclared parameter %q", name)
+			return nil, nil, fmt.Errorf("sqlpp: undeclared parameter %q", name)
 		}
 		if v == nil {
-			return nil, fmt.Errorf("sqlpp: nil value for parameter %q (use value.Null)", name)
+			return nil, nil, fmt.Errorf("sqlpp: nil value for parameter %q (use value.Null)", name)
 		}
 		env.Bind(name, v)
 		supplied++
@@ -91,12 +102,22 @@ func (p *PreparedParams) ExecContext(ctx context.Context, params map[string]valu
 	if supplied != len(p.names) {
 		for _, name := range p.names {
 			if _, ok := params[name]; !ok {
-				return nil, fmt.Errorf("sqlpp: missing parameter %q", name)
+				return nil, nil, fmt.Errorf("sqlpp: missing parameter %q", name)
 			}
 		}
 	}
 	ec := p.engine.newContext(ctx)
-	return plan.Run(ec, env, p.core.core)
+	if explain {
+		ec.Stats = eval.NewStatsSink()
+	}
+	v, err := plan.Run(ec, env, p.core.core)
+	if err != nil {
+		return nil, nil, err
+	}
+	if explain {
+		return v, ec.Stats.Root.Snapshot(), nil
+	}
+	return v, nil, nil
 }
 
 func (p *PreparedParams) declared(name string) bool {

@@ -129,6 +129,74 @@ func TestNullMissingGuarantee(t *testing.T) {
 	}
 }
 
+// dropNullAttrsSubset drops each null-valued tuple attribute with
+// probability 1/2, producing data that mixes null style and missing
+// style attribute by attribute.
+func dropNullAttrsSubset(r *rand.Rand, v value.Value) value.Value {
+	switch x := v.(type) {
+	case *value.Tuple:
+		out := value.EmptyTuple()
+		for _, f := range x.Fields() {
+			if f.Value.Kind() == value.KindNull && r.Intn(2) == 0 {
+				continue
+			}
+			out.Put(f.Name, dropNullAttrsSubset(r, f.Value))
+		}
+		return out
+	case value.Array:
+		out := make(value.Array, len(x))
+		for i, e := range x {
+			out[i] = dropNullAttrsSubset(r, e)
+		}
+		return out
+	case value.Bag:
+		out := make(value.Bag, len(x))
+		for i, e := range x {
+			out[i] = dropNullAttrsSubset(r, e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// TestNullMissingRandomSubset strengthens the §IV-B guarantee (claim C3)
+// from the all-or-nothing image to arbitrary mixtures: convert a random
+// subset of the null attributes to missing and the query results must
+// still agree modulo absent null-valued attributes. Both sides project
+// onto the same missing-style image, so
+// dropNullAttrs(q(d)) == dropNullAttrs(q(d')) for every battery query.
+func TestNullMissingRandomSubset(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed*31 + 7))
+		d := bench.HR(bench.HROptions{
+			N: 50, ScalarProjects: true, AbsentTitleRate: 40, Seed: seed,
+		})
+		dPrime := dropNullAttrsSubset(r, d)
+
+		dbD := sqlpp.New(&sqlpp.Options{Compat: true})
+		registerHR(t, dbD, d)
+		dbPrime := sqlpp.New(&sqlpp.Options{Compat: true})
+		registerHR(t, dbPrime, dPrime)
+
+		for i, q := range queryBattery {
+			qd, err := dbD.Query(q)
+			if err != nil {
+				t.Fatalf("seed %d q(d) %d: %v", seed, i, err)
+			}
+			qdPrime, err := dbPrime.Query(q)
+			if err != nil {
+				t.Fatalf("seed %d q(d') %d: %v", seed, i, err)
+			}
+			want, got := dropNullAttrs(qd), dropNullAttrs(qdPrime)
+			if !value.Equivalent(want, got) {
+				t.Errorf("seed %d query %d violates the subset guarantee:\n  q(d)  sans nulls: %s\n  q(d') sans nulls: %s",
+					seed, i, want, got)
+			}
+		}
+	}
+}
+
 // TestDeterminism: repeated executions of a prepared query return
 // equivalent results.
 func TestDeterminism(t *testing.T) {

@@ -206,6 +206,30 @@ func (p *Prepared) ExecContext(ctx context.Context) (value.Value, error) {
 	return plan.Run(ec, eval.NewEnv(), p.core)
 }
 
+// OpStats is one operator's runtime statistics in an EXPLAIN ANALYZE
+// tree: rows in/out, wall time, operator-specific counters, and the
+// operators it feeds from as children. Times are inclusive — the
+// pipeline is push-style, so a FROM step's span covers the downstream
+// clauses it drives. Render formats the tree as indented text; the
+// struct marshals directly to JSON for the HTTP API.
+type OpStats = eval.StatsSnapshot
+
+// ExplainAnalyze executes the prepared query with per-operator
+// instrumentation and returns the result alongside the stats tree. The
+// result is byte-identical to ExecContext's — instrumentation only
+// counts, it never changes semantics. Instrumented execution is slower
+// (atomic counters on every row); plain ExecContext pays nothing for
+// the feature's existence.
+func (p *Prepared) ExplainAnalyze(ctx context.Context) (value.Value, *OpStats, error) {
+	ec := p.engine.newContext(ctx)
+	ec.Stats = eval.NewStatsSink()
+	v, err := plan.Run(ec, eval.NewEnv(), p.core)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, ec.Stats.Root.Snapshot(), nil
+}
+
 // newContext builds the per-execution evaluation context. Contexts are
 // never shared between executions: all mutable evaluation state lives
 // here or in the Env, which is what makes concurrent execution of a
