@@ -1,0 +1,311 @@
+//go:build faultinject
+
+package sqlpp_test
+
+// Chaos battery (build with -tags faultinject, run with -race). Every
+// injection point is swept with error, panic, and stall actions; each
+// fault must degrade into a clean, typed, per-query error — never a
+// process exit, a goroutine leak, or a changed result on retry. The
+// server battery drives the paper listings concurrently through an
+// httptest server with faults armed at the plan-cache and ingest
+// points: un-faulted responses must stay byte-identical to the
+// fault-free baseline.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/compat"
+	"sqlpp/internal/faultinject"
+	"sqlpp/internal/server"
+)
+
+// chaosEngine builds an engine over enough rows to cross the parallel
+// scan threshold, plus a small join side.
+func chaosEngine(t testing.TB, lim sqlpp.Limits) *sqlpp.Engine {
+	t.Helper()
+	db := sqlpp.New(&sqlpp.Options{Parallelism: 4, Limits: lim})
+	var sb strings.Builder
+	sb.WriteString("{{")
+	for i := 0; i < 3000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "{'id': %d, 'deptno': %d}", i, i%16)
+	}
+	sb.WriteString("}}")
+	if err := db.RegisterSION("emp", sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	sb.WriteString("{{")
+	for i := 0; i < 16; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "{'dno': %d, 'dn': 'D%d'}", i, i)
+	}
+	sb.WriteString("}}")
+	if err := db.RegisterSION("dept", sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// waitGoroutines polls until the goroutine count drops back to base (or
+// the reap window closes).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > base {
+		t.Errorf("goroutines leaked: %d before, %d after", base, after)
+	}
+}
+
+// TestChaosEngineSweep arms each engine-side injection point with an
+// error and then a panic action. Every faulted run must fail with the
+// right typed error, and after disarming the same query must reproduce
+// its baseline byte-for-byte.
+func TestChaosEngineSweep(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	cases := []struct {
+		point string
+		query string
+	}{
+		// Parallelism 4 over 3000 rows: a plain scan runs partitioned, so
+		// scan-next fires inside workers; the correlated filter below keeps
+		// the join sequential for the hash-build point.
+		{faultinject.ScanNext, `SELECT VALUE COUNT(*) FROM dept AS d`},
+		{faultinject.HashBuildInsert, `SELECT e.id AS id, d.dn AS dn FROM dept AS d, emp AS e WHERE e.deptno = d.dno AND e.id < 40`},
+		{faultinject.WorkerStart, `SELECT VALUE COUNT(*) FROM emp AS e`},
+	}
+	db := chaosEngine(t, sqlpp.Limits{})
+	base := runtime.NumGoroutine()
+	for _, tc := range cases {
+		faultinject.Reset()
+		baseline, err := db.Query(tc.query)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", tc.point, err)
+		}
+
+		// Error action: the injected error propagates as this query's
+		// ordinary failure, rooted in ErrInjected.
+		faultinject.Set(tc.point, 0, 1, 1, faultinject.Action{Err: faultinject.ErrInjected})
+		if _, err := db.Query(tc.query); !errors.Is(err, faultinject.ErrInjected) {
+			t.Errorf("%s error action: want ErrInjected, got %v", tc.point, err)
+		}
+		if faultinject.Fired(tc.point) == 0 {
+			t.Errorf("%s error action: point never fired — query does not reach it", tc.point)
+		}
+
+		// Panic action: contained into a *PanicError, process intact.
+		faultinject.Reset()
+		faultinject.Set(tc.point, 0, 1, 1, faultinject.Action{Panic: "chaos"})
+		_, err = db.Query(tc.query)
+		var pe *sqlpp.PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s panic action: want PanicError, got %v", tc.point, err)
+		}
+
+		// Disarmed retry: bit-identical to the baseline.
+		faultinject.Reset()
+		again, err := db.Query(tc.query)
+		if err != nil {
+			t.Fatalf("%s retry after reset: %v", tc.point, err)
+		}
+		if baseline.String() != again.String() {
+			t.Errorf("%s: retry diverges from baseline:\n  before %s\n  after  %s",
+				tc.point, baseline, again)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestChaosStallHitsWallBudget: a stall injected into the scan must be
+// caught by the governor's wall-time budget, not hang the query.
+func TestChaosStallHitsWallBudget(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	db := chaosEngine(t, sqlpp.Limits{MaxWallTime: 30 * time.Millisecond})
+	faultinject.Set(faultinject.ScanNext, 0, 1, 1, faultinject.Action{Sleep: 100 * time.Millisecond})
+	start := time.Now()
+	_, err := db.Query(`SELECT e.id AS id, d.dn AS dn FROM dept AS d, emp AS e WHERE e.deptno = d.dno AND e.id < 2000`)
+	var re *sqlpp.ResourceError
+	if !errors.As(err, &re) || re.Kind != sqlpp.ResourceTime {
+		t.Fatalf("want wall-time ResourceError after injected stall, got %v", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("stalled query not stopped promptly: %v", e)
+	}
+}
+
+type chaosResp struct {
+	status int
+	result string
+	errMsg string
+}
+
+func postQuery(t *testing.T, client *http.Client, url string, body map[string]any) chaosResp {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var decoded struct {
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("bad response body %q: %v", raw, err)
+	}
+	return chaosResp{status: resp.StatusCode, result: string(decoded.Result), errMsg: decoded.Error}
+}
+
+// paperRuns expands the paper listings into (case, compat-mode) runs.
+func paperRuns() []struct {
+	c      *compat.Case
+	compat bool
+} {
+	var runs []struct {
+		c      *compat.Case
+		compat bool
+	}
+	for _, c := range compat.PaperCases() {
+		for _, flag := range []bool{false, true} {
+			if (c.Mode == compat.Core && flag) || (c.Mode == compat.Compat && !flag) {
+				continue
+			}
+			runs = append(runs, struct {
+				c      *compat.Case
+				compat bool
+			}{c, flag})
+		}
+	}
+	return runs
+}
+
+// TestChaosServerPaperBattery drives every paper listing concurrently
+// through an httptest server while seeded fault schedules fire at the
+// plan-cache-get and ingest-decode points. Each response must be either
+// a clean injected-fault error or byte-identical to the fault-free
+// baseline; after disarming, a full retry must reproduce the baseline.
+func TestChaosServerPaperBattery(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	db := sqlpp.New(nil)
+	for _, r := range paperRuns() {
+		for name, src := range r.c.Data {
+			if err := db.RegisterSION(name, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	svc := server.New(db, server.Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+
+	runs := paperRuns()
+	reqFor := func(i int) map[string]any {
+		r := runs[i]
+		return map[string]any{
+			"query": r.c.Query,
+			"options": map[string]any{
+				"compat": r.compat,
+				"strict": r.c.Strict,
+			},
+		}
+	}
+
+	// Fault-free baseline, one response per run.
+	baseline := make([]chaosResp, len(runs))
+	for i := range runs {
+		baseline[i] = postQuery(t, client, ts.URL, reqFor(i))
+	}
+
+	base := runtime.NumGoroutine()
+	faultinject.Schedule(20260805, faultinject.PlanCacheGet, faultinject.IngestDecode)
+
+	var wg sync.WaitGroup
+	const workers = 8
+	errCh := make(chan string, workers*len(runs)*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i := range runs {
+					got := postQuery(t, client, ts.URL, reqFor(i))
+					switch {
+					case got == baseline[i]:
+						// Un-faulted request: identical to the baseline.
+					case strings.Contains(got.errMsg, "injected fault"):
+						// Faulted request: clean, attributable error.
+					default:
+						errCh <- fmt.Sprintf("%s(compat=%v): unexpected response %+v (baseline %+v)",
+							runs[i].c.Name, runs[i].compat, got, baseline[i])
+					}
+				}
+				// Interleave ingests so ingest-decode faults fire under load;
+				// names are private to this worker, so queries never see them.
+				body := strings.NewReader(`{{ {'w': 1} }}`)
+				resp, err := client.Post(
+					fmt.Sprintf("%s/v1/collections/chaos_w%d?format=sion", ts.URL, w),
+					"application/sion", body)
+				if err != nil {
+					errCh <- fmt.Sprintf("ingest: %v", err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 300 && !strings.Contains(string(raw), "injected fault") {
+					errCh <- fmt.Sprintf("ingest: status %d body %s", resp.StatusCode, raw)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for msg := range errCh {
+		t.Error(msg)
+	}
+	if faultinject.Fired(faultinject.PlanCacheGet) == 0 {
+		t.Error("plan-cache-get never fired: the battery exercised nothing")
+	}
+
+	// Disarmed: every run reproduces its fault-free baseline exactly.
+	faultinject.Reset()
+	for i := range runs {
+		if got := postQuery(t, client, ts.URL, reqFor(i)); got != baseline[i] {
+			t.Errorf("%s(compat=%v): post-chaos retry diverges: %+v vs %+v",
+				runs[i].c.Name, runs[i].compat, got, baseline[i])
+		}
+	}
+	// Pooled keep-alive connections are the client's, not the server's —
+	// drop them before the leak check so only server goroutines count.
+	client.CloseIdleConnections()
+	waitGoroutines(t, base)
+}

@@ -7,6 +7,8 @@
 //	sqlpp-bench -serve       run the served-vs-embedded query latency comparison
 //	sqlpp-bench -joins       run the physical-optimizer experiments and write BENCH_joins.json
 //	sqlpp-bench -explain     measure EXPLAIN ANALYZE overhead and write BENCH_explain.json
+//	sqlpp-bench -governor    measure resource-governor overhead and enforcement and
+//	                         write BENCH_governor.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -38,10 +40,12 @@ func main() {
 	joinsOut := flag.String("joins-out", "BENCH_joins.json", "machine-readable output of -joins")
 	explain := flag.Bool("explain", false, "measure EXPLAIN ANALYZE instrumentation overhead")
 	explainOut := flag.String("explain-out", "BENCH_explain.json", "machine-readable output of -explain")
+	governor := flag.Bool("governor", false, "measure resource-governor overhead and enforcement")
+	governorOut := flag.String("governor-out", "BENCH_governor.json", "machine-readable output of -governor")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -63,6 +67,9 @@ func main() {
 	}
 	if *explain || all {
 		failed = runExplain(*scale, *explainOut) || failed
+	}
+	if *governor || all {
+		failed = runGovernor(*scale, *governorOut) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -19,7 +19,15 @@
 //	-max-timeout d      cap on client-requested timeouts (default 5m)
 //	-no-opt             disable the physical optimizer (naive clause pipeline)
 //	-parallel n         parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
+//	-max-rows n         server-wide cap on per-query output rows (0 = unlimited)
+//	-max-bytes n        server-wide cap on per-query materialized bytes (0 = unlimited)
+//	-queue-wait d       max admission-queue wait before shedding with 429 (default 2s)
+//	-drain d            graceful-shutdown drain window for in-flight queries (default 10s)
 //	-pprof              expose net/http/pprof profiling under /debug/pprof/
+//
+// On SIGINT/SIGTERM the server flips /readyz to "draining", stops
+// accepting new queries, and gives in-flight queries the -drain window
+// to finish; a second signal exits immediately.
 //
 // Example session:
 //
@@ -76,6 +84,10 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
+	maxRows := flag.Int64("max-rows", 0, "server-wide cap on per-query output rows (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 0, "server-wide cap on per-query materialized bytes (0 = unlimited)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max admission-queue wait before shedding with 429")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	flag.Parse()
 
@@ -96,10 +108,13 @@ func run() error {
 	}
 
 	svc := server.New(db, server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		PlanCacheSize:  *cacheSize,
+		MaxConcurrent:        *maxConcurrent,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		PlanCacheSize:        *cacheSize,
+		MaxQueueWait:         *queueWait,
+		MaxOutputRows:        *maxRows,
+		MaxMaterializedBytes: *maxBytes,
 	})
 	var handler http.Handler = svc
 	if *enablePprof {
@@ -127,17 +142,40 @@ func run() error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
-	stop := make(chan os.Signal, 1)
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "sqlpp-serve: %s, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(os.Stderr, "sqlpp-serve: %s, draining for up to %s\n", sig, *drain)
+		// Flip readiness first so load balancers stop routing here and
+		// new queries get a clean 503, then let the HTTP server drain
+		// in-flight requests inside the window.
+		svc.BeginShutdown()
+		// Hold the listener open briefly before Shutdown closes it, so
+		// readiness probes on fresh connections can observe the draining
+		// 503 instead of a connection refusal.
+		grace := *drain / 4
+		if grace > time.Second {
+			grace = time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
+		done := make(chan error, 1)
+		go func() {
+			time.Sleep(grace)
+			done <- httpSrv.Shutdown(ctx)
+		}()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+		case sig := <-stop:
+			// A second signal means "now": skip the drain.
+			fmt.Fprintf(os.Stderr, "sqlpp-serve: %s again, exiting immediately\n", sig)
+			os.Exit(130)
 		}
 	}
 	return nil

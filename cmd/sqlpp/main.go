@@ -14,6 +14,10 @@
 //	-compat           enable SQL compatibility mode
 //	-strict           enable stop-on-error typing
 //	-timeout d        abort a query after d (e.g. 500ms, 10s); 0 = no limit
+//	-max-rows n       abort a query once it has produced n output rows (0 = no limit)
+//	-max-bytes n      abort a query once its materialized state (hash-join
+//	                  builds, GROUP BY groups, ORDER BY buffers) exceeds n
+//	                  bytes (0 = no limit)
 //	-out format       output format: sion (default), json, pretty
 //	-core             print the SQL++ Core rewriting instead of executing
 //	-explain          execute with EXPLAIN ANALYZE: print the per-operator
@@ -74,6 +78,8 @@ func run() error {
 	compat := flag.Bool("compat", false, "enable SQL compatibility mode")
 	strict := flag.Bool("strict", false, "enable stop-on-error typing")
 	timeout := flag.Duration("timeout", 0, "abort a query after this duration (0 = no limit)")
+	maxRows := flag.Int64("max-rows", 0, "abort a query after this many output rows (0 = no limit)")
+	maxBytes := flag.Int64("max-bytes", 0, "abort a query once materialized state exceeds this many bytes (0 = no limit)")
 	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
 	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
 	explain := flag.Bool("explain", false, "execute with EXPLAIN ANALYZE and print the per-operator stats tree")
@@ -86,6 +92,10 @@ func run() error {
 		StopOnError:      *strict,
 		DisableOptimizer: *noOpt,
 		Parallelism:      *parallel,
+		Limits: sqlpp.Limits{
+			MaxOutputRows:        *maxRows,
+			MaxMaterializedBytes: *maxBytes,
+		},
 	})
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")

@@ -99,6 +99,17 @@ type Context struct {
 	// counters into its tree. Nil is the fast path — each site pays one
 	// pointer test and nothing else.
 	Stats *StatsSink
+	// Gov, when non-nil, enforces per-query resource budgets: the plan's
+	// materialization and output sites charge it, and an exceeded budget
+	// aborts the query with a *ResourceError. Nil is the fast path —
+	// one pointer test per site, exactly like Stats.
+	Gov *Governor
+	// Depth is the current query-block nesting depth, maintained by the
+	// plan runner and checked against Gov's depth budget.
+	Depth int
+	// PlanPos is the source position of the innermost query block being
+	// executed; panic recovery stamps it into the PanicError.
+	PlanPos lexer.Pos
 	// StatsParent is the tree node new operator nodes attach under; the
 	// plan saves/restores it around nested query blocks so subquery
 	// operators nest under the enclosing block.
@@ -117,18 +128,26 @@ type Context struct {
 const pollInterval = 64
 
 // Interrupted reports a non-nil error once the query's context is
-// cancelled or past its deadline. The plan row-production loops call it
-// per row; the fast path is one increment and one mask.
+// cancelled or past its deadline, or once the governor's wall-time
+// budget is spent. The plan row-production and materialization loops
+// call it per row; the fast path is one increment and one mask.
 func (c *Context) Interrupted() error {
-	if c.Ctx == nil {
+	if c.Ctx == nil && c.Gov == nil {
 		return nil
 	}
 	c.polls++
 	if c.polls&(pollInterval-1) != 0 {
 		return nil
 	}
-	if err := c.Ctx.Err(); err != nil {
-		return fmt.Errorf("sqlpp: query interrupted: %w", err)
+	if c.Ctx != nil {
+		if err := c.Ctx.Err(); err != nil {
+			return fmt.Errorf("sqlpp: query interrupted: %w", err)
+		}
+	}
+	if c.Gov != nil {
+		if err := c.Gov.CheckTime(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

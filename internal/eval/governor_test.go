@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlpp/internal/value"
+)
+
+func TestNewGovernorNilForUnlimited(t *testing.T) {
+	if g := NewGovernor(Limits{}); g != nil {
+		t.Fatal("zero Limits must yield a nil governor (the fast path)")
+	}
+	if g := NewGovernor(Limits{MaxOutputRows: 1}); g == nil {
+		t.Fatal("a set budget must yield a governor")
+	}
+}
+
+func TestChargeOutputRows(t *testing.T) {
+	g := NewGovernor(Limits{MaxOutputRows: 3})
+	for i := 0; i < 3; i++ {
+		if err := g.ChargeOutput("select", 1, nil); err != nil {
+			t.Fatalf("charge %d within budget: %v", i, err)
+		}
+	}
+	err := g.ChargeOutput("select", 1, nil)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("want ResourceError, got %v", err)
+	}
+	if re.Kind != ResourceRows || re.Site != "select" || re.Limit != 3 || re.Observed != 4 {
+		t.Errorf("bad error fields: %+v", re)
+	}
+}
+
+func TestChargeValuesAndBindings(t *testing.T) {
+	g := NewGovernor(Limits{MaxMaterializedValues: 2})
+	if err := g.ChargeValues("group-by", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ChargeBindings("hash-build", []value.Value{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	err := g.ChargeValues("group-by", 1, nil)
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceValues {
+		t.Fatalf("want materialized-values error, got %v", err)
+	}
+}
+
+func TestChargeBytes(t *testing.T) {
+	g := NewGovernor(Limits{MaxMaterializedBytes: 64})
+	err := g.ChargeOutput("select", 1, value.String(strings.Repeat("x", 256)))
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceBytes {
+		t.Fatalf("want materialized-bytes error, got %v", err)
+	}
+	if re.Observed <= re.Limit {
+		t.Errorf("observed %d should exceed limit %d", re.Observed, re.Limit)
+	}
+
+	// Without a byte budget, values are never sized.
+	g2 := NewGovernor(Limits{MaxOutputRows: 1 << 30})
+	if err := g2.ChargeOutput("select", 1, value.String(strings.Repeat("x", 1<<20))); err != nil {
+		t.Fatalf("no byte budget must not charge bytes: %v", err)
+	}
+	if _, _, b := g2.Usage(); b != 0 {
+		t.Errorf("bytes charged without a byte budget: %d", b)
+	}
+}
+
+func TestCheckDepth(t *testing.T) {
+	g := NewGovernor(Limits{MaxDepth: 2})
+	if err := g.CheckDepth(2); err != nil {
+		t.Fatalf("depth at budget: %v", err)
+	}
+	err := g.CheckDepth(3)
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceDepth {
+		t.Fatalf("want nesting-depth error, got %v", err)
+	}
+}
+
+func TestCheckTime(t *testing.T) {
+	g := NewGovernor(Limits{MaxWallTime: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := g.CheckTime()
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceTime {
+		t.Fatalf("want wall-time error, got %v", err)
+	}
+	if !strings.Contains(re.Error(), "wall-time") {
+		t.Errorf("message should name the budget: %q", re.Error())
+	}
+
+	g2 := NewGovernor(Limits{MaxWallTime: time.Hour})
+	if err := g2.CheckTime(); err != nil {
+		t.Fatalf("within wall budget: %v", err)
+	}
+}
+
+// TestInterruptedChecksGovernorTime: the cooperative poll must notice a
+// spent wall budget even with no cancellation context installed.
+func TestInterruptedChecksGovernorTime(t *testing.T) {
+	c := &Context{Gov: NewGovernor(Limits{MaxWallTime: time.Nanosecond})}
+	time.Sleep(time.Millisecond)
+	var err error
+	for i := 0; i < pollInterval+1 && err == nil; i++ {
+		err = c.Interrupted()
+	}
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceTime {
+		t.Fatalf("want wall-time error from the poll, got %v", err)
+	}
+}
+
+func TestRecoveredPanicError(t *testing.T) {
+	c := &Context{}
+	pe := c.Recovered("boom")
+	if pe.Val != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("bad PanicError: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "internal error") {
+		t.Errorf("message should mark the bug as internal: %q", pe.Error())
+	}
+}

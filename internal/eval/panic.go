@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"sqlpp/internal/lexer"
+)
+
+// Panic containment. An operator bug (or an injected fault) that panics
+// must fail the one query that hit it, never the process: the facade
+// recovers at the Exec boundary and each parallel-scan worker recovers
+// in its own goroutine, both converting the panic into a *PanicError
+// carrying the plan position of the block that was executing.
+
+// PanicError is a query failure recovered from a panic during plan
+// execution. It is an internal-error report, not a user mistake: the
+// query text was valid, an operator implementation failed. Match it
+// with errors.As; Stack carries the goroutine stack captured at the
+// recovery point.
+type PanicError struct {
+	// Val is the value the panic carried.
+	Val any
+	// Pos is the source position of the innermost query block that was
+	// executing when the panic fired.
+	Pos lexer.Pos
+	// Stack is the recovered goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sqlpp: internal error executing query block at %s: recovered panic: %v", e.Pos, e.Val)
+}
+
+// Recovered converts a recovered panic value into a *PanicError stamped
+// with the context's current plan position. Call it only from a
+// deferred recover handler.
+func (c *Context) Recovered(p any) *PanicError {
+	return &PanicError{Val: p, Pos: c.PlanPos, Stack: debug.Stack()}
+}

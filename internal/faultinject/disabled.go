@@ -1,0 +1,11 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether the binary was built with the faultinject
+// tag. As a constant false here, every guarded call site is eliminated
+// at compile time.
+const Enabled = false
+
+// Fire is a no-op in normal builds.
+func Fire(point string) error { return nil }

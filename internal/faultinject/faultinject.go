@@ -1,0 +1,40 @@
+// Package faultinject is a build-tag-gated fault-injection harness for
+// the chaos test battery. Engine and server hot paths carry named
+// injection points; a binary built with the `faultinject` tag can arm
+// any point with a deterministic schedule that returns errors, panics,
+// or sleeps, proving that every injected fault degrades into a clean
+// per-query error — never a process exit or a goroutine leak.
+//
+// In a normal build (no tag) Enabled is a constant false and Fire is an
+// inlineable no-op, so every call site
+//
+//	if faultinject.Enabled {
+//	    if err := faultinject.Fire(faultinject.ScanNext); err != nil { ... }
+//	}
+//
+// is dead code the compiler deletes: production binaries pay nothing
+// for the harness's existence.
+package faultinject
+
+// The named injection points. Each is a specific hot-path site chosen
+// so the fault lands in a distinct recovery domain: row production,
+// blocking-operator build, plan-cache lookup, ingest decoding, and
+// parallel-worker startup.
+const (
+	// ScanNext fires per row produced by a FROM scan.
+	ScanNext = "scan-next"
+	// HashBuildInsert fires per row inserted into a hash-join build table.
+	HashBuildInsert = "hash-build-insert"
+	// PlanCacheGet fires per server plan-cache lookup.
+	PlanCacheGet = "plan-cache-get"
+	// IngestDecode fires per server collection-ingest decode.
+	IngestDecode = "ingest-decode"
+	// WorkerStart fires once per parallel-scan worker goroutine, before
+	// it processes its first chunk row.
+	WorkerStart = "worker-start"
+)
+
+// Points lists every injection point, for harness sweeps.
+func Points() []string {
+	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart}
+}

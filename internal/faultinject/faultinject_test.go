@@ -1,0 +1,128 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedIsNil(t *testing.T) {
+	Reset()
+	for _, p := range Points() {
+		if err := Fire(p); err != nil {
+			t.Errorf("%s unarmed: %v", p, err)
+		}
+	}
+}
+
+func TestScheduleAfterEveryTimes(t *testing.T) {
+	Reset()
+	defer Reset()
+	// Skip 3 calls, then every 2nd call, at most 2 times.
+	Set(ScanNext, 3, 2, 2, Action{Err: ErrInjected})
+	var errAt []int
+	for i := 1; i <= 12; i++ {
+		if err := Fire(ScanNext); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("call %d: error not rooted in ErrInjected: %v", i, err)
+			}
+			errAt = append(errAt, i)
+		}
+	}
+	// Triggers at call 4 (first past `after`) and call 6; `times` stops it
+	// there.
+	if len(errAt) != 2 || errAt[0] != 4 || errAt[1] != 6 {
+		t.Errorf("want triggers at [4 6], got %v", errAt)
+	}
+	if f := Fired(ScanNext); f != 2 {
+		t.Errorf("Fired = %d, want 2", f)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []int {
+		Reset()
+		Schedule(42, HashBuildInsert)
+		var errAt []int
+		for i := 1; i <= 64; i++ {
+			if Fire(HashBuildInsert) != nil {
+				errAt = append(errAt, i)
+			}
+		}
+		return errAt
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("seeded schedule never triggered in 64 calls")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic schedule: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic schedule: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(WorkerStart, 0, 1, 1, Action{Panic: "chaos"})
+	defer func() {
+		if recover() == nil {
+			t.Error("panic action did not panic")
+		}
+	}()
+	Fire(WorkerStart)
+}
+
+func TestSleepAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Set(IngestDecode, 0, 1, 1, Action{Sleep: 20 * time.Millisecond, Err: ErrInjected})
+	start := time.Now()
+	err := Fire(IngestDecode)
+	if err == nil {
+		t.Fatal("sleep+err action must still return the error")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("sleep action returned too fast")
+	}
+}
+
+func TestConcurrentFireCountsExact(t *testing.T) {
+	Reset()
+	defer Reset()
+	// every 4th call, unlimited times: 400 calls → exactly 100 triggers,
+	// regardless of goroutine interleaving.
+	Set(PlanCacheGet, 0, 4, 0, Action{Err: ErrInjected})
+	var wg sync.WaitGroup
+	errs := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if Fire(PlanCacheGet) != nil {
+					errs[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range errs {
+		total += n
+	}
+	if total != 100 {
+		t.Errorf("400 concurrent calls at every=4: %d triggers, want 100", total)
+	}
+	if f := Fired(PlanCacheGet); f != 100 {
+		t.Errorf("Fired = %d, want 100", f)
+	}
+}

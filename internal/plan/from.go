@@ -8,8 +8,33 @@ import (
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/eval"
+	"sqlpp/internal/faultinject"
 	"sqlpp/internal/value"
 )
+
+// hoistSource evaluates a hoisted (uncorrelated) source once and charges
+// its materialization: unlike a streamed scan, a hoisted source is held
+// for the lifetime of the block, so its full size counts against the
+// governor's materialization budget.
+func hoistSource(ctx *eval.Context, outer *eval.Env, expr ast.Expr) (value.Value, error) {
+	src, err := eval.Eval(ctx, outer, expr)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Gov != nil {
+		n := int64(1)
+		switch s := src.(type) {
+		case value.Array:
+			n = int64(len(s))
+		case value.Bag:
+			n = int64(len(s))
+		}
+		if err := ctx.Gov.ChargeValues("hoist", n, src); err != nil {
+			return nil, err
+		}
+	}
+	return src, nil
+}
 
 // produceFrom streams the binding environments of a FROM clause to k.
 // With no FROM items the block evaluates its remaining clauses over a
@@ -91,6 +116,11 @@ func scanValue(ctx *eval.Context, env *eval.Env, x *ast.FromExpr, src value.Valu
 	// products and joins nest them), so this is where a deadline or
 	// cancellation cooperatively stops a runaway query.
 	bind := func(v value.Value, ordinal value.Value) error {
+		if faultinject.Enabled {
+			if err := faultinject.Fire(faultinject.ScanNext); err != nil {
+				return err
+			}
+		}
 		if err := ctx.Interrupted(); err != nil {
 			return err
 		}
@@ -365,7 +395,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		switch x := step.item.(type) {
 		case *ast.FromExpr:
 			src, err := st.sources[i].get(func() (value.Value, error) {
-				return eval.Eval(ctx, st.outer, x.Expr)
+				return hoistSource(ctx, st.outer, x.Expr)
 			})
 			if err != nil {
 				return err
@@ -373,7 +403,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 			return scanValue(ctx, env, x, src, emitNext)
 		case *ast.FromUnpivot:
 			src, err := st.sources[i].get(func() (value.Value, error) {
-				return eval.Eval(ctx, st.outer, x.Expr)
+				return hoistSource(ctx, st.outer, x.Expr)
 			})
 			if err != nil {
 				return err
@@ -473,7 +503,13 @@ func (g *groupState) add(env *eval.Env) error {
 	} else if g.ctx.Compat {
 		mergeCompatKeys(have, keys)
 	}
-	g.content[ks] = append(g.content[ks], env.SnapshotBelow(g.outer))
+	snap := env.SnapshotBelow(g.outer)
+	g.content[ks] = append(g.content[ks], snap)
+	if g.ctx.Gov != nil {
+		if err := g.ctx.Gov.ChargeValues("group-by", 1, snap); err != nil {
+			return err
+		}
+	}
 	return checkSize(g.ctx, len(g.content[ks]))
 }
 

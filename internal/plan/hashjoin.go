@@ -2,6 +2,7 @@ package plan
 
 import (
 	"sqlpp/internal/eval"
+	"sqlpp/internal/faultinject"
 	"sqlpp/internal/value"
 )
 
@@ -34,6 +35,17 @@ func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashT
 	t := &hashTable{buckets: map[string][]hashRow{}}
 	var kb []byte
 	err := produceItem(ctx, outer, h.right, func(renv *eval.Env) error {
+		if faultinject.Enabled {
+			if err := faultinject.Fire(faultinject.HashBuildInsert); err != nil {
+				return err
+			}
+		}
+		// The build phase is a blocking loop that produces no output rows,
+		// so it must poll cancellation itself or a deadline lands only
+		// after the whole table is built.
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		kb = kb[:0]
 		for _, bk := range h.buildKeys {
 			v, err := eval.Eval(ctx, renv, bk)
@@ -54,6 +66,11 @@ func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashT
 		t.rows++
 		if err := checkSize(ctx, t.rows); err != nil {
 			return err
+		}
+		if ctx.Gov != nil {
+			if err := ctx.Gov.ChargeBindings("hash-build", row.vals); err != nil {
+				return err
+			}
 		}
 		t.buckets[string(kb)] = append(t.buckets[string(kb)], row)
 		return nil

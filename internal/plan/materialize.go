@@ -16,6 +16,11 @@ func runSFWMaterialized(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.V
 	var envs []*eval.Env
 	err := produceFrom(ctx, outer, q.From, func(env *eval.Env) error {
 		envs = append(envs, env)
+		if ctx.Gov != nil {
+			if err := ctx.Gov.ChargeValues("materialize", 1, nil); err != nil {
+				return err
+			}
+		}
 		return checkSize(ctx, len(envs))
 	})
 	if err != nil {
@@ -113,6 +118,15 @@ func runSFWMaterialized(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.V
 				continue
 			}
 			seen[k] = true
+		}
+		if ctx.Gov != nil {
+			site := "select"
+			if ordered {
+				site = "order-by"
+			}
+			if err := ctx.Gov.ChargeOutput(site, 1, v); err != nil {
+				return nil, err
+			}
 		}
 		if ordered {
 			keys := make([]value.Value, len(q.OrderBy))

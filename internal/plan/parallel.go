@@ -5,6 +5,7 @@ import (
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/eval"
+	"sqlpp/internal/faultinject"
 	"sqlpp/internal/value"
 )
 
@@ -124,6 +125,20 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			// A panic anywhere in this worker's pipeline must not kill the
+			// process: it becomes the worker's error, and the merge below
+			// surfaces it like any other per-chunk failure.
+			defer func() {
+				if p := recover(); p != nil {
+					ws[w].err = wctx.Recovered(p)
+				}
+			}()
+			if faultinject.Enabled {
+				if err := faultinject.Fire(faultinject.WorkerStart); err != nil {
+					ws[w].err = err
+					return
+				}
+			}
 			for j := lo; j < hi; j++ {
 				if err := wctx.Interrupted(); err != nil {
 					ws[w].err = err

@@ -105,7 +105,7 @@ func TestParallelStrictModeError(t *testing.T) {
 // TestParallelBelowThreshold: small scans must take the sequential path
 // (done=false fallback) and still produce correct results.
 func TestParallelBelowThreshold(t *testing.T) {
-	lowerParallelThreshold(t, 1 << 30)
+	lowerParallelThreshold(t, 1<<30)
 	data := parallelData(200)
 	q := `SELECT e.deptno AS dno, COUNT(*) AS n FROM emp AS e GROUP BY e.deptno`
 	naive, err := exec(t, data, q, false, false)

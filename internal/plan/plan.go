@@ -29,7 +29,30 @@ var errStop = errors.New("plan: stop iteration")
 
 // Run executes a rewritten query expression in env. Install it as
 // ctx.Run so nested query blocks inside expressions execute through it.
+// Every query-block form passes through here, so this is where the
+// governor's nesting-depth budget is enforced: a deeply nested GROUP AS
+// or subquery tower fails with a typed ResourceError instead of
+// recursing without bound.
 func Run(ctx *eval.Context, env *eval.Env, e ast.Expr) (value.Value, error) {
+	switch e.(type) {
+	case *ast.SFW, *ast.PivotQuery, *ast.SetOp, *ast.With:
+	default:
+		return eval.Eval(ctx, env, e)
+	}
+	if ctx.Gov != nil {
+		if err := ctx.Gov.CheckDepth(ctx.Depth + 1); err != nil {
+			return nil, err
+		}
+	}
+	ctx.Depth++
+	v, err := runBlock(ctx, env, e)
+	ctx.Depth--
+	return v, err
+}
+
+// runBlock dispatches one query-block form; Run has already accounted
+// for its nesting depth.
+func runBlock(ctx *eval.Context, env *eval.Env, e ast.Expr) (value.Value, error) {
 	switch q := e.(type) {
 	case *ast.SFW:
 		return runSFW(ctx, env, q)
@@ -78,6 +101,9 @@ type rowSink struct {
 	seen     map[string]bool
 	keyBuf   []byte
 	seq      int
+	// gov is the resolved resource governor, nil when ungoverned; like
+	// the stats nodes it is resolved once so project() pays a nil test.
+	gov *eval.Governor
 	// EXPLAIN ANALYZE nodes, nil when instrumentation is off. They are
 	// resolved once here so project() pays a nil test per row.
 	stDistinct *eval.StatsNode
@@ -86,7 +112,7 @@ type rowSink struct {
 }
 
 func newRowSink(ctx *eval.Context, q *ast.SFW, ordered bool, limit, offset int64) *rowSink {
-	s := &rowSink{ctx: ctx, q: q, ordered: ordered, stopAt: -1}
+	s := &rowSink{ctx: ctx, q: q, ordered: ordered, stopAt: -1, gov: ctx.Gov}
 	if q.Select.Distinct {
 		s.seen = map[string]bool{}
 	}
@@ -148,11 +174,23 @@ func (s *rowSink) project(env *eval.Env) error {
 		if err := checkSize(s.ctx, len(s.seen)); err != nil {
 			return err
 		}
+		if s.gov != nil {
+			if err := s.gov.ChargeValues("distinct", 1, nil); err != nil {
+				return err
+			}
+		}
 		if s.stDistinct != nil {
 			s.stDistinct.AddOut(1)
 		}
 	}
 	if s.ordered {
+		// The ORDER BY buffer is a materialization point: poll for
+		// cancellation here too, so a deadline is honoured even when the
+		// rows arrive from an already-materialized (hoisted) source whose
+		// scan no longer polls per element.
+		if err := s.ctx.Interrupted(); err != nil {
+			return err
+		}
 		if s.stOrder != nil {
 			s.stOrder.AddIn(1)
 		}
@@ -167,15 +205,29 @@ func (s *rowSink) project(env *eval.Env) error {
 		r := sortRow{val: v, keys: keys, seq: s.seq}
 		s.seq++
 		if s.top != nil {
+			grew := s.top.Len() < s.top.k
 			s.top.offer(r)
+			if grew && s.gov != nil {
+				return s.gov.ChargeOutput("order-by", 1, v)
+			}
 			return nil
 		}
 		s.rows = append(s.rows, r)
+		if s.gov != nil {
+			if err := s.gov.ChargeOutput("order-by", 1, v); err != nil {
+				return err
+			}
+		}
 		return checkSize(s.ctx, len(s.rows))
 	}
 	s.out = append(s.out, v)
 	if s.keepKeys {
 		s.keys = append(s.keys, rowKey)
+	}
+	if s.gov != nil {
+		if err := s.gov.ChargeOutput("select", 1, v); err != nil {
+			return err
+		}
 	}
 	if err := checkSize(s.ctx, len(s.out)); err != nil {
 		return err
@@ -321,6 +373,9 @@ func preGroupChain(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, consume emit) e
 
 // runSFW executes one query block.
 func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error) {
+	// Stamp the block position so a recovered panic can report where the
+	// plan was; one field store, no restore — innermost wins.
+	ctx.PlanPos = q.Pos()
 	if q.Select.Value == nil {
 		return nil, fmt.Errorf("plan: query block not in Core form (SELECT sugar not lowered) at %s", q.Pos())
 	}
@@ -367,7 +422,15 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 	if len(q.Windows) > 0 {
 		sink.stopAt = -1
 		postHaving = func(env *eval.Env) error {
+			if err := ctx.Interrupted(); err != nil {
+				return err
+			}
 			windowEnvs = append(windowEnvs, env)
+			if ctx.Gov != nil {
+				if err := ctx.Gov.ChargeValues("window", 1, nil); err != nil {
+					return err
+				}
+			}
 			return checkSize(ctx, len(windowEnvs))
 		}
 	}
@@ -547,10 +610,10 @@ func (h *topKHeap) before(a, b sortRow) bool {
 	return c < 0 || (c == 0 && a.seq < b.seq)
 }
 
-func (h *topKHeap) Len() int            { return len(h.rows) }
-func (h *topKHeap) Less(i, j int) bool  { return h.before(h.rows[j], h.rows[i]) }
-func (h *topKHeap) Swap(i, j int)       { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
-func (h *topKHeap) Push(x any)          { h.rows = append(h.rows, x.(sortRow)) }
+func (h *topKHeap) Len() int           { return len(h.rows) }
+func (h *topKHeap) Less(i, j int) bool { return h.before(h.rows[j], h.rows[i]) }
+func (h *topKHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topKHeap) Push(x any)         { h.rows = append(h.rows, x.(sortRow)) }
 func (h *topKHeap) Pop() any {
 	r := h.rows[len(h.rows)-1]
 	h.rows = h.rows[:len(h.rows)-1]
@@ -587,6 +650,7 @@ func (h *topKHeap) finish() []sortRow {
 // Bindings whose name is not a string or whose value is MISSING are
 // skipped in permissive mode and are an error in stop-on-error mode.
 func runPivot(ctx *eval.Context, outer *eval.Env, q *ast.PivotQuery) (value.Value, error) {
+	ctx.PlanPos = q.Pos()
 	if ctx.Stats != nil {
 		block := ctx.Stats.Node(statsParent(ctx), q, "block", "pivot", q.Pos().String())
 		block.AddOut(1)
@@ -613,6 +677,9 @@ func runPivot(ctx *eval.Context, outer *eval.Env, q *ast.PivotQuery) (value.Valu
 			return err
 		}
 		result.Put(string(name), v)
+		if ctx.Gov != nil {
+			return ctx.Gov.ChargeValues("pivot", 1, v)
+		}
 		return nil
 	}
 	post := project

@@ -42,6 +42,16 @@ func runSetOp(ctx *eval.Context, env *eval.Env, q *ast.SetOp) (value.Value, erro
 	if node != nil {
 		node.AddIn(int64(len(left) + len(right)))
 	}
+	// Both inputs are fully materialized before the operator combines
+	// them, so their combined size is charged as intermediate state.
+	if ctx.Gov != nil {
+		if err := ctx.Gov.ChargeValues("set-op", int64(len(left)), lv); err != nil {
+			return nil, err
+		}
+		if err := ctx.Gov.ChargeValues("set-op", int64(len(right)), rv); err != nil {
+			return nil, err
+		}
+	}
 	done := func(out value.Bag) (value.Value, error) {
 		if node != nil {
 			node.AddOut(int64(len(out)))

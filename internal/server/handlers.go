@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"sqlpp"
 	"sqlpp/internal/datafmt"
+	"sqlpp/internal/faultinject"
 	"sqlpp/internal/sion"
 	"sqlpp/internal/value"
 )
@@ -48,6 +50,11 @@ type queryOptions struct {
 	// GOMAXPROCS, 1 = sequential).
 	DisableOptimizer *bool `json:"disable_optimizer,omitempty"`
 	Parallelism      *int  `json:"parallelism,omitempty"`
+	// MaxRows / MaxBytes set this request's governor budgets for output
+	// rows and materialized bytes. The server's own caps clamp both: a
+	// request may tighten the budget below the cap but never exceed it.
+	MaxRows  *int64 `json:"max_rows,omitempty"`
+	MaxBytes *int64 `json:"max_bytes,omitempty"`
 }
 
 // queryResponse is the body of a successful POST /v1/query.
@@ -69,6 +76,18 @@ type queryResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Resource is present when the error is a governor budget violation,
+	// so clients can distinguish "query too expensive" from "query
+	// wrong" and react programmatically (page, tighten, or give up).
+	Resource *resourceDetail `json:"resource,omitempty"`
+}
+
+// resourceDetail is the machine-readable body of a ResourceError.
+type resourceDetail struct {
+	Kind     string `json:"kind"`
+	Site     string `json:"site"`
+	Limit    int64  `json:"limit"`
+	Observed int64  `json:"observed"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -86,6 +105,14 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 // execute under deadline → encode.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Add(1)
+
+	// A draining server refuses new queries outright; in-flight ones
+	// finish inside the shutdown drain window.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 
 	var req queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -118,10 +145,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// The gate bounds executing queries; waiting counts against the
-	// request's own deadline so a saturated server sheds load instead
-	// of queueing without bound.
-	if !s.acquire(ctx) {
+	// The gate bounds executing queries. Waiting is bounded twice over:
+	// by the request's own deadline and by MaxQueueWait, so a saturated
+	// server sheds load with an explicit backpressure signal instead of
+	// queueing without bound.
+	ok, shed := s.acquire(ctx)
+	if !ok {
+		if shed {
+			w.Header().Set("Retry-After", retryAfter(s.cfg.MaxQueueWait))
+			s.fail(w, http.StatusTooManyRequests, "server at capacity: gave up after queueing %s", s.cfg.MaxQueueWait)
+			return
+		}
 		s.fail(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
 		return
 	}
@@ -154,7 +188,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if req.Options.Parallelism != nil {
 			opts.Parallelism = *req.Options.Parallelism
 		}
-		engine = engine.WithOptions(opts)
+		if req.Options.MaxRows != nil {
+			opts.Limits.MaxOutputRows = *req.Options.MaxRows
+		}
+		if req.Options.MaxBytes != nil {
+			opts.Limits.MaxMaterializedBytes = *req.Options.MaxBytes
+		}
+	}
+	// Server-wide caps clamp the request's budgets: a request may
+	// tighten a budget below the cap but never widen past it, and the
+	// caps apply even to requests that named no budget at all.
+	opts.Limits.MaxOutputRows = clampLimit(opts.Limits.MaxOutputRows, s.cfg.MaxOutputRows)
+	opts.Limits.MaxMaterializedBytes = clampLimit(opts.Limits.MaxMaterializedBytes, s.cfg.MaxMaterializedBytes)
+	if opts != s.engine.Options() {
+		engine = s.engine.WithOptions(opts)
 	}
 
 	start := time.Now()
@@ -190,6 +237,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusGatewayTimeout, "query exceeded its deadline after %s: %v", elapsed.Round(time.Millisecond), err)
 			return
 		}
+		var re *sqlpp.ResourceError
+		if errors.As(err, &re) {
+			s.metrics.Governed.Add(1)
+			s.metrics.Errors.Add(1)
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+				Error: re.Error(),
+				Resource: &resourceDetail{
+					Kind:     string(re.Kind),
+					Site:     re.Site,
+					Limit:    re.Limit,
+					Observed: re.Observed,
+				},
+			})
+			return
+		}
+		var pe *sqlpp.PanicError
+		if errors.As(err, &pe) {
+			// A recovered panic is the engine's bug, not the client's:
+			// report 500, count it, and keep serving — containment means
+			// one query failed, not the process.
+			s.metrics.Panics.Add(1)
+			s.fail(w, http.StatusInternalServerError, "execute: %v", err)
+			return
+		}
 		s.fail(w, http.StatusUnprocessableEntity, "execute: %v", err)
 		return
 	}
@@ -218,11 +289,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// clampLimit applies a server-wide cap to a request-supplied budget:
+// with no cap the request's value stands (negatives normalize to
+// unlimited); with a cap, "unlimited" and anything above the cap clamp
+// down to it.
+func clampLimit(req, cap int64) int64 {
+	if req < 0 {
+		req = 0
+	}
+	if cap > 0 && (req == 0 || req > cap) {
+		return cap
+	}
+	return req
+}
+
+// retryAfter renders a duration as a whole-seconds Retry-After value,
+// rounding up so clients never retry early.
+func retryAfter(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // plan fetches a compiled plan from the cache or compiles and caches
 // one. Concurrent misses on the same key may compile twice; the loser's
 // Put simply refreshes the entry, which is sound because plans are
 // immutable and interchangeable.
 func (s *Server) plan(engine *sqlpp.Engine, opts sqlpp.Options, query string, paramNames []string, extras ...string) (Plan, bool, error) {
+	if faultinject.Enabled {
+		if err := faultinject.Fire(faultinject.PlanCacheGet); err != nil {
+			return Plan{}, false, err
+		}
+	}
 	key := CacheKey(opts, paramNames, query, extras...)
 	if p, ok := s.cache.Get(key); ok {
 		return p, true, nil
@@ -348,6 +448,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 	var err error
+	if faultinject.Enabled {
+		err = faultinject.Fire(faultinject.IngestDecode)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "ingest %s: %v", name, err)
+		return
+	}
 	switch format {
 	case "sion", "":
 		var data []byte
@@ -421,9 +528,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe. Unlike /healthz (alive at all),
+// it reports whether the server should receive new traffic: false while
+// draining for shutdown and while the admission queue is saturated, so
+// load balancers route around a busy or departing instance.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	waiting := s.waiting.Load()
+	status := http.StatusOK
+	state := "ready"
+	switch {
+	case draining:
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	case waiting > 0:
+		status = http.StatusServiceUnavailable
+		state = "saturated"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"draining": draining,
+		"waiting":  waiting,
+		"inflight": s.inflight.Load(),
+	})
+}
+
 // handleMetrics renders the plain-text counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache.Hits(), s.cache.Misses(), s.cache.Len(), s.inflight.Load())
+	s.metrics.WriteTo(w, s.cache.Hits(), s.cache.Misses(), s.cache.Len(), s.inflight.Load(), s.waiting.Load(), s.draining.Load())
 }
-

@@ -20,7 +20,10 @@ type Metrics struct {
 	Requests atomic.Uint64 // query requests received
 	Errors   atomic.Uint64 // query requests that failed (any status >= 400)
 	Timeouts atomic.Uint64 // queries stopped by deadline or client cancel
-	Rejected atomic.Uint64 // requests refused at the concurrency gate
+	Rejected atomic.Uint64 // requests whose own deadline fired while queued
+	Shed     atomic.Uint64 // requests shed after the bounded queue wait (429)
+	Governed atomic.Uint64 // queries aborted by a governor resource budget
+	Panics   atomic.Uint64 // recovered query panics (contained, served 500)
 	Ingests  atomic.Uint64 // collection ingests accepted
 
 	lat latencyRing
@@ -113,17 +116,26 @@ func (r *latencyRing) percentiles(qs ...float64) []time.Duration {
 // WriteTo renders the counters in the plain-text `name value` format
 // (one gauge per line, Prometheus-style naming) together with the
 // cache and gate gauges supplied by the server.
-func (m *Metrics) WriteTo(w io.Writer, cacheHits, cacheMisses uint64, cacheEntries int, inflight int64) {
+func (m *Metrics) WriteTo(w io.Writer, cacheHits, cacheMisses uint64, cacheEntries int, inflight, waiting int64, draining bool) {
 	p := m.lat.percentiles(0.50, 0.95, 0.99)
 	fmt.Fprintf(w, "sqlpp_requests_total %d\n", m.Requests.Load())
 	fmt.Fprintf(w, "sqlpp_errors_total %d\n", m.Errors.Load())
 	fmt.Fprintf(w, "sqlpp_timeouts_total %d\n", m.Timeouts.Load())
 	fmt.Fprintf(w, "sqlpp_rejected_total %d\n", m.Rejected.Load())
+	fmt.Fprintf(w, "sqlpp_shed_total %d\n", m.Shed.Load())
+	fmt.Fprintf(w, "sqlpp_governed_total %d\n", m.Governed.Load())
+	fmt.Fprintf(w, "sqlpp_panics_total %d\n", m.Panics.Load())
 	fmt.Fprintf(w, "sqlpp_ingests_total %d\n", m.Ingests.Load())
 	fmt.Fprintf(w, "sqlpp_plan_cache_hits_total %d\n", cacheHits)
 	fmt.Fprintf(w, "sqlpp_plan_cache_misses_total %d\n", cacheMisses)
 	fmt.Fprintf(w, "sqlpp_plan_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(w, "sqlpp_inflight_queries %d\n", inflight)
+	fmt.Fprintf(w, "sqlpp_waiting_queries %d\n", waiting)
+	drainingGauge := 0
+	if draining {
+		drainingGauge = 1
+	}
+	fmt.Fprintf(w, "sqlpp_draining %d\n", drainingGauge)
 	fmt.Fprintf(w, "sqlpp_latency_p50_us %d\n", p[0].Microseconds())
 	fmt.Fprintf(w, "sqlpp_latency_p95_us %d\n", p[1].Microseconds())
 	fmt.Fprintf(w, "sqlpp_latency_p99_us %d\n", p[2].Microseconds())

@@ -49,7 +49,7 @@ func TestMetricsRender(t *testing.T) {
 	m.Observe(2 * time.Millisecond)
 
 	var sb strings.Builder
-	m.WriteTo(&sb, 5, 7, 2, 1)
+	m.WriteTo(&sb, 5, 7, 2, 1, 0, false)
 	out := sb.String()
 	for _, want := range []string{
 		"sqlpp_requests_total 3",

@@ -77,6 +77,20 @@ func CacheKey(opts sqlpp.Options, paramNames []string, query string, extras ...s
 	sb.WriteString(strconv.FormatBool(opts.DisableOptimizer))
 	sb.WriteByte('w')
 	sb.WriteString(strconv.Itoa(opts.Parallelism))
+	// A Prepared bakes in its engine and therefore its Limits (like
+	// MaxCollectionSize above), so every budget field must distinguish
+	// cache entries — a cached plan must never execute under another
+	// request's budgets.
+	sb.WriteByte('r')
+	sb.WriteString(strconv.FormatInt(opts.Limits.MaxOutputRows, 10))
+	sb.WriteByte('v')
+	sb.WriteString(strconv.FormatInt(opts.Limits.MaxMaterializedValues, 10))
+	sb.WriteByte('b')
+	sb.WriteString(strconv.FormatInt(opts.Limits.MaxMaterializedBytes, 10))
+	sb.WriteByte('d')
+	sb.WriteString(strconv.Itoa(opts.Limits.MaxDepth))
+	sb.WriteByte('t')
+	sb.WriteString(strconv.FormatInt(int64(opts.Limits.MaxWallTime), 10))
 	if len(paramNames) > 0 {
 		names := append([]string(nil), paramNames...)
 		sort.Strings(names)

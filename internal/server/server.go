@@ -44,6 +44,18 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (ingest payloads dominate).
 	// Default: 32 MiB.
 	MaxBodyBytes int64
+	// MaxQueueWait bounds how long a request may wait at the admission
+	// gate before the server sheds it with 429 + Retry-After. Waiting
+	// also ends early if the request's own deadline fires. Default: 2s.
+	MaxQueueWait time.Duration
+	// MaxOutputRows is the server-wide cap on a query's output-row
+	// budget: requests asking for more (or for no limit) are clamped down
+	// to it. 0 leaves the budget to the request/engine. See the governor
+	// (eval.Limits) for the budget semantics.
+	MaxOutputRows int64
+	// MaxMaterializedBytes is the server-wide cap on a query's
+	// materialized-bytes budget, clamped like MaxOutputRows.
+	MaxMaterializedBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -62,6 +74,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 2 * time.Second
+	}
 }
 
 // Server is the HTTP query service. Create one with New; it implements
@@ -73,6 +88,12 @@ type Server struct {
 	metrics  Metrics
 	gate     chan struct{}
 	inflight atomic.Int64
+	// waiting counts requests blocked at the admission gate; a non-zero
+	// value marks the queue as saturated for the readiness probe.
+	waiting atomic.Int64
+	// draining flips when shutdown begins: readiness goes false so load
+	// balancers stop routing here, while in-flight queries finish.
+	draining atomic.Bool
 	started  time.Time
 	mux      *http.ServeMux
 }
@@ -94,6 +115,7 @@ func New(engine *sqlpp.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/collections/{name}", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/collections", s.handleCollections)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -110,18 +132,46 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // Engine returns the underlying engine.
 func (s *Server) Engine() *sqlpp.Engine { return s.engine }
 
-// acquire claims an execution slot, waiting until one frees or ctx
-// (which carries the request's deadline, so queue wait counts against
-// the query budget) fires. It reports false — and counts a rejection —
-// when the caller should give up.
-func (s *Server) acquire(ctx context.Context) bool {
+// BeginShutdown flips the server into draining mode: the readiness
+// probe starts failing (so load balancers stop routing here) and new
+// queries are refused with 503, while queries already executing run to
+// completion. Call it before http.Server.Shutdown so the drain window
+// empties instead of filling.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Draining reports whether BeginShutdown has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Waiting reports the number of requests queued at the admission gate.
+func (s *Server) Waiting() int64 { return s.waiting.Load() }
+
+// acquire claims an execution slot. A free slot is claimed immediately;
+// otherwise the request queues for at most MaxQueueWait (or until its
+// own deadline fires, whichever is sooner). It returns (false, true)
+// when the bounded wait expired — the load-shedding signal the handler
+// turns into 429 + Retry-After — and (false, false) when the request's
+// context fired first.
+func (s *Server) acquire(ctx context.Context) (ok, shed bool) {
 	select {
 	case s.gate <- struct{}{}:
 		s.inflight.Add(1)
-		return true
+		return true, false
+	default:
+	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
+	t := time.NewTimer(s.cfg.MaxQueueWait)
+	defer t.Stop()
+	select {
+	case s.gate <- struct{}{}:
+		s.inflight.Add(1)
+		return true, false
+	case <-t.C:
+		s.metrics.Shed.Add(1)
+		return false, true
 	case <-ctx.Done():
 		s.metrics.Rejected.Add(1)
-		return false
+		return false, false
 	}
 }
 

@@ -1,0 +1,37 @@
+package value
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApproxSizeScalars(t *testing.T) {
+	for _, v := range []Value{Null, Missing, Bool(true), Int(7), Float(1.5)} {
+		if s := ApproxSize(v); s <= 0 {
+			t.Errorf("%s: non-positive size %d", v, s)
+		}
+	}
+}
+
+func TestApproxSizeGrowsWithContent(t *testing.T) {
+	short := ApproxSize(String("ab"))
+	long := ApproxSize(String(strings.Repeat("ab", 500)))
+	if long <= short {
+		t.Errorf("string size must grow with length: %d vs %d", short, long)
+	}
+
+	small := ApproxSize(Array{Int(1)})
+	big := ApproxSize(Array{Int(1), Int(2), Int(3), Int(4)})
+	if big <= small {
+		t.Errorf("array size must grow with elements: %d vs %d", small, big)
+	}
+
+	flat := EmptyTuple()
+	flat.Put("a", Int(1))
+	nested := EmptyTuple()
+	nested.Put("a", Int(1))
+	nested.Put("b", Array{String("xxxxxxxxxxxxxxxx"), Bag{Int(1), Int(2)}})
+	if ApproxSize(nested) <= ApproxSize(flat) {
+		t.Error("nested tuple must be bigger than a flat one")
+	}
+}

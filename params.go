@@ -7,7 +7,6 @@ import (
 
 	"sqlpp/internal/eval"
 	"sqlpp/internal/parser"
-	"sqlpp/internal/plan"
 	"sqlpp/internal/rewrite"
 	"sqlpp/internal/value"
 )
@@ -110,7 +109,7 @@ func (p *PreparedParams) exec(ctx context.Context, params map[string]value.Value
 	if explain {
 		ec.Stats = eval.NewStatsSink()
 	}
-	v, err := plan.Run(ec, env, p.core.core)
+	v, err := runProtected(ec, env, p.core.core)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -59,7 +59,34 @@ type Options struct {
 	// Parallelism bounds the worker pool of parallel outer scans. Zero
 	// selects GOMAXPROCS; 1 restores fully sequential execution.
 	Parallelism int
+	// Limits is the per-query resource budget enforced by the governor:
+	// output rows, materialized values/bytes, nesting depth, and wall
+	// time. The zero value means unlimited and costs nothing per row; a
+	// query exceeding any budget aborts with a *ResourceError.
+	Limits Limits
 }
+
+// Limits is a per-query resource budget; see eval.Limits for the field
+// semantics. Zero fields are unlimited.
+type Limits = eval.Limits
+
+// ResourceError reports a query aborted by the governor for exceeding a
+// resource budget. Match with errors.As to inspect Kind/Limit/Observed.
+type ResourceError = eval.ResourceError
+
+// PanicError reports a panic recovered during query execution and
+// converted into an ordinary query error; the process and all other
+// queries are unaffected. Match with errors.As.
+type PanicError = eval.PanicError
+
+// The resource kinds a ResourceError can report.
+const (
+	ResourceRows   = eval.ResourceRows
+	ResourceValues = eval.ResourceValues
+	ResourceBytes  = eval.ResourceBytes
+	ResourceDepth  = eval.ResourceDepth
+	ResourceTime   = eval.ResourceTime
+)
 
 // Engine is a SQL++ query processor over a catalog of named values. An
 // Engine is safe for concurrent queries; catalog mutation requires
@@ -203,7 +230,21 @@ func (p *Prepared) Exec() (value.Value, error) {
 // wraps ctx.Err() (match it with errors.Is).
 func (p *Prepared) ExecContext(ctx context.Context) (value.Value, error) {
 	ec := p.engine.newContext(ctx)
-	return plan.Run(ec, eval.NewEnv(), p.core)
+	return runProtected(ec, eval.NewEnv(), p.core)
+}
+
+// runProtected executes the plan with a panic barrier: a panic anywhere
+// in evaluation (a broken builtin, a bug in an operator) becomes that
+// query's *PanicError instead of killing the process. The recover sits
+// at the outermost frame of the execution, so no partial state escapes —
+// every execution's mutable state is context- and env-local.
+func runProtected(ec *eval.Context, env *eval.Env, core ast.Expr) (v value.Value, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = nil, ec.Recovered(p)
+		}
+	}()
+	return plan.Run(ec, env, core)
 }
 
 // OpStats is one operator's runtime statistics in an EXPLAIN ANALYZE
@@ -223,7 +264,7 @@ type OpStats = eval.StatsSnapshot
 func (p *Prepared) ExplainAnalyze(ctx context.Context) (value.Value, *OpStats, error) {
 	ec := p.engine.newContext(ctx)
 	ec.Stats = eval.NewStatsSink()
-	v, err := plan.Run(ec, eval.NewEnv(), p.core)
+	v, err := runProtected(ec, eval.NewEnv(), p.core)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -258,6 +299,9 @@ func (e *Engine) newContext(ctx context.Context) *eval.Context {
 	if ctx != nil && ctx.Done() != nil {
 		ec.Ctx = ctx
 	}
+	// NewGovernor returns nil for an all-zero budget, so unlimited
+	// engines keep the nil fast path at every charge site.
+	ec.Gov = eval.NewGovernor(e.opts.Limits)
 	return ec
 }
 
