@@ -417,6 +417,51 @@ func BenchmarkExplainOverhead(b *testing.B) {
 
 // Compile cost: parsing + rewriting, the only place the compatibility
 // flag is allowed to cost anything (claim C1).
+// BenchmarkSemaOverhead prices the static analyzer along the three
+// paths a caller can hit: plain Prepare (vet off — must cost exactly
+// what it did before the analyzer existed), Prepare under Options.Vet
+// (analysis folded into compilation), and Diagnostics() on an
+// already-analyzed query (the plan-cache hit path, a slice copy).
+func BenchmarkSemaOverhead(b *testing.B) {
+	query := `
+		SELECT e.deptno, AVG(e.salary) AS avgsal
+		FROM hr.emp AS e
+		WHERE e.title = 'Engineer'
+		GROUP BY e.deptno
+		ORDER BY avgsal DESC LIMIT 5`
+	plain := paperDB(b, true)
+	opts := plain.Options()
+	opts.Vet = true
+	vetted := plain.WithOptions(opts)
+
+	b.Run("prepare-novet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plain.Prepare(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepare-vet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := vetted.Prepare(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("diagnostics-cached", func(b *testing.B) {
+		p, err := vetted.Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Diagnostics()
+		}
+	})
+}
+
 func BenchmarkCompile(b *testing.B) {
 	query := `
 		SELECT e.deptno, AVG(e.salary) AS avgsal

@@ -9,6 +9,7 @@
 //	sqlpp-bench -explain     measure EXPLAIN ANALYZE overhead and write BENCH_explain.json
 //	sqlpp-bench -governor    measure resource-governor overhead and enforcement and
 //	                         write BENCH_governor.json
+//	sqlpp-bench -vet         measure static-analysis (sema) cost and write BENCH_vet.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -42,10 +43,12 @@ func main() {
 	explainOut := flag.String("explain-out", "BENCH_explain.json", "machine-readable output of -explain")
 	governor := flag.Bool("governor", false, "measure resource-governor overhead and enforcement")
 	governorOut := flag.String("governor-out", "BENCH_governor.json", "machine-readable output of -governor")
+	vet := flag.Bool("vet", false, "measure static-analysis (sema) cost per query")
+	vetOut := flag.String("vet-out", "BENCH_vet.json", "machine-readable output of -vet")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -70,6 +73,9 @@ func main() {
 	}
 	if *governor || all {
 		failed = runGovernor(*scale, *governorOut) || failed
+	}
+	if *vet || all {
+		failed = runVetBench(*scale, *vetOut) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/bench"
+)
+
+// vetReport is the machine-readable artifact of -vet.
+type vetReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Scale      int         `json:"scale"`
+	Queries    []vetResult `json:"queries"`
+}
+
+type vetResult struct {
+	Name string `json:"name"`
+	// PrepareNs is compilation with Options.Vet off — the default path,
+	// which must not pay for analysis it was not asked for.
+	PrepareNs float64 `json:"prepare_ns_per_op"`
+	// PrepareVetNs is compilation with Options.Vet on: parse, rewrite,
+	// optimize, and the full semantic analysis (scope + abstract typing).
+	PrepareVetNs float64 `json:"prepare_vet_ns_per_op"`
+	// VetNs is the analysis cost itself (the difference).
+	VetNs float64 `json:"vet_ns_per_op"`
+	// Overhead is prepare-vet-ns / prepare-ns.
+	Overhead    float64 `json:"overhead"`
+	Diagnostics int     `json:"diagnostics"`
+	// CachedNs is Diagnostics() on an already-analyzed query — the plan
+	// cache hit path, which must be a copy, not a re-analysis.
+	CachedNs float64 `json:"cached_diagnostics_ns_per_op"`
+}
+
+// runVetBench measures what static analysis costs and — just as
+// important — what it costs when *not* requested: diagnostics are
+// computed only under Options.Vet or an explicit Diagnostics() call, so
+// the default Prepare path must be byte-for-byte the pre-analyzer one.
+func runVetBench(scale int, outPath string) bool {
+	fmt.Println("== Static analysis (sema) overhead ==")
+	fmt.Println("(prepare = parse+rewrite+optimize; vet adds scope + abstract typing)")
+
+	mk := func(vet bool) (*sqlpp.Engine, bool) {
+		db := sqlpp.New(&sqlpp.Options{Vet: vet})
+		if err := db.Register("emp", bench.FlatEmp(1000*scale, 20, 42)); err != nil {
+			fmt.Println("ERROR:", err)
+			return nil, false
+		}
+		if err := db.Register("dept", bench.Departments(20, 42)); err != nil {
+			fmt.Println("ERROR:", err)
+			return nil, false
+		}
+		// Infer schemas so the analyzer has maximum static knowledge —
+		// the worst (most expensive) case for vetting.
+		for _, name := range []string{"emp", "dept"} {
+			if _, err := db.InferSchema(name); err != nil {
+				fmt.Println("ERROR:", err)
+				return nil, false
+			}
+		}
+		return db, true
+	}
+	plain, ok := mk(false)
+	if !ok {
+		return true
+	}
+	vetted, ok := mk(true)
+	if !ok {
+		return true
+	}
+
+	queries := []struct{ name, q string }{
+		{"scan-filter", `SELECT e.name AS n FROM emp AS e WHERE e.salary > 100000`},
+		{"hash-join", `SELECT e.name AS n, d.name AS dn FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`},
+		{"group", `SELECT e.deptno AS dno, AVG(e.salary) AS a FROM emp AS e GROUP BY e.deptno`},
+		{"nested", `SELECT VALUE {'n': e.name, 'peers': (FROM emp AS p WHERE p.deptno = e.deptno SELECT VALUE p.name)} FROM emp AS e WHERE e.salary > 200000`},
+		// A deliberate typo ("e.id" does not exist in the inferred
+		// schema): the analyzer must flag it, and the flagging must not
+		// change the cost profile.
+		{"typo", `SELECT e.name AS n FROM emp AS e WHERE e.id < 10`},
+	}
+	report := vetReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale}
+	failed := false
+	for _, tc := range queries {
+		p, err := vetted.Prepare(tc.q)
+		if err != nil {
+			fmt.Printf("  %-12s ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		diags := p.Diagnostics()
+
+		runtime.GC()
+		prep := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plain.Prepare(tc.q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		runtime.GC()
+		prepVet := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q, err := vetted.Prepare(tc.q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if q.Diagnostics() == nil && len(diags) > 0 {
+					b.Fatal("diagnostics vanished")
+				}
+			}
+		})
+		runtime.GC()
+		cached := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Diagnostics()
+			}
+		})
+		pNs, vNs, cNs := float64(prep.NsPerOp()), float64(prepVet.NsPerOp()), float64(cached.NsPerOp())
+		overhead := 0.0
+		if pNs > 0 {
+			overhead = vNs / pNs
+		}
+		report.Queries = append(report.Queries, vetResult{
+			Name: tc.name, PrepareNs: pNs, PrepareVetNs: vNs, VetNs: vNs - pNs,
+			Overhead: overhead, Diagnostics: len(diags), CachedNs: cNs,
+		})
+		fmt.Printf("  %-12s prepare %10.0f ns/op   +vet %10.0f ns/op   (%.2fx, %d finding(s), cached %4.0f ns)\n",
+			tc.name, pNs, vNs, overhead, len(diags), cNs)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
+}

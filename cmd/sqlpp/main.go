@@ -20,6 +20,13 @@
 //	                  bytes (0 = no limit)
 //	-out format       output format: sion (default), json, pretty
 //	-core             print the SQL++ Core rewriting instead of executing
+//	-vet              static analysis: print the semantic analyzer's
+//	                  diagnostics for the query (or for each .sqlpp file
+//	                  given as an argument) instead of executing; exits
+//	                  nonzero when any diagnostic is error-severity.
+//	                  Schemas are inferred for -data values without a
+//	                  -ddl declaration, so vetting is schema-aware out of
+//	                  the box.
 //	-explain          execute with EXPLAIN ANALYZE: print the per-operator
 //	                  stats tree (rows in/out, wall time, counters) after
 //	                  the result
@@ -31,6 +38,7 @@
 //	\names            list registered named values
 //	\schema <name>    show the declared or inferred schema of a value
 //	\core <query>     show the SQL++ Core form of a query
+//	\vet <query>      show the static analyzer's diagnostics for a query
 //	\plan <query>     show the physical optimizations a query would use
 //	\explain analyze <query>
 //	                  execute the query and show the per-operator stats tree
@@ -82,6 +90,7 @@ func run() error {
 	maxBytes := flag.Int64("max-bytes", 0, "abort a query once materialized state exceeds this many bytes (0 = no limit)")
 	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
 	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
+	vet := flag.Bool("vet", false, "print static-analysis diagnostics instead of executing; nonzero exit on errors")
 	explain := flag.Bool("explain", false, "execute with EXPLAIN ANALYZE and print the per-operator stats tree")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -118,6 +127,9 @@ func run() error {
 		}
 	}
 
+	if *vet {
+		return runVet(db, flag.Args(), *queryFile)
+	}
 	query := strings.Join(flag.Args(), " ")
 	if *queryFile != "" {
 		src, err := os.ReadFile(*queryFile)
@@ -130,6 +142,92 @@ func run() error {
 		return runOne(db, query, *outFormat, *showCore, *explain, *timeout)
 	}
 	return repl(db, *outFormat, *timeout)
+}
+
+// runVet is the batch static-analysis mode. Arguments that name files
+// are vetted file by file (splitting on ';'); otherwise the arguments
+// are one query. Compile failures (parse and resolution errors) are
+// reported as error-severity findings rather than aborting the batch.
+func runVet(db *sqlpp.Engine, args []string, queryFile string) error {
+	// Vetting wants maximum static knowledge: infer a schema for every
+	// registered value that has no declared one.
+	for _, name := range db.Names() {
+		if _, ok := db.SchemaOf(name); !ok {
+			if _, err := db.InferSchema(name); err != nil {
+				return err
+			}
+		}
+	}
+
+	type unit struct {
+		label string
+		query string
+	}
+	var units []unit
+	addFile := func(path string) error {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, stmt := range splitStatements(string(src)) {
+			units = append(units, unit{label: path, query: strings.TrimSuffix(stmt, ";")})
+		}
+		return nil
+	}
+	if queryFile != "" {
+		if err := addFile(queryFile); err != nil {
+			return err
+		}
+	}
+	allFiles := len(args) > 0
+	for _, a := range args {
+		if _, err := os.Stat(a); err != nil {
+			allFiles = false
+			break
+		}
+	}
+	switch {
+	case allFiles:
+		for _, a := range args {
+			if err := addFile(a); err != nil {
+				return err
+			}
+		}
+	case len(args) > 0:
+		units = append(units, unit{label: "<query>", query: strings.Join(args, " ")})
+	}
+	if len(units) == 0 {
+		return fmt.Errorf("-vet wants a query, -f file, or .sqlpp file arguments")
+	}
+
+	errs := 0
+	for _, u := range units {
+		diags, err := vetQuery(db, u.query)
+		if err != nil {
+			fmt.Printf("%s: error: %v\n", u.label, err)
+			errs++
+			continue
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", u.label, d)
+			if d.Severity == sqlpp.SevError {
+				errs++
+			}
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("vet found %d error(s)", errs)
+	}
+	return nil
+}
+
+// vetQuery compiles and analyzes one query, returning its diagnostics.
+func vetQuery(db *sqlpp.Engine, query string) ([]sqlpp.Diagnostic, error) {
+	p, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.Diagnostics(), nil
 }
 
 // loadFile registers path under name, inferring the format from the
@@ -163,14 +261,69 @@ func loadFile(db *sqlpp.Engine, name, path string) error {
 	return fmt.Errorf("unknown data format for %s (want .json, .jsonl, .csv, .cbor, or .sion)", path)
 }
 
+// splitStatements splits a script on ';' terminators, ignoring
+// semicolons inside string literals, quoted identifiers, and comments.
+// Pieces that hold only comments and whitespace are dropped.
 func splitStatements(src string) []string {
 	var out []string
-	for _, part := range strings.Split(src, ";") {
-		if strings.TrimSpace(part) != "" {
+	flush := func(part string) {
+		if !onlyTrivia(part) {
 			out = append(out, part+";")
 		}
 	}
+	start := 0
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case ';':
+			flush(src[start:i])
+			start = i + 1
+		case '-':
+			if i+1 < len(src) && src[i+1] == '-' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+			}
+		case '/':
+			if i+1 < len(src) && src[i+1] == '*' {
+				i += 2
+				for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+					i++
+				}
+				i++
+			}
+		case '\'', '"', '`':
+			q := src[i]
+			for i++; i < len(src) && src[i] != q; i++ {
+			}
+		}
+	}
+	if !onlyTrivia(src[start:]) {
+		out = append(out, src[start:])
+	}
 	return out
+}
+
+// onlyTrivia reports whether the piece contains nothing but whitespace
+// and comments.
+func onlyTrivia(part string) bool {
+	for i := 0; i < len(part); i++ {
+		switch c := part[i]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+		case c == '-' && i+1 < len(part) && part[i+1] == '-':
+			for i < len(part) && part[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(part) && part[i+1] == '*':
+			i += 2
+			for i+1 < len(part) && !(part[i] == '*' && part[i+1] == '/') {
+				i++
+			}
+			i++
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func runOne(db *sqlpp.Engine, query, outFormat string, showCore, explain bool, timeout time.Duration) error {
@@ -295,6 +448,23 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 	case "\\core":
 		if err := runOne(db, rest, outFormat, true, false, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	case "\\vet":
+		if rest == "" {
+			fmt.Fprintln(os.Stderr, "usage: \\vet <query>")
+			return false
+		}
+		diags, err := vetQuery(db, rest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		if len(diags) == 0 {
+			fmt.Println("no findings")
+			return false
+		}
+		for _, d := range diags {
+			fmt.Println(d)
 		}
 	case "\\explain":
 		sub, q, _ := strings.Cut(rest, " ")

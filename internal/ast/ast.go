@@ -265,13 +265,16 @@ const (
 )
 
 // FromJoin is an explicit JOIN between two FROM items with an ON
-// condition (nil for CROSS JOIN).
+// condition (nil for CROSS JOIN). OnPos is the position of the ON
+// keyword (zero for CROSS JOIN), so diagnostics about the join
+// condition can point at the clause rather than the whole join.
 type FromJoin struct {
 	position
 	Kind  JoinKind
 	Left  FromItem
 	Right FromItem
 	On    Expr
+	OnPos lexer.Pos
 }
 
 func (*FromExpr) fromItem()    {}
@@ -279,24 +282,30 @@ func (*FromUnpivot) fromItem() {}
 func (*FromJoin) fromItem()    {}
 
 // LetBinding is "LET name = expr", an extension that names intermediate
-// results between clauses.
+// results between clauses. NamePos is the position of the bound name.
 type LetBinding struct {
-	Name string
-	Expr Expr
+	Name    string
+	NamePos lexer.Pos
+	Expr    Expr
 }
 
-// GroupKey is one grouping expression with its binding alias.
+// GroupKey is one grouping expression with its binding alias. AliasPos
+// is the position of the alias identifier (zero when the alias is
+// implicit).
 type GroupKey struct {
-	Expr  Expr
-	Alias string
+	Expr     Expr
+	Alias    string
+	AliasPos lexer.Pos
 }
 
 // GroupBy is "GROUP BY key [AS alias], ... [GROUP AS g]". GroupAs is the
-// empty string when no GROUP AS was written.
+// empty string when no GROUP AS was written; GroupAsPos is the position
+// of the GROUP AS variable when one was.
 type GroupBy struct {
 	position
-	Keys    []GroupKey
-	GroupAs string
+	Keys       []GroupKey
+	GroupAs    string
+	GroupAsPos lexer.Pos
 }
 
 // OrderItem is one ORDER BY expression. NullsFirst is nil for the SQL
@@ -355,10 +364,12 @@ type SetOp struct {
 	L, R Expr
 }
 
-// WithBinding names one common table expression.
+// WithBinding names one common table expression. NamePos is the
+// position of the binding name.
 type WithBinding struct {
-	Name string
-	Expr Expr
+	Name    string
+	NamePos lexer.Pos
+	Expr    Expr
 }
 
 // With is "WITH name AS (query), ... body": the bindings are visible to
@@ -387,9 +398,12 @@ type Window struct {
 
 // NamedWindow is a lowered window computation attached to a query block:
 // the fresh variable Name carries the value of Fn over Spec for each
-// binding.
+// binding. Pos is the source position of the OVER application the
+// rewriter lowered, so diagnostics about the window report the clause
+// the user wrote rather than a synthesized variable.
 type NamedWindow struct {
 	Name string
+	Pos  lexer.Pos
 	Fn   *Call
 	Spec WindowSpec
 }

@@ -114,7 +114,9 @@ func CloneExpr(e Expr) Expr {
 		c := *x
 		c.Bindings = make([]WithBinding, len(x.Bindings))
 		for i, b := range x.Bindings {
-			c.Bindings[i] = WithBinding{Name: b.Name, Expr: CloneExpr(b.Expr)}
+			cb := b
+			cb.Expr = CloneExpr(b.Expr)
+			c.Bindings[i] = cb
 		}
 		c.Body = CloneExpr(x.Body)
 		return &c
@@ -164,7 +166,10 @@ func cloneSFW(q *SFW) *SFW {
 	c.Offset = CloneExpr(q.Offset)
 	c.Windows = make([]NamedWindow, len(q.Windows))
 	for i, w := range q.Windows {
-		c.Windows[i] = NamedWindow{Name: w.Name, Fn: CloneExpr(w.Fn).(*Call), Spec: cloneWindowSpec(w.Spec)}
+		cw := w
+		cw.Fn = CloneExpr(w.Fn).(*Call)
+		cw.Spec = cloneWindowSpec(w.Spec)
+		c.Windows[i] = cw
 	}
 	return &c
 }
@@ -206,7 +211,9 @@ func cloneLets(ls []LetBinding) []LetBinding {
 	}
 	out := make([]LetBinding, len(ls))
 	for i, l := range ls {
-		out[i] = LetBinding{Name: l.Name, Expr: CloneExpr(l.Expr)}
+		cl := l
+		cl.Expr = CloneExpr(l.Expr)
+		out[i] = cl
 	}
 	return out
 }
@@ -228,7 +235,9 @@ func cloneGroupBy(g *GroupBy) *GroupBy {
 	c := *g
 	c.Keys = make([]GroupKey, len(g.Keys))
 	for i, k := range g.Keys {
-		c.Keys[i] = GroupKey{Expr: CloneExpr(k.Expr), Alias: k.Alias}
+		ck := k
+		ck.Expr = CloneExpr(k.Expr)
+		c.Keys[i] = ck
 	}
 	return &c
 }

@@ -228,7 +228,7 @@ func (l *Lexer) Next() (Token, error) {
 	case c >= '0' && c <= '9', c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9':
 		return l.lexNumber(pos)
 	case isIdentStartByte(c):
-		return l.lexWord(pos), nil
+		return l.lexWord(pos)
 	}
 	for _, sym := range multiSymbols {
 		if strings.HasPrefix(l.src[l.pos:], sym) {
@@ -256,7 +256,7 @@ func isIdentPartRune(r rune) bool {
 	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
-func (l *Lexer) lexWord(pos Pos) Token {
+func (l *Lexer) lexWord(pos Pos) (Token, error) {
 	start := l.pos
 	for l.pos < len(l.src) {
 		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
@@ -266,10 +266,19 @@ func (l *Lexer) lexWord(pos Pos) Token {
 		l.advance(size)
 	}
 	word := l.src[start:l.pos]
-	if upper := strings.ToUpper(word); keywords[upper] {
-		return Token{Type: Keyword, Text: upper, Pos: pos}
+	if word == "" {
+		// isIdentStartByte admits every byte >= RuneSelf, but the decoded
+		// rune may still not be an identifier rune — an invalid UTF-8
+		// sequence decodes to U+FFFD, which IsLetter rejects. Without
+		// this check the lexer would return an empty token forever
+		// instead of advancing.
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		return Token{}, l.errf(pos, "unexpected character %q", string(r))
 	}
-	return Token{Type: Ident, Text: word, Pos: pos}
+	if upper := strings.ToUpper(word); keywords[upper] {
+		return Token{Type: Keyword, Text: upper, Pos: pos}, nil
+	}
+	return Token{Type: Ident, Text: word, Pos: pos}, nil
 }
 
 func (l *Lexer) lexNumber(pos Pos) (Token, error) {

@@ -69,7 +69,11 @@ func TestPositions(t *testing.T) {
 }
 
 func TestLexErrors(t *testing.T) {
-	cases := []string{"'unterminated", `"open`, "/* open", "#"}
+	// "ti\x84le" and "€" regress a lexer loop: bytes >= 0x80 enter the
+	// identifier path, but when the decoded rune is not a letter (an
+	// invalid UTF-8 sequence, a currency symbol) the lexer used to emit
+	// an empty token forever instead of erroring.
+	cases := []string{"'unterminated", `"open`, "/* open", "#", "ti\x84le", "\x84", "€"}
 	for _, src := range cases {
 		if _, err := Tokenize(src); err == nil {
 			t.Errorf("Tokenize(%q) should fail", src)

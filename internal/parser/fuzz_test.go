@@ -1,11 +1,15 @@
 package parser_test
 
 import (
+	"reflect"
 	"testing"
 
 	"sqlpp/internal/ast"
+	"sqlpp/internal/catalog"
 	"sqlpp/internal/compat"
 	"sqlpp/internal/parser"
+	"sqlpp/internal/rewrite"
+	"sqlpp/internal/sema"
 )
 
 // FuzzParse feeds arbitrary input through the full parser. Parsing must
@@ -30,6 +34,42 @@ func FuzzParse(f *testing.F) {
 		printed := ast.Format(tree)
 		if _, err := parser.Parse(printed); err != nil {
 			t.Fatalf("accepted %q but rejected its own formatting %q: %v", src, printed, err)
+		}
+	})
+}
+
+// FuzzSema pushes every parseable input through the static semantic
+// analyzer, raw and (when it resolves against an empty catalog)
+// rewritten to Core, in both typing modes. Analysis must never panic,
+// and repeated runs over the same tree must return identical
+// diagnostics — nondeterministic findings would break the plan cache,
+// whose entries bake in the diagnostics computed at compile time.
+func FuzzSema(f *testing.F) {
+	for _, c := range compat.Suite() {
+		f.Add(c.Query)
+	}
+	f.Add("FROM [1,2] AS x SELECT VALUE y")
+	f.Add("FROM [1] AS e GROUP BY e.d AS d SELECT VALUE e.n")
+	f.Add("SELECT VALUE 1 + 'a' || 2 FROM [1] AS dead")
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, strict := range []bool{false, true} {
+			opts := sema.Options{StopOnError: strict}
+			a := sema.Analyze(tree, opts)
+			if b := sema.Analyze(tree, opts); !reflect.DeepEqual(a, b) {
+				t.Fatalf("nondeterministic diagnostics for %q (strict=%v):\n%v\n%v", src, strict, a, b)
+			}
+			core, err := rewrite.Rewrite(tree, rewrite.Options{Names: catalog.New()})
+			if err != nil {
+				continue
+			}
+			a = sema.Analyze(core, opts)
+			if b := sema.Analyze(core, opts); !reflect.DeepEqual(a, b) {
+				t.Fatalf("nondeterministic Core diagnostics for %q (strict=%v):\n%v\n%v", src, strict, a, b)
+			}
 		}
 	})
 }

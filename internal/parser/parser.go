@@ -177,6 +177,7 @@ func (p *parser) parseWith() (ast.Expr, error) {
 	w := &ast.With{}
 	setPos(w, pos)
 	for {
+		namePos := p.peek().Pos
 		name, err := p.expectIdent("WITH binding name")
 		if err != nil {
 			return nil, err
@@ -188,7 +189,7 @@ func (p *parser) parseWith() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Bindings = append(w.Bindings, ast.WithBinding{Name: name, Expr: e})
+		w.Bindings = append(w.Bindings, ast.WithBinding{Name: name, NamePos: namePos, Expr: e})
 		if !p.accept(",") {
 			break
 		}
@@ -254,6 +255,7 @@ func (p *parser) parseFromTail(q *ast.SFW) error {
 	for p.at("LET") {
 		p.next()
 		for {
+			namePos := p.peek().Pos
 			name, err := p.expectIdent("LET variable")
 			if err != nil {
 				return err
@@ -265,7 +267,7 @@ func (p *parser) parseFromTail(q *ast.SFW) error {
 			if err != nil {
 				return err
 			}
-			q.Lets = append(q.Lets, ast.LetBinding{Name: name, Expr: e})
+			q.Lets = append(q.Lets, ast.LetBinding{Name: name, NamePos: namePos, Expr: e})
 			if !p.accept(",") {
 				break
 			}
@@ -312,11 +314,12 @@ func (p *parser) parseGroupBy() (*ast.GroupBy, error) {
 		}
 		key := ast.GroupKey{Expr: e}
 		if p.accept("AS") {
+			aliasPos := p.peek().Pos
 			alias, err := p.expectIdent("group key alias")
 			if err != nil {
 				return nil, err
 			}
-			key.Alias = alias
+			key.Alias, key.AliasPos = alias, aliasPos
 		}
 		g.Keys = append(g.Keys, key)
 		if !p.accept(",") {
@@ -326,11 +329,12 @@ func (p *parser) parseGroupBy() (*ast.GroupBy, error) {
 	if p.at("GROUP") && p.atOffset(1, "AS") {
 		p.next()
 		p.next()
+		namePos := p.peek().Pos
 		name, err := p.expectIdent("GROUP AS variable")
 		if err != nil {
 			return nil, err
 		}
-		g.GroupAs = name
+		g.GroupAs, g.GroupAsPos = name, namePos
 	}
 	return g, nil
 }
@@ -507,7 +511,8 @@ func (p *parser) parseJoinChain() (ast.FromItem, error) {
 		join := &ast.FromJoin{Kind: kind, Left: left, Right: right}
 		setPos(join, pos)
 		if kind != ast.JoinCross {
-			if _, err := p.expect("ON"); err != nil {
+			onTok, err := p.expect("ON")
+			if err != nil {
 				return nil, err
 			}
 			on, err := p.parseExpr()
@@ -515,6 +520,7 @@ func (p *parser) parseJoinChain() (ast.FromItem, error) {
 				return nil, err
 			}
 			join.On = on
+			join.OnPos = onTok.Pos
 		}
 		left = join
 	}

@@ -33,6 +33,10 @@ const parallelMinChunk = 256
 // scan. done reports whether the block was handled; when false the
 // caller falls back to sequential execution (the source was not a
 // materialized collection, or is too small to be worth it).
+//
+// governor:charged-at each worker's row sink (plan.go) — the final
+// merges only concatenate rows the sinks already charged, with
+// checkSize bounding the combined cardinality.
 func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhys) (result value.Value, done bool, err error) {
 	scan := q.From[0].(*ast.FromExpr)
 
@@ -242,6 +246,10 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 
 // merge folds another worker's groups into g, preserving g's (chunk
 // order) group-appearance order and appending content in chunk order.
+//
+// governor:charged-at groupState.add (from.go) — every row moved here
+// was charged when its worker grouped it; checkSize re-bounds the
+// merged group sizes.
 func (g *groupState) merge(w *groupState) error {
 	for _, ks := range w.order {
 		if _, ok := g.content[ks]; !ok {

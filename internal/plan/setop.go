@@ -111,6 +111,11 @@ func countByKey(vs []value.Value) map[string]int {
 	return m
 }
 
+// dedupe returns vs with duplicates (by canonical key) removed,
+// preserving first-occurrence order.
+//
+// governor:bounded — the output is a subset of vs, which evalSetOp
+// charged (ChargeValues) before materializing either side.
 func dedupe(vs value.Bag) value.Bag {
 	seen := make(map[string]bool, len(vs))
 	out := vs[:0:0]

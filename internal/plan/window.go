@@ -34,6 +34,12 @@ type windowRow struct {
 	keys []value.Value
 }
 
+// computeWindow partitions the block's rows by the window's PARTITION
+// BY keys and computes the window function within each partition.
+//
+// governor:charged-at the window materialization loop (plan.go), which
+// charges every env before it reaches here; partitioning only
+// redistributes those charged rows.
 func computeWindow(ctx *eval.Context, w *ast.NamedWindow, envs []*eval.Env) error {
 	// Partition.
 	partitions := map[string][]*eval.Env{}
@@ -179,6 +185,9 @@ func computeLagLead(ctx *eval.Context, w *ast.NamedWindow, rows []windowRow) err
 // computeWindowAggregate computes SUM/AVG/MIN/MAX/COUNT over the
 // partition: one value for all rows when unordered, a running aggregate
 // over peer groups when ordered.
+//
+// governor:bounded — the argument buffers never exceed the partition
+// size, and every partition row was charged at window materialization.
 func computeWindowAggregate(ctx *eval.Context, w *ast.NamedWindow, rows []windowRow) error {
 	collName := "COLL_" + w.Fn.Name
 	def, ok := ctx.Funcs.LookupFunc(collName)

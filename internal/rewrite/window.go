@@ -56,7 +56,7 @@ func (rw *rewriter) liftWindows(q *ast.SFW, e ast.Expr, sc *scope) (ast.Expr, er
 			x.Spec.OrderBy[i].Expr = oe
 		}
 		name := rw.fresh("w")
-		q.Windows = append(q.Windows, ast.NamedWindow{Name: name, Fn: x.Fn, Spec: x.Spec})
+		q.Windows = append(q.Windows, ast.NamedWindow{Name: name, Pos: x.Pos(), Fn: x.Fn, Spec: x.Spec})
 		sc.bindOrdered(name)
 		ref := &ast.VarRef{Name: name}
 		ref.SetPos(x.Pos())

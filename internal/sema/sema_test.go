@@ -1,0 +1,292 @@
+package sema
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqlpp/internal/catalog"
+	"sqlpp/internal/parser"
+	"sqlpp/internal/rewrite"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/types"
+)
+
+// analyzeRaw parses without rewriting — for scope tests whose queries
+// reference only their own bindings, so no resolution is needed.
+func analyzeRaw(t *testing.T, query string, opts Options) []Diagnostic {
+	t.Helper()
+	tree, err := parser.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(tree, opts)
+}
+
+// analyzeCore parses and rewrites against a catalog of object-notation
+// data, the engine's actual prepare pipeline.
+func analyzeCore(t *testing.T, data map[string]string, query string, compat bool, opts Options) []Diagnostic {
+	t.Helper()
+	cat := catalog.New()
+	for name, src := range data {
+		v, err := sion.Parse(src)
+		if err != nil {
+			t.Fatalf("data %s: %v", name, err)
+		}
+		if err := cat.Register(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := parser.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ropts := rewrite.Options{Compat: compat, Names: cat}
+	if opts.Schema != nil {
+		ropts.Schema = opts.Schema
+	}
+	core, err := rewrite.Rewrite(tree, ropts)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	return Analyze(core, opts)
+}
+
+func hasCode(diags []Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func findCode(diags []Diagnostic, code string) (Diagnostic, bool) {
+	for _, d := range diags {
+		if d.Code == code {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1,2] AS y SELECT VALUE x`, Options{})
+	d, ok := findCode(diags, CodeUndefined)
+	if !ok {
+		t.Fatalf("want undefined diagnostic, got %v", diags)
+	}
+	if d.Severity != Error {
+		t.Fatalf("undefined variable must be an error, got %v", d.Severity)
+	}
+	if !strings.Contains(d.Msg, `"x"`) {
+		t.Fatalf("message should name the variable: %q", d.Msg)
+	}
+}
+
+func TestParamsAreBound(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1,2] AS y SELECT VALUE y + $min`, Options{Params: []string{"$min"}})
+	if hasCode(diags, CodeUndefined) {
+		t.Fatalf("declared parameter reported undefined: %v", diags)
+	}
+}
+
+func TestUnusedBinding(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1,2] AS x SELECT VALUE 1`, Options{})
+	d, ok := findCode(diags, CodeUnused)
+	if !ok {
+		t.Fatalf("want unused-binding diagnostic, got %v", diags)
+	}
+	if d.Severity != Warning {
+		t.Fatalf("unused binding must be a warning, got %v", d.Severity)
+	}
+	if d.Line != 1 || d.Column == 0 {
+		t.Fatalf("diagnostic should carry the binding position, got %d:%d", d.Line, d.Column)
+	}
+}
+
+func TestUnusedLetBinding(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1] AS x LET dead = x + 1 SELECT VALUE x`, Options{})
+	d, ok := findCode(diags, CodeUnused)
+	if !ok {
+		t.Fatalf("want unused LET diagnostic, got %v", diags)
+	}
+	if !strings.Contains(d.Msg, "LET") || !strings.Contains(d.Msg, `"dead"`) {
+		t.Fatalf("message should name the LET binding: %q", d.Msg)
+	}
+}
+
+func TestUsedBindingsClean(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1,2] AS x LET y = x * 2 SELECT VALUE y`, Options{})
+	if hasCode(diags, CodeUnused) {
+		t.Fatalf("all bindings used, got %v", diags)
+	}
+}
+
+func TestGroupByExemptsUnused(t *testing.T) {
+	// The grouping captures every pre-group binding into group content,
+	// so "unused" is not provable for blocks with GROUP BY.
+	diags := analyzeRaw(t,
+		`FROM [{'d':'a'},{'d':'b'}] AS e GROUP BY e.d AS dept GROUP AS g SELECT VALUE dept`,
+		Options{})
+	if hasCode(diags, CodeUnused) {
+		t.Fatalf("grouped block must not warn unused, got %v", diags)
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	diags := analyzeRaw(t,
+		`FROM [[1],[2]] AS x SELECT VALUE (FROM x AS x SELECT VALUE x)`,
+		Options{})
+	d, ok := findCode(diags, CodeShadow)
+	if !ok {
+		t.Fatalf("want shadowed diagnostic, got %v", diags)
+	}
+	if d.Severity != Warning {
+		t.Fatalf("shadowing must be a warning, got %v", d.Severity)
+	}
+}
+
+func TestUngroupedReference(t *testing.T) {
+	diags := analyzeRaw(t,
+		`FROM [{'d':'a','n':1}] AS e GROUP BY e.d AS dept SELECT VALUE e.n`,
+		Options{})
+	d, ok := findCode(diags, CodeUngrouped)
+	if !ok {
+		t.Fatalf("want ungrouped diagnostic, got %v", diags)
+	}
+	if d.Severity != Error {
+		t.Fatalf("ungrouped reference must be an error, got %v", d.Severity)
+	}
+}
+
+func TestTypeFaultSeveritySplit(t *testing.T) {
+	const query = `FROM [1,2] AS x SELECT VALUE x + 'oops'`
+	perm := analyzeRaw(t, query, Options{})
+	d, ok := findCode(perm, string(types.CodeNonNumeric))
+	if !ok {
+		t.Fatalf("want non-numeric diagnostic, got %v", perm)
+	}
+	if d.Severity != Warning {
+		t.Fatalf("permissive mode: type fault must be a warning (runtime yields MISSING), got %v", d.Severity)
+	}
+	strict := analyzeRaw(t, query, Options{StopOnError: true})
+	d, ok = findCode(strict, string(types.CodeNonNumeric))
+	if !ok {
+		t.Fatalf("want non-numeric diagnostic, got %v", strict)
+	}
+	if d.Severity != Error {
+		t.Fatalf("stop-on-error mode: type fault must be an error (runtime aborts), got %v", d.Severity)
+	}
+}
+
+func TestGuaranteedMissingIsWarningInBothModes(t *testing.T) {
+	// Navigation into an attribute a closed schema proves absent yields
+	// MISSING in both modes — it is never a fault (§IV: tuples navigate,
+	// absent attributes give MISSING).
+	schema := types.NewSchema()
+	if _, err := schema.DeclareDDL(`CREATE TABLE emp (id INT, name STRING);`); err != nil {
+		t.Fatal(err)
+	}
+	data := map[string]string{"emp": `{{ {'id':1,'name':'Ada'} }}`}
+	for _, strict := range []bool{false, true} {
+		diags := analyzeCore(t, data, `SELECT VALUE e.nope FROM emp AS e`, false,
+			Options{StopOnError: strict, Schema: schema})
+		d, ok := findCode(diags, string(types.CodeClosedMiss))
+		if !ok {
+			t.Fatalf("strict=%v: want closed-miss diagnostic, got %v", strict, diags)
+		}
+		if d.Severity != Warning {
+			t.Fatalf("strict=%v: guaranteed MISSING must stay a warning, got %v", strict, d.Severity)
+		}
+	}
+}
+
+func TestSchemaTypedNavigationFault(t *testing.T) {
+	// With a schema the analyzer knows e.name is a STRING, so arithmetic
+	// over it is a provable fault.
+	schema := types.NewSchema()
+	if _, err := schema.DeclareDDL(`CREATE TABLE emp (id INT, name STRING);`); err != nil {
+		t.Fatal(err)
+	}
+	data := map[string]string{"emp": `{{ {'id':1,'name':'Ada'} }}`}
+	diags := analyzeCore(t, data, `SELECT VALUE 2 * e.name FROM emp AS e`, false,
+		Options{StopOnError: true, Schema: schema})
+	d, ok := findCode(diags, string(types.CodeNonNumeric))
+	if !ok {
+		t.Fatalf("want non-numeric diagnostic, got %v", diags)
+	}
+	if d.Severity != Error {
+		t.Fatalf("strict arithmetic fault must be an error, got %v", d.Severity)
+	}
+}
+
+func TestCollAggregateOverScalar(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1] AS x SELECT VALUE COLL_SUM(42)`, Options{StopOnError: true})
+	d, ok := findCode(diags, string(types.CodeNonCollection))
+	if !ok {
+		t.Fatalf("want non-collection diagnostic, got %v", diags)
+	}
+	if d.Severity != Error {
+		t.Fatalf("COLL_* over scalar must be an error in strict mode, got %v", d.Severity)
+	}
+}
+
+func TestCleanQueryNoDiagnostics(t *testing.T) {
+	data := map[string]string{"emp": `{{ {'id':1,'name':'Ada','salary':120} }}`}
+	diags := analyzeCore(t, data,
+		`SELECT e.name AS name FROM emp AS e WHERE e.salary > 100`, false,
+		Options{StopOnError: true})
+	if len(diags) != 0 {
+		t.Fatalf("clean query should have no diagnostics, got %v", diags)
+	}
+}
+
+func TestDeterministicAndSorted(t *testing.T) {
+	const query = `FROM [1] AS dead1, [2] AS dead2 SELECT VALUE 1 + 'a' || 2`
+	a := analyzeRaw(t, query, Options{StopOnError: true})
+	b := analyzeRaw(t, query, Options{StopOnError: true})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("analysis not deterministic:\n%v\n%v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		p, q := a[i-1], a[i]
+		if p.Line > q.Line || (p.Line == q.Line && p.Column > q.Column) {
+			t.Fatalf("diagnostics not position-sorted: %v before %v", p, q)
+		}
+	}
+	if len(a) < 2 {
+		t.Fatalf("expected multiple diagnostics, got %v", a)
+	}
+}
+
+func TestNilExpr(t *testing.T) {
+	if diags := Analyze(nil, Options{}); diags != nil {
+		t.Fatalf("nil expression: want nil diagnostics, got %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	diags := analyzeRaw(t, `FROM [1] AS x SELECT VALUE 1`, Options{})
+	if len(diags) == 0 {
+		t.Fatal("want a diagnostic")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "warning[unused-binding]") {
+		t.Fatalf("rendered diagnostic missing severity/code: %q", s)
+	}
+}
+
+func TestWindowAndWithScopes(t *testing.T) {
+	// WITH bindings and lowered window names resolve without noise.
+	data := map[string]string{"t": `{{ {'g':'a','v':1}, {'g':'a','v':2}, {'g':'b','v':3} }}`}
+	diags := analyzeCore(t, data,
+		`WITH big AS (SELECT VALUE r.v FROM t AS r)
+		 SELECT x AS x, ROW_NUMBER() OVER (ORDER BY x) AS rn FROM big AS x`, false,
+		Options{})
+	for _, d := range diags {
+		if d.Code == CodeUndefined || d.Code == CodeUnused {
+			t.Fatalf("unexpected diagnostic on window/WITH query: %v", d)
+		}
+	}
+}

@@ -38,6 +38,12 @@ type queryRequest struct {
 	// instrumentation and returns the stats tree in the response's
 	// "stats" field. The result is identical to an uninstrumented run.
 	Explain string `json:"explain,omitempty"`
+	// Vet runs the static semantic analyzer over the compiled query and
+	// returns its findings in the response's "diagnostics" field.
+	// Error-severity findings (provable type faults under strict mode)
+	// reject the query at compile time; the rejection carries the
+	// diagnostics. Warnings never block execution.
+	Vet bool `json:"vet,omitempty"`
 }
 
 type queryOptions struct {
@@ -72,6 +78,9 @@ type queryResponse struct {
 	// Stats is the EXPLAIN ANALYZE operator tree, present only when the
 	// request set "explain": "analyze".
 	Stats *sqlpp.OpStats `json:"stats,omitempty"`
+	// Diagnostics are the static analyzer's findings, present only when
+	// the request set "vet": true.
+	Diagnostics []sqlpp.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 type errorResponse struct {
@@ -80,6 +89,8 @@ type errorResponse struct {
 	// so clients can distinguish "query too expensive" from "query
 	// wrong" and react programmatically (page, tighten, or give up).
 	Resource *resourceDetail `json:"resource,omitempty"`
+	// Diagnostics are the analyzer findings behind a vet rejection.
+	Diagnostics []sqlpp.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // resourceDetail is the machine-readable body of a ResourceError.
@@ -204,6 +215,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		engine = s.engine.WithOptions(opts)
 	}
 
+	// Vetting changes Prepare's behavior (error-severity findings reject
+	// the query), so it is part of the engine options and thereby of the
+	// plan-cache key fingerprint.
+	if req.Vet && !opts.Vet {
+		opts.Vet = true
+		engine = s.engine.WithOptions(opts)
+	}
+
 	start := time.Now()
 	// The explain marker is part of the cache key so instrumented and
 	// plain requests for the same text keep distinct hit/miss accounting
@@ -214,8 +233,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, cached, err := s.plan(engine, opts, req.Query, paramNames, extras...)
 	if err != nil {
+		var ve *sqlpp.VetError
+		if errors.As(err, &ve) {
+			s.metrics.Errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error:       err.Error(),
+				Diagnostics: ve.Diagnostics,
+			})
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "compile: %v", err)
 		return
+	}
+
+	var diags []sqlpp.Diagnostic
+	if req.Vet {
+		if plan.Params != nil {
+			diags = plan.Params.Diagnostics()
+		} else {
+			diags = plan.Prepared.Diagnostics()
+		}
+		for _, d := range diags {
+			if d.Severity == sqlpp.SevWarning {
+				s.metrics.VetWarnings.Add(1)
+			}
+		}
 	}
 
 	var result value.Value
@@ -281,11 +323,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		notes = plan.Prepared.PlanNotes()
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Result:    raw,
-		Cached:    cached,
-		ElapsedUS: elapsed.Microseconds(),
-		Plan:      notes,
-		Stats:     stats,
+		Result:      raw,
+		Cached:      cached,
+		ElapsedUS:   elapsed.Microseconds(),
+		Plan:        notes,
+		Stats:       stats,
+		Diagnostics: diags,
 	})
 }
 

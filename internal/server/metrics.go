@@ -26,6 +26,12 @@ type Metrics struct {
 	Panics   atomic.Uint64 // recovered query panics (contained, served 500)
 	Ingests  atomic.Uint64 // collection ingests accepted
 
+	// VetWarnings counts warning-severity diagnostics returned to
+	// clients that requested static analysis ("vet": true). A climbing
+	// rate flags a workload drifting toward queries that silently
+	// produce MISSING.
+	VetWarnings atomic.Uint64
+
 	lat latencyRing
 
 	// ops aggregates EXPLAIN ANALYZE trees by operator type: every
@@ -126,6 +132,7 @@ func (m *Metrics) WriteTo(w io.Writer, cacheHits, cacheMisses uint64, cacheEntri
 	fmt.Fprintf(w, "sqlpp_governed_total %d\n", m.Governed.Load())
 	fmt.Fprintf(w, "sqlpp_panics_total %d\n", m.Panics.Load())
 	fmt.Fprintf(w, "sqlpp_ingests_total %d\n", m.Ingests.Load())
+	fmt.Fprintf(w, "sqlpp_vet_warnings_total %d\n", m.VetWarnings.Load())
 	fmt.Fprintf(w, "sqlpp_plan_cache_hits_total %d\n", cacheHits)
 	fmt.Fprintf(w, "sqlpp_plan_cache_misses_total %d\n", cacheMisses)
 	fmt.Fprintf(w, "sqlpp_plan_cache_entries %d\n", cacheEntries)

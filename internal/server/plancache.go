@@ -77,6 +77,11 @@ func CacheKey(opts sqlpp.Options, paramNames []string, query string, extras ...s
 	sb.WriteString(strconv.FormatBool(opts.DisableOptimizer))
 	sb.WriteByte('w')
 	sb.WriteString(strconv.Itoa(opts.Parallelism))
+	// Vet changes Prepare's outcome (error-severity diagnostics reject
+	// the query) and whether diagnostics are computed, so vetted and
+	// unvetted compilations of the same text are distinct plans.
+	sb.WriteByte('V')
+	sb.WriteString(strconv.FormatBool(opts.Vet))
 	// A Prepared bakes in its engine and therefore its Limits (like
 	// MaxCollectionSize above), so every budget field must distinguish
 	// cache entries — a cached plan must never execute under another

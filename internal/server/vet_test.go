@@ -1,0 +1,148 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/server"
+)
+
+type vetReply struct {
+	Result      json.RawMessage    `json:"result"`
+	Cached      bool               `json:"cached"`
+	Diagnostics []sqlpp.Diagnostic `json:"diagnostics"`
+	Error       string             `json:"error"`
+}
+
+func postVet(t *testing.T, base, body string) (int, vetReply) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out vetReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode reply: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func vetWarningsTotal(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	m := regexp.MustCompile(`(?m)^sqlpp_vet_warnings_total (\d+)$`).FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metrics missing sqlpp_vet_warnings_total:\n%s", body)
+	}
+	n, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestVetOption: "vet": true returns the analyzer's findings alongside
+// the result, warnings count into sqlpp_vet_warnings_total, and an
+// unvetted request for the same query carries no diagnostics.
+func TestVetOption(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.Config{})
+	ingest(t, ts.URL, "t", "sion", `{{ {'v': 1}, {'v': 2} }}`)
+
+	plain := `{"query": "FROM t AS dead SELECT VALUE 1", "format": "sion"}`
+	vetted := `{"query": "FROM t AS dead SELECT VALUE 1", "format": "sion", "vet": true}`
+
+	status, out := postVet(t, ts.URL, plain)
+	if status != http.StatusOK {
+		t.Fatalf("plain: status %d (%s)", status, out.Error)
+	}
+	if out.Diagnostics != nil {
+		t.Errorf("unvetted request returned diagnostics: %v", out.Diagnostics)
+	}
+
+	before := vetWarningsTotal(t, ts.URL)
+	status, out = postVet(t, ts.URL, vetted)
+	if status != http.StatusOK {
+		t.Fatalf("vetted: status %d (%s)", status, out.Error)
+	}
+	found := false
+	for _, d := range out.Diagnostics {
+		if d.Code == "unused-binding" && d.Severity == sqlpp.SevWarning {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want an unused-binding warning, got %v", out.Diagnostics)
+	}
+	if after := vetWarningsTotal(t, ts.URL); after <= before {
+		t.Errorf("sqlpp_vet_warnings_total did not advance: %d -> %d", before, after)
+	}
+}
+
+// TestVetRejectsStrictFault: under strict mode a provable type fault is
+// rejected at compile time with the diagnostics attached to the error
+// response.
+func TestVetRejectsStrictFault(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.Config{})
+	req := `{"query": "FROM [1,2] AS x SELECT VALUE x + 'oops'",
+	         "vet": true, "options": {"strict": true}}`
+	status, out := postVet(t, ts.URL, req)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", status, out.Error)
+	}
+	if !strings.Contains(out.Error, "vet") {
+		t.Errorf("error %q does not mention vet", out.Error)
+	}
+	if !sqlpp.HasErrors(out.Diagnostics) {
+		t.Errorf("rejection should carry error-severity diagnostics, got %v", out.Diagnostics)
+	}
+
+	// The same query without vet compiles fine (the fault is dynamic).
+	status, out = postVet(t, ts.URL,
+		`{"query": "FROM [1,2] AS x SELECT VALUE x + 'oops'", "options": {"strict": true}}`)
+	if status == http.StatusBadRequest {
+		t.Fatalf("unvetted strict query must not be rejected at compile time: %s", out.Error)
+	}
+}
+
+// TestVetCacheKeyed: vetted and unvetted compilations of the same text
+// occupy distinct plan-cache entries, and a repeated vetted request hits
+// its entry while still returning diagnostics (they are cached in the
+// prepared query).
+func TestVetCacheKeyed(t *testing.T) {
+	svc, ts := newTestServer(t, nil, server.Config{})
+	ingest(t, ts.URL, "t", "sion", `{{ {'a': 1} }}`)
+
+	plain := `{"query": "SELECT VALUE r.a FROM t AS r", "format": "sion"}`
+	vetted := `{"query": "SELECT VALUE r.a FROM t AS r", "format": "sion", "vet": true}`
+
+	if status, out := postVet(t, ts.URL, plain); status != http.StatusOK {
+		t.Fatalf("plain: status %d (%s)", status, out.Error)
+	}
+	if status, out := postVet(t, ts.URL, vetted); status != http.StatusOK {
+		t.Fatalf("vetted: status %d (%s)", status, out.Error)
+	} else if out.Cached {
+		t.Error("first vetted request claims a cache hit — vet must not share the plain entry")
+	}
+	if svc.Cache().Len() != 2 {
+		t.Errorf("cache entries = %d, want 2 (plain and vetted keyed apart)", svc.Cache().Len())
+	}
+	status, again := postVet(t, ts.URL, vetted)
+	if status != http.StatusOK {
+		t.Fatalf("vetted again: status %d (%s)", status, again.Error)
+	}
+	if !again.Cached {
+		t.Error("second vetted request missed the cache")
+	}
+}

@@ -8,10 +8,36 @@ import (
 	"sqlpp/internal/value"
 )
 
+// ProblemCode classifies a static-checker finding so downstream layers
+// (package sema) can map it to a severity without parsing the message.
+type ProblemCode string
+
+// Problem codes. The split that matters is type faults (stop-on-error
+// mode would abort at runtime were the expression evaluated) versus
+// guaranteed-MISSING findings (the dynamic semantics yield MISSING in
+// both modes — navigation into an absent attribute is not a fault).
+const (
+	// Type faults under stop-on-error (§VI).
+	CodeBagIndex      ProblemCode = "bag-index"      // indexing an unordered bag
+	CodeNonNumeric    ProblemCode = "non-numeric"    // arithmetic over a provably non-numeric operand
+	CodeIncomparable  ProblemCode = "incomparable"   // ordering between incompatible comparison classes
+	CodeNonString     ProblemCode = "non-string"     // || or LIKE over a provably non-string operand
+	CodeNavInto       ProblemCode = "nav-scalar"     // navigation into a scalar or collection
+	CodeNonCollection ProblemCode = "non-collection" // COLL_* aggregate over a provably non-collection argument
+	// Guaranteed MISSING in both modes.
+	CodeClosedMiss ProblemCode = "closed-miss" // attribute a closed struct type proves absent
+)
+
+// IsTypeFault reports whether the code names a finding the stop-on-error
+// typing mode (§VI) would abort on at runtime, as opposed to one the
+// dynamic semantics absorb as MISSING in every mode.
+func (c ProblemCode) IsTypeFault() bool { return c != CodeClosedMiss }
+
 // Problem is one finding of the static checker.
 type Problem struct {
-	Pos lexer.Pos
-	Msg string
+	Pos  lexer.Pos
+	Code ProblemCode
+	Msg  string
 }
 
 // String renders the problem with its position.
@@ -45,8 +71,8 @@ type checker struct {
 	problems []Problem
 }
 
-func (c *checker) report(pos lexer.Pos, format string, args ...any) {
-	c.problems = append(c.problems, Problem{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+func (c *checker) report(pos lexer.Pos, code ProblemCode, format string, args ...any) {
+	c.problems = append(c.problems, Problem{Pos: pos, Code: code, Msg: fmt.Sprintf(format, args...)})
 }
 
 // expr computes the static type of e (Any when unknown), reporting
@@ -77,14 +103,14 @@ func (c *checker) expr(e ast.Expr, env typeEnv) Type {
 		case *ArrayOf:
 			return bt.Elem
 		case *BagOf:
-			c.report(x.Pos(), "indexing into a bag: bags are unordered")
+			c.report(x.Pos(), CodeBagIndex, "indexing into a bag: bags are unordered")
 			return Any
 		}
 		return Any
 	case *ast.Unary:
 		t := c.expr(x.Operand, env)
 		if x.Op == "-" && provablyNonNumeric(t) {
-			c.report(x.Pos(), "unary - over %s", t)
+			c.report(x.Pos(), CodeNonNumeric, "unary - over %s", t)
 		}
 		return t
 	case *ast.Binary:
@@ -93,15 +119,15 @@ func (c *checker) expr(e ast.Expr, env typeEnv) Type {
 		switch x.Op {
 		case "+", "-", "*", "/", "%":
 			if provablyNonNumeric(lt) {
-				c.report(x.Pos(), "arithmetic %s over %s", x.Op, lt)
+				c.report(x.Pos(), CodeNonNumeric, "arithmetic %s over %s", x.Op, lt)
 			}
 			if provablyNonNumeric(rt) {
-				c.report(x.Pos(), "arithmetic %s over %s", x.Op, rt)
+				c.report(x.Pos(), CodeNonNumeric, "arithmetic %s over %s", x.Op, rt)
 			}
 			return numericResult(lt, rt)
 		case "<", "<=", ">", ">=":
 			if incomparable(lt, rt) {
-				c.report(x.Pos(), "ordering comparison between %s and %s", lt, rt)
+				c.report(x.Pos(), CodeIncomparable, "ordering comparison between %s and %s", lt, rt)
 			}
 			return BoolType
 		case "=", "<>":
@@ -110,17 +136,17 @@ func (c *checker) expr(e ast.Expr, env typeEnv) Type {
 			return BoolType
 		case "||":
 			if provablyNot(lt, StringType) {
-				c.report(x.Pos(), "|| over %s", lt)
+				c.report(x.Pos(), CodeNonString, "|| over %s", lt)
 			}
 			if provablyNot(rt, StringType) {
-				c.report(x.Pos(), "|| over %s", rt)
+				c.report(x.Pos(), CodeNonString, "|| over %s", rt)
 			}
 			return StringType
 		}
 		return Any
 	case *ast.Like:
 		if t := c.expr(x.Target, env); provablyNot(t, StringType) {
-			c.report(x.Pos(), "LIKE over %s", t)
+			c.report(x.Pos(), CodeNonString, "LIKE over %s", t)
 		}
 		c.expr(x.Pattern, env)
 		c.expr(x.Escape, env)
@@ -162,8 +188,12 @@ func (c *checker) expr(e ast.Expr, env typeEnv) Type {
 		}
 		return out
 	case *ast.Call:
+		var argTypes []Type
 		for _, a := range x.Args {
-			c.expr(a, env)
+			argTypes = append(argTypes, c.expr(a, env))
+		}
+		if collAggregates[x.Name] && len(argTypes) == 1 && provablyNonCollection(argTypes[0]) {
+			c.report(x.Pos(), CodeNonCollection, "%s over %s, not a collection", x.Name, argTypes[0])
 		}
 		return Any
 	case *ast.TupleCtor:
@@ -230,7 +260,7 @@ func (c *checker) navigate(base Type, name string, pos lexer.Pos) Type {
 			return f.Type
 		}
 		if !bt.Open {
-			c.report(pos, "attribute %q cannot exist: closed type %s", name, bt)
+			c.report(pos, CodeClosedMiss, "attribute %q cannot exist: closed type %s", name, bt)
 		}
 		return Any
 	case *Union:
@@ -245,18 +275,18 @@ func (c *checker) navigate(base Type, name string, pos lexer.Pos) Type {
 			}
 		}
 		if !navigable {
-			c.report(pos, "navigation .%s into %s, which has no tuple member", name, bt)
+			c.report(pos, CodeNavInto, "navigation .%s into %s, which has no tuple member", name, bt)
 		}
 		if out == nil {
 			return Any
 		}
 		return out
 	case *ArrayOf, *BagOf:
-		c.report(pos, "navigation .%s into a collection; range over it with FROM instead", name)
+		c.report(pos, CodeNavInto, "navigation .%s into a collection; range over it with FROM instead", name)
 		return Any
 	case Primitive:
 		if bt != Any && bt != NullType {
-			c.report(pos, "navigation .%s into %s", name, bt)
+			c.report(pos, CodeNavInto, "navigation .%s into %s", name, bt)
 		}
 		return Any
 	}
@@ -426,6 +456,35 @@ func provablyNonNumeric(t Type) bool {
 		}
 		return true
 	case *Struct, *ArrayOf, *BagOf:
+		return true
+	}
+	return false
+}
+
+// collAggregates is the aggregate set whose single argument must be a
+// collection at runtime (aggInput makes a non-collection argument a type
+// fault).
+var collAggregates = map[string]bool{
+	"COLL_COUNT": true, "COLL_SUM": true, "COLL_AVG": true,
+	"COLL_MIN": true, "COLL_MAX": true,
+	"COLL_EVERY": true, "COLL_ANY": true, "COLL_SOME": true,
+	"COLL_ARRAY_AGG": true,
+}
+
+// provablyNonCollection reports whether no value of t can be a
+// collection.
+func provablyNonCollection(t Type) bool {
+	switch x := t.(type) {
+	case Primitive:
+		return x != Any && x != NullType
+	case *Struct:
+		return true
+	case *Union:
+		for _, m := range x.Members {
+			if !provablyNonCollection(m) {
+				return false
+			}
+		}
 		return true
 	}
 	return false

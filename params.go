@@ -45,12 +45,21 @@ func (e *Engine) PrepareParams(query string, params ...string) (*PreparedParams,
 	}
 	names := append([]string(nil), params...)
 	sort.Strings(names)
+	inner := &Prepared{engine: e, core: core, planNotes: e.optimize(core), params: names}
+	if err := e.vet(inner); err != nil {
+		return nil, err
+	}
 	return &PreparedParams{
 		engine: e,
-		core:   &Prepared{engine: e, core: core, planNotes: e.optimize(core)},
+		core:   inner,
 		names:  names,
 	}, nil
 }
+
+// Diagnostics runs the static semantic analyzer over the parameterized
+// query; parameters are treated as bound variables of unknown type. See
+// Prepared.Diagnostics.
+func (p *PreparedParams) Diagnostics() []Diagnostic { return p.core.Diagnostics() }
 
 // PlanNotes describes the physical optimizations applied to the
 // parameterized query; see Prepared.PlanNotes.

@@ -19,6 +19,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/catalog"
@@ -27,6 +29,7 @@ import (
 	"sqlpp/internal/parser"
 	"sqlpp/internal/plan"
 	"sqlpp/internal/rewrite"
+	"sqlpp/internal/sema"
 	"sqlpp/internal/sion"
 	"sqlpp/internal/types"
 	"sqlpp/internal/value"
@@ -64,6 +67,48 @@ type Options struct {
 	// time. The zero value means unlimited and costs nothing per row; a
 	// query exceeding any budget aborts with a *ResourceError.
 	Limits Limits
+	// Vet runs the static semantic analyzer at prepare time and rejects
+	// queries carrying error-severity diagnostics with a *VetError. Off
+	// by default per the paper's query-stability tenet: imposing a
+	// schema never changes (or rejects) a working query unless asked.
+	// When off, analysis costs nothing until Diagnostics() is called.
+	Vet bool
+}
+
+// Diagnostic is one static-analyzer finding; see Prepared.Diagnostics.
+type Diagnostic = sema.Diagnostic
+
+// Severity grades a Diagnostic.
+type Severity = sema.Severity
+
+// Diagnostic severities.
+const (
+	SevWarning = sema.Warning
+	SevError   = sema.Error
+)
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diagnostic) bool { return sema.HasErrors(diags) }
+
+// VetError reports that Options.Vet rejected a query because the static
+// analyzer found error-severity diagnostics. Match with errors.As to
+// inspect the findings.
+type VetError struct {
+	Diagnostics []Diagnostic
+}
+
+// Error summarizes the error-severity findings.
+func (e *VetError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("sqlpp: query rejected by vet:")
+	for _, d := range e.Diagnostics {
+		if d.Severity == SevError {
+			sb.WriteString(" [")
+			sb.WriteString(d.String())
+			sb.WriteString("]")
+		}
+	}
+	return sb.String()
 }
 
 // Limits is a per-query resource budget; see eval.Limits for the field
@@ -156,10 +201,19 @@ type Prepared struct {
 	engine    *Engine
 	core      ast.Expr
 	planNotes []string
+	params    []string
+
+	// Diagnostics are computed lazily and cached: a Prepared that never
+	// asks for them pays nothing, and concurrent callers share one
+	// analysis (the analyzer reads the immutable core tree only).
+	diagOnce sync.Once
+	diags    []Diagnostic
 }
 
 // Prepare parses, rewrites to SQL++ Core, resolves a query against the
-// engine's catalog, and runs the physical optimization pass.
+// engine's catalog, and runs the physical optimization pass. With
+// Options.Vet set it additionally runs the static semantic analyzer and
+// rejects the query when any finding is error-severity.
 func (e *Engine) Prepare(query string) (*Prepared, error) {
 	tree, err := parser.Parse(query)
 	if err != nil {
@@ -176,7 +230,42 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{engine: e, core: core, planNotes: e.optimize(core)}, nil
+	p := &Prepared{engine: e, core: core, planNotes: e.optimize(core)}
+	if err := e.vet(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// vet enforces Options.Vet on a freshly compiled query.
+func (e *Engine) vet(p *Prepared) error {
+	if !e.opts.Vet {
+		return nil
+	}
+	if diags := p.Diagnostics(); HasErrors(diags) {
+		return &VetError{Diagnostics: diags}
+	}
+	return nil
+}
+
+// Diagnostics runs the static semantic analyzer over the compiled query
+// and returns its findings, sorted by position: scope hygiene (unused
+// and shadowed bindings), schema-aware type faults, and expressions
+// statically guaranteed to yield MISSING. In stop-on-error mode type
+// faults are error-severity (the runtime would abort); in permissive
+// mode they are warnings (the runtime yields MISSING). The analysis runs
+// once, lazily, and is cached; executions never pay for it.
+func (p *Prepared) Diagnostics() []Diagnostic {
+	p.diagOnce.Do(func() {
+		p.diags = sema.Analyze(p.core, sema.Options{
+			StopOnError: p.engine.opts.StopOnError,
+			Schema:      p.engine.types,
+			Params:      p.params,
+		})
+	})
+	out := make([]Diagnostic, len(p.diags))
+	copy(out, p.diags)
+	return out
 }
 
 // optimize runs the physical optimization pass over a rewritten Core

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseSrc builds a srcFile from an inline source, under the given
+// repo-relative path (the checks scope themselves by path).
+func parseSrc(t *testing.T, path, src string) *srcFile {
+	t.Helper()
+	fset := token.NewFileSet()
+	tree, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &srcFile{path: path, fset: fset, ast: tree}
+}
+
+func TestFaultgateUnguardedFire(t *testing.T) {
+	f := parseSrc(t, "internal/plan/x.go", `package plan
+import "sqlpp/internal/faultinject"
+func scan() error { return faultinject.Fire(faultinject.ScanNext) }
+`)
+	if got := faultgate(f); len(got) != 1 {
+		t.Fatalf("want 1 finding for unguarded Fire, got %v", got)
+	}
+}
+
+func TestFaultgateGuardedFireClean(t *testing.T) {
+	f := parseSrc(t, "internal/plan/x.go", `package plan
+import "sqlpp/internal/faultinject"
+func scan() error {
+	if faultinject.Enabled {
+		if err := faultinject.Fire(faultinject.ScanNext); err != nil { return err }
+	}
+	return nil
+}
+`)
+	if got := faultgate(f); len(got) != 0 {
+		t.Fatalf("guarded Fire should be clean, got %v", got)
+	}
+}
+
+func TestFaultgateEnabledNeedsBuildTag(t *testing.T) {
+	f := parseSrc(t, "internal/faultinject/extra.go", `package faultinject
+const Enabled = true
+`)
+	if got := faultgate(f); len(got) != 1 {
+		t.Fatalf("tag-free Enabled declaration should be flagged, got %v", got)
+	}
+	f = parseSrc(t, "internal/faultinject/extra.go", `//go:build chaos
+
+package faultinject
+const Enabled = true
+`)
+	if got := faultgate(f); len(got) != 0 {
+		t.Fatalf("tagged Enabled declaration should be clean, got %v", got)
+	}
+}
+
+func TestGovchargeUnchargedLoop(t *testing.T) {
+	f := parseSrc(t, "internal/plan/x.go", `package plan
+func collect(vs []int) []int {
+	var out []int
+	for _, v := range vs { out = append(out, v) }
+	return out
+}
+`)
+	got := govcharge(f)
+	if len(got) != 1 {
+		t.Fatalf("want 1 finding for uncharged accumulation, got %v", got)
+	}
+}
+
+func TestGovchargeChargedLoopClean(t *testing.T) {
+	f := parseSrc(t, "internal/plan/x.go", `package plan
+func collect(g gov, vs []int) ([]int, error) {
+	var out []int
+	for _, v := range vs {
+		if err := g.ChargeValues("collect", 1, nil); err != nil { return nil, err }
+		out = append(out, v)
+	}
+	return out, nil
+}
+`)
+	if got := govcharge(f); len(got) != 0 {
+		t.Fatalf("charged accumulation should be clean, got %v", got)
+	}
+}
+
+func TestGovchargeMarkerClean(t *testing.T) {
+	f := parseSrc(t, "internal/plan/x.go", `package plan
+// collect is a helper.
+//
+// governor:bounded by the input, charged upstream.
+func collect(vs []int) []int {
+	var out []int
+	for _, v := range vs { out = append(out, v) }
+	return out
+}
+`)
+	if got := govcharge(f); len(got) != 0 {
+		t.Fatalf("marked accumulation should be clean, got %v", got)
+	}
+}
+
+func TestGovchargeScopedToPlan(t *testing.T) {
+	f := parseSrc(t, "internal/server/x.go", `package server
+func collect(vs []int) []int {
+	var out []int
+	for _, v := range vs { out = append(out, v) }
+	return out
+}
+`)
+	if got := govcharge(f); len(got) != 0 {
+		t.Fatalf("govcharge must only apply to internal/plan, got %v", got)
+	}
+}
+
+func TestNoclock(t *testing.T) {
+	f := parseSrc(t, "internal/plan/x.go", `package plan
+import "time"
+func stamp() time.Time { return time.Now() }
+`)
+	if got := noclock(f); len(got) != 1 {
+		t.Fatalf("want 1 finding for time.Now in plan, got %v", got)
+	}
+	f = parseSrc(t, "internal/eval/stats.go", `package eval
+import "time"
+func stamp() time.Time { return time.Now() }
+`)
+	if got := noclock(f); len(got) != 0 {
+		t.Fatalf("noclock must only apply to internal/plan, got %v", got)
+	}
+}
+
+// TestRepoClean runs all three checks over the real tree: the repo must
+// satisfy its own invariants (the same gate CI enforces).
+func TestRepoClean(t *testing.T) {
+	files, err := parseTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		for _, fd := range faultgate(f) {
+			t.Errorf("%s: [%s] %s", fd.pos, fd.check, fd.msg)
+		}
+		for _, fd := range govcharge(f) {
+			t.Errorf("%s: [%s] %s", fd.pos, fd.check, fd.msg)
+		}
+		for _, fd := range noclock(f) {
+			t.Errorf("%s: [%s] %s", fd.pos, fd.check, fd.msg)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// faultgate enforces the fault-injection build discipline:
+//
+//  1. Outside the faultinject package itself, every call to
+//     faultinject.Fire must sit inside the body of an
+//     `if faultinject.Enabled { ... }` guard. Enabled is a constant, so
+//     guarded sites are dead-code-eliminated from normal builds; an
+//     unguarded Fire would put a map lookup (or worse, under the chaos
+//     tag, an armed fault) on a production hot path.
+//
+//  2. Inside the faultinject package, any file that declares the
+//     Enabled constant must carry a //go:build constraint — the whole
+//     scheme collapses if a tag-free file redefines it.
+func faultgate(f *srcFile) []finding {
+	if strings.HasPrefix(f.path, "internal/faultinject/") {
+		return faultgateDecl(f)
+	}
+
+	// Collect the bodies of every if-statement whose condition reads
+	// faultinject.Enabled; Fire calls are legal only inside them.
+	var guarded []span
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !mentions(ifs.Cond, "faultinject", "Enabled") {
+			return true
+		}
+		guarded = append(guarded, span{ifs.Body.Pos(), ifs.Body.End()})
+		return true
+	})
+
+	var out []finding
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgSel(call.Fun, "faultinject", "Fire") {
+			return true
+		}
+		if !inAny(guarded, call.Pos()) {
+			out = append(out, finding{
+				pos:   f.fset.Position(call.Pos()),
+				check: "faultgate",
+				msg:   "faultinject.Fire call not guarded by `if faultinject.Enabled`; unguarded points survive into normal builds",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// faultgateDecl checks rule 2: Enabled declarations live behind build
+// tags.
+func faultgateDecl(f *srcFile) []finding {
+	declares := false
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for _, name := range vs.Names {
+			if name.Name == "Enabled" {
+				declares = true
+			}
+		}
+		return true
+	})
+	if !declares {
+		return nil
+	}
+	for _, cg := range f.ast.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") {
+				return nil
+			}
+		}
+	}
+	return []finding{{
+		pos:   f.fset.Position(f.ast.Package),
+		check: "faultgate",
+		msg:   "file declares faultinject.Enabled without a //go:build constraint",
+	}}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// govcharge enforces the resource-governor discipline in internal/plan:
+// any function that accumulates rows — an append inside a loop — is a
+// potential unbounded buffer, so it must either charge the governor
+// (a Charge*/CheckDepth call somewhere in the function) or carry an
+// explicit `// governor:` marker in its doc comment stating where the
+// charge happens or why the accumulation is bounded, e.g.
+//
+//	// governor:charged-at plan.go select sink (rows flow through it)
+//	// governor:bounded by the number of clauses in the query
+//
+// The marker is not an escape hatch so much as forced documentation:
+// the reviewer sees the claim next to the buffer.
+//
+// optimize.go is exempt wholesale — it runs at plan time, where every
+// slice is bounded by the query text, not the data.
+func govcharge(f *srcFile) []finding {
+	if !strings.HasPrefix(f.path, "internal/plan/") || strings.HasSuffix(f.path, "/optimize.go") ||
+		f.path == "internal/plan/optimize.go" {
+		return nil
+	}
+
+	var out []finding
+	for _, decl := range f.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if hasGovMarker(fd) || chargesGovernor(fd) {
+			continue
+		}
+		if at, found := appendInLoop(fd.Body); found {
+			out = append(out, finding{
+				pos:   f.fset.Position(at.Pos()),
+				check: "govcharge",
+				msg: "function " + fd.Name.Name + " accumulates rows in a loop without charging the governor; " +
+					"add a Charge* call or a `// governor:` marker naming the charge site or bound",
+			})
+		}
+	}
+	return out
+}
+
+// hasGovMarker reports whether the function's doc comment contains a
+// `governor:` marker.
+func hasGovMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, "governor:") {
+			return true
+		}
+	}
+	return false
+}
+
+// chargesGovernor reports whether the function body calls a governor
+// method (ChargeValues, ChargeBindings, ChargeOutput, CheckDepth, ...).
+func chargesGovernor(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			if strings.HasPrefix(name, "Charge") || name == "CheckDepth" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// appendInLoop finds the first append call lexically inside a for or
+// range statement within body.
+func appendInLoop(body *ast.BlockStmt) (pos ast.Node, found bool) {
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{l.Body.Pos(), l.Body.End()})
+		}
+		return true
+	})
+	var at ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && inAny(loops, call.Pos()) {
+			at = call
+			return false
+		}
+		return at == nil
+	})
+	return at, at != nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// noclock bans time.Now from internal/plan entirely. Operator timing is
+// the stats sink's job (internal/eval), which samples the clock once
+// per batch boundary; a time.Now inside a plan operator would sooner or
+// later end up inside a row loop, putting a vDSO call (and on some
+// platforms a real syscall) on the per-row path. Deadlines come in
+// through the context and the governor's wall-time budget, so plan code
+// has no legitimate need for the clock.
+func noclock(f *srcFile) []finding {
+	if !strings.HasPrefix(f.path, "internal/plan/") {
+		return nil
+	}
+	var out []finding
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || !isPkgSel(e, "time", "Now") {
+			return true
+		}
+		out = append(out, finding{
+			pos:   f.fset.Position(e.Pos()),
+			check: "noclock",
+			msg:   "time.Now in internal/plan; clock reads belong to the stats sink (internal/eval), not plan operators",
+		})
+		return true
+	})
+	return out
+}
