@@ -137,6 +137,105 @@ func TestChaosEngineSweep(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestChaosIndexSweep arms the index-probe injection point under
+// indexed equality and range queries, and the index-build point under
+// CreateIndex. Probe faults must surface as this query's typed error
+// (or a contained panic) and vanish on disarmed retry; a build fault
+// must fail CreateIndex cleanly while queries keep producing the
+// baseline via the scan path, and a disarmed rebuild must restore
+// byte-identical indexed results.
+func TestChaosIndexSweep(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	db := chaosEngine(t, sqlpp.Limits{})
+	base := runtime.NumGoroutine()
+
+	queries := []struct {
+		name, query string
+	}{
+		{"equality", `SELECT VALUE e.deptno FROM emp AS e WHERE e.id = 1234`},
+		{"range", `SELECT VALUE e.id FROM emp AS e WHERE e.id >= 100 AND e.id < 140`},
+	}
+	// Fault-free scan baselines, taken before any index exists.
+	baseline := make(map[string]string, len(queries))
+	for _, q := range queries {
+		v, err := db.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", q.name, err)
+		}
+		baseline[q.name] = v.String()
+	}
+
+	// Build fault: CreateIndex fails typed, no index is installed, and
+	// the queries keep answering from the scan path unchanged.
+	faultinject.Set(faultinject.IndexBuildInsert, 0, 1, 1, faultinject.Action{Err: faultinject.ErrInjected})
+	if err := db.CreateIndex("ix_id", "emp", "id", "hash"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("build error action: want ErrInjected, got %v", err)
+	}
+	if faultinject.Fired(faultinject.IndexBuildInsert) == 0 {
+		t.Error("build error action: point never fired")
+	}
+	if n := len(db.Indexes()); n != 0 {
+		t.Errorf("failed build left %d indexes installed", n)
+	}
+	faultinject.Reset()
+	for _, q := range queries {
+		v, err := db.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s after failed build: %v", q.name, err)
+		}
+		if v.String() != baseline[q.name] {
+			t.Errorf("%s after failed build diverges from baseline", q.name)
+		}
+	}
+
+	// Disarmed rebuild succeeds; indexed results stay byte-identical.
+	if err := db.CreateIndex("ix_id", "emp", "id", "ordered"); err != nil {
+		t.Fatalf("disarmed CreateIndex: %v", err)
+	}
+	for _, q := range queries {
+		baselineRun, err := db.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s indexed baseline: %v", q.name, err)
+		}
+		if baselineRun.String() != baseline[q.name] {
+			t.Fatalf("%s: indexed result diverges from scan baseline:\n  scan  %s\n  index %s",
+				q.name, baseline[q.name], baselineRun)
+		}
+
+		// Probe error action: typed, attributable failure.
+		faultinject.Set(faultinject.IndexProbeNext, 0, 1, 1, faultinject.Action{Err: faultinject.ErrInjected})
+		if _, err := db.Query(q.query); !errors.Is(err, faultinject.ErrInjected) {
+			t.Errorf("%s probe error action: want ErrInjected, got %v", q.name, err)
+		}
+		if faultinject.Fired(faultinject.IndexProbeNext) == 0 {
+			t.Errorf("%s probe error action: point never fired — query is not using the index", q.name)
+		}
+
+		// Probe panic action: contained into a *PanicError.
+		faultinject.Reset()
+		faultinject.Set(faultinject.IndexProbeNext, 0, 1, 1, faultinject.Action{Panic: "chaos"})
+		_, err = db.Query(q.query)
+		var pe *sqlpp.PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s probe panic action: want PanicError, got %v", q.name, err)
+		}
+
+		// Disarmed retry: bit-identical to the scan baseline.
+		faultinject.Reset()
+		again, err := db.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s retry after reset: %v", q.name, err)
+		}
+		if again.String() != baseline[q.name] {
+			t.Errorf("%s: disarmed retry diverges from baseline:\n  before %s\n  after  %s",
+				q.name, baseline[q.name], again)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
 // TestChaosStallHitsWallBudget: a stall injected into the scan must be
 // caught by the governor's wall-time budget, not hang the query.
 func TestChaosStallHitsWallBudget(t *testing.T) {

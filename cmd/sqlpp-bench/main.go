@@ -10,6 +10,8 @@
 //	sqlpp-bench -governor    measure resource-governor overhead and enforcement and
 //	                         write BENCH_governor.json
 //	sqlpp-bench -vet         measure static-analysis (sema) cost and write BENCH_vet.json
+//	sqlpp-bench -index       measure secondary-index build and probe cost vs full scans
+//	                         and write BENCH_index.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -45,10 +47,12 @@ func main() {
 	governorOut := flag.String("governor-out", "BENCH_governor.json", "machine-readable output of -governor")
 	vet := flag.Bool("vet", false, "measure static-analysis (sema) cost per query")
 	vetOut := flag.String("vet-out", "BENCH_vet.json", "machine-readable output of -vet")
+	indexBench := flag.Bool("index", false, "measure secondary-index build and probe cost vs full scans")
+	indexOut := flag.String("index-out", "BENCH_index.json", "machine-readable output of -index")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -76,6 +80,9 @@ func main() {
 	}
 	if *vet || all {
 		failed = runVetBench(*scale, *vetOut) || failed
+	}
+	if *indexBench || all {
+		failed = runIndexBench(*scale, *indexOut) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -40,6 +40,10 @@
 //	\core <query>     show the SQL++ Core form of a query
 //	\vet <query>      show the static analyzer's diagnostics for a query
 //	\plan <query>     show the physical optimizations a query would use
+//	\index create <name> <collection> <path> [hash|ordered]
+//	                  build a secondary index over a key path
+//	\index drop <name>
+//	\index list       list secondary indexes with key/slot statistics
 //	\explain analyze <query>
 //	                  execute the query and show the per-operator stats tree
 //	\mode             show the current modes
@@ -489,6 +493,8 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		for _, n := range notes {
 			fmt.Println(n)
 		}
+	case "\\index":
+		indexCommand(db, rest)
 	case "\\mode":
 		o := db.Options()
 		fmt.Printf("compat=%v strict=%v optimizer=%v parallel=%d\n",
@@ -497,4 +503,55 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", cmd)
 	}
 	return false
+}
+
+// indexCommand handles the \index REPL subcommands.
+func indexCommand(db *sqlpp.Engine, rest string) {
+	args := strings.Fields(rest)
+	usage := func() {
+		fmt.Fprintln(os.Stderr, "usage: \\index create <name> <collection> <path> [hash|ordered] | \\index drop <name> | \\index list")
+	}
+	if len(args) == 0 {
+		usage()
+		return
+	}
+	switch args[0] {
+	case "create":
+		if len(args) < 4 || len(args) > 5 {
+			usage()
+			return
+		}
+		kind := ""
+		if len(args) == 5 {
+			kind = args[4]
+		}
+		if err := db.CreateIndex(args[1], args[2], args[3], kind); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Printf("index %s created\n", args[1])
+	case "drop":
+		if len(args) != 2 {
+			usage()
+			return
+		}
+		if !db.DropIndex(args[1]) {
+			fmt.Fprintf(os.Stderr, "no index %q\n", args[1])
+			return
+		}
+		fmt.Printf("index %s dropped\n", args[1])
+	case "list":
+		infos := db.Indexes()
+		if len(infos) == 0 {
+			fmt.Println("no indexes")
+			return
+		}
+		for _, info := range infos {
+			fmt.Printf("%s\t%s(%s)\t%s\tentries=%d keys=%d missing=%d null=%d\n",
+				info.Name, info.Collection, info.Path, info.Kind,
+				info.Entries, info.Keys, info.Missing, info.Null)
+		}
+	default:
+		usage()
+	}
 }

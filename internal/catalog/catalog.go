@@ -9,25 +9,45 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"sqlpp/internal/eval"
+	"sqlpp/internal/index"
 	"sqlpp/internal/value"
 )
 
-// Catalog is a set of named values. The zero value is not usable; call
-// New.
+// Catalog is a set of named values plus the secondary indexes declared
+// over them. The zero value is not usable; call New.
 type Catalog struct {
-	mu    sync.RWMutex
-	named map[string]value.Value
+	mu      sync.RWMutex
+	named   map[string]value.Value
+	indexes map[string]*index.Index // by index name
+	byColl  map[string][]string     // collection name -> sorted index names
+
+	// epoch counts catalog mutations. The server folds it into plan
+	// fingerprints so plans compiled before an index existed (or before
+	// its collection changed) cannot be replayed after.
+	epoch atomic.Int64
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{named: make(map[string]value.Value)}
+	return &Catalog{
+		named:   make(map[string]value.Value),
+		indexes: make(map[string]*index.Index),
+		byColl:  make(map[string][]string),
+	}
 }
 
 // Register binds name (which may be dotted, e.g. "hr.emp") to v,
 // replacing any existing binding. A nil value panics: the data plane is
 // nil-free.
+//
+// Indexes declared over name are rebuilt against the new value so they
+// can never serve positions from a stale snapshot. If v is not a
+// collection, or a rebuild fails, the affected indexes are dropped and
+// the first rebuild error is returned — the binding itself always takes
+// effect, and queries fall back to scans, so results stay correct.
 func (c *Catalog) Register(name string, v value.Value) error {
 	if v == nil {
 		panic("catalog: nil value for " + name)
@@ -38,14 +58,77 @@ func (c *Catalog) Register(name string, v value.Value) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.named[name] = v
-	return nil
+	c.epoch.Add(1)
+	var firstErr error
+	for _, iname := range append([]string(nil), c.byColl[name]...) {
+		ix := c.indexes[iname]
+		nx, err := index.Build(ix.Spec(), v, nil)
+		if err != nil {
+			c.dropIndexLocked(iname)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("catalog: rebuilding index %s: %w", iname, err)
+			}
+			continue
+		}
+		c.indexes[iname] = nx
+	}
+	return firstErr
 }
 
-// Drop removes a named value; dropping an unknown name is a no-op.
+// Append adds elems to the collection bound to name (preserving its
+// array/bag kind) and extends its indexes incrementally instead of
+// rebuilding them. An index whose extension fails is dropped and the
+// first error returned; the appended value always takes effect.
+func (c *Catalog) Append(name string, elems []value.Value, gov *eval.Governor) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.named[name]
+	if !ok {
+		return fmt.Errorf("catalog: append to unknown name %q", name)
+	}
+	old, ok := value.Elements(cur)
+	if !ok {
+		return fmt.Errorf("catalog: append to %q: %v is not a collection", name, cur.Kind())
+	}
+	merged := make([]value.Value, 0, len(old)+len(elems))
+	merged = append(merged, old...)
+	merged = append(merged, elems...)
+	var nv value.Value
+	if cur.Kind() == value.KindArray {
+		nv = value.Array(merged)
+	} else {
+		nv = value.Bag(merged)
+	}
+	c.named[name] = nv
+	c.epoch.Add(1)
+	var firstErr error
+	for _, iname := range append([]string(nil), c.byColl[name]...) {
+		nx, err := c.indexes[iname].Extended(nv, elems, gov)
+		if err != nil {
+			c.dropIndexLocked(iname)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("catalog: extending index %s: %w", iname, err)
+			}
+			continue
+		}
+		c.indexes[iname] = nx
+	}
+	return firstErr
+}
+
+// Drop removes a named value and any indexes over it; dropping an
+// unknown name is a no-op.
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.named, name)
+	for _, iname := range append([]string(nil), c.byColl[name]...) {
+		c.dropIndexLocked(iname)
+	}
+	c.epoch.Add(1)
 }
 
 // LookupValue implements eval.NameSource.
@@ -94,4 +177,136 @@ func (c *Catalog) Namespaces() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Epoch returns the catalog mutation counter.
+func (c *Catalog) Epoch() int64 { return c.epoch.Load() }
+
+// CreateIndex builds spec over its (already registered) collection and
+// installs it. gov, when non-nil, bounds the build's memory.
+func (c *Catalog) CreateIndex(spec index.Spec, gov *eval.Governor) error {
+	if spec.Name == "" {
+		return fmt.Errorf("catalog: empty index name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.indexes[spec.Name]; dup {
+		return fmt.Errorf("catalog: index %q already exists", spec.Name)
+	}
+	src, ok := c.named[spec.Collection]
+	if !ok {
+		return fmt.Errorf("catalog: index %q: unknown collection %q", spec.Name, spec.Collection)
+	}
+	ix, err := index.Build(spec, src, gov)
+	if err != nil {
+		return err
+	}
+	c.indexes[spec.Name] = ix
+	names := append(c.byColl[spec.Collection], spec.Name)
+	sort.Strings(names)
+	c.byColl[spec.Collection] = names
+	c.epoch.Add(1)
+	return nil
+}
+
+// DropIndex removes an index by name, reporting whether it existed.
+func (c *Catalog) DropIndex(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[name]; !ok {
+		return false
+	}
+	c.dropIndexLocked(name)
+	c.epoch.Add(1)
+	return true
+}
+
+// dropIndexLocked removes an index under the write lock.
+func (c *Catalog) dropIndexLocked(name string) {
+	ix, ok := c.indexes[name]
+	if !ok {
+		return
+	}
+	delete(c.indexes, name)
+	coll := ix.Spec().Collection
+	names := c.byColl[coll]
+	for i, n := range names {
+		if n == name {
+			c.byColl[coll] = append(names[:i:i], names[i+1:]...)
+			break
+		}
+	}
+	if len(c.byColl[coll]) == 0 {
+		delete(c.byColl, coll)
+	}
+}
+
+// Indexes returns all installed indexes, sorted by name.
+func (c *Catalog) Indexes() []*index.Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.indexes))
+	for n := range c.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*index.Index, len(names))
+	for i, n := range names {
+		out[i] = c.indexes[n]
+	}
+	return out
+}
+
+// LookupIndex resolves an index by name; the plan runtime uses it (via
+// an interface assertion on eval.NameSource) to bind a planned index
+// choice to the current snapshot at execution time.
+func (c *Catalog) LookupIndex(name string) (*index.Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.indexes[name]
+	return ix, ok
+}
+
+// IndexFor reports an index over collection keyed by path, preferring
+// the cheapest kind that supports the probe: hash for pure equality,
+// ordered otherwise. Ties break to the lexicographically smallest name
+// so planning is deterministic.
+func (c *Catalog) IndexFor(collection string, path []string, needOrdered bool) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	best := ""
+	bestOrdered := false
+	for _, name := range c.byColl[collection] {
+		ix := c.indexes[name]
+		sp := ix.Spec()
+		if !pathEqual(sp.Path, path) {
+			continue
+		}
+		ordered := sp.Kind == index.Ordered
+		if needOrdered && !ordered {
+			continue
+		}
+		switch {
+		case best == "":
+		case !needOrdered && bestOrdered && !ordered:
+			// A hash index beats an ordered one for equality probes.
+		default:
+			continue
+		}
+		best, bestOrdered = name, ordered
+	}
+	return best, best != ""
+}
+
+// pathEqual compares key paths step-wise.
+func pathEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,204 @@
+package catalog_test
+
+import (
+	"testing"
+
+	"sqlpp/internal/catalog"
+	"sqlpp/internal/index"
+	"sqlpp/internal/sion"
+	"sqlpp/internal/value"
+)
+
+func spec(name, coll, path string, kind index.Kind) index.Spec {
+	return index.Spec{Name: name, Collection: coll, Path: []string{path}, Kind: kind}
+}
+
+// TestCatalogIndexLifecycle: create, lookup, list, drop, and the
+// duplicate/unknown error paths.
+func TestCatalogIndexLifecycle(t *testing.T) {
+	c := catalog.New()
+	if err := c.Register("emp", sion.MustParse(`{{ {'id': 1}, {'id': 2} }}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.CreateIndex(spec("ix", "emp", "id", index.Hash), nil); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if err := c.CreateIndex(spec("ix", "emp", "id", index.Hash), nil); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+	if err := c.CreateIndex(spec("ix2", "nope", "id", index.Hash), nil); err == nil {
+		t.Error("index over unknown collection accepted")
+	}
+
+	ix, ok := c.LookupIndex("ix")
+	if !ok || ix.Spec().Name != "ix" || ix.Len() != 2 {
+		t.Fatalf("LookupIndex: ok=%v ix=%+v", ok, ix)
+	}
+	if got := len(c.Indexes()); got != 1 {
+		t.Errorf("Indexes() = %d entries, want 1", got)
+	}
+
+	if !c.DropIndex("ix") {
+		t.Error("DropIndex returned false for a live index")
+	}
+	if c.DropIndex("ix") {
+		t.Error("DropIndex returned true for a dropped index")
+	}
+	if _, ok := c.LookupIndex("ix"); ok {
+		t.Error("dropped index still resolvable")
+	}
+}
+
+// TestCatalogEpochBumps: every mutation that can invalidate a plan
+// bumps the epoch — registrations, appends, drops, and index DDL.
+func TestCatalogEpochBumps(t *testing.T) {
+	c := catalog.New()
+	last := c.Epoch()
+	step := func(what string) {
+		t.Helper()
+		if now := c.Epoch(); now <= last {
+			t.Errorf("%s did not bump the epoch (%d -> %d)", what, last, now)
+		} else {
+			last = now
+		}
+	}
+
+	if err := c.Register("emp", sion.MustParse(`{{ {'id': 1} }}`)); err != nil {
+		t.Fatal(err)
+	}
+	step("Register")
+	if err := c.CreateIndex(spec("ix", "emp", "id", index.Hash), nil); err != nil {
+		t.Fatal(err)
+	}
+	step("CreateIndex")
+	if err := c.Append("emp", []value.Value{sion.MustParse(`{'id': 2}`)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	step("Append")
+	c.DropIndex("ix")
+	step("DropIndex")
+	c.Drop("emp")
+	step("Drop")
+}
+
+// TestIndexForPreference: equality probes prefer hash over ordered on
+// the same path; range probes only ever get ordered indexes.
+func TestIndexForPreference(t *testing.T) {
+	c := catalog.New()
+	if err := c.Register("emp", sion.MustParse(`{{ {'id': 1, 'dept': 2} }}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(spec("ord", "emp", "id", index.Ordered), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(spec("hsh", "emp", "id", index.Hash), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if name, ok := c.IndexFor("emp", []string{"id"}, false); !ok || name != "hsh" {
+		t.Errorf("equality IndexFor = %q,%v; want hsh (hash preferred)", name, ok)
+	}
+	if name, ok := c.IndexFor("emp", []string{"id"}, true); !ok || name != "ord" {
+		t.Errorf("range IndexFor = %q,%v; want ord", name, ok)
+	}
+	if _, ok := c.IndexFor("emp", []string{"dept"}, false); ok {
+		t.Error("IndexFor matched a path with no index")
+	}
+	if _, ok := c.IndexFor("nope", []string{"id"}, false); ok {
+		t.Error("IndexFor matched an unknown collection")
+	}
+
+	c.DropIndex("hsh")
+	if name, ok := c.IndexFor("emp", []string{"id"}, false); !ok || name != "ord" {
+		t.Errorf("equality IndexFor after hash drop = %q,%v; want ord (ordered serves equality)", name, ok)
+	}
+	c.DropIndex("ord")
+	if _, ok := c.IndexFor("emp", []string{"id"}, false); ok {
+		t.Error("IndexFor matched after all indexes dropped")
+	}
+}
+
+// TestRegisterRebuildsIndexes: re-registering a collection rebuilds
+// its indexes over the new snapshot; registering a non-collection in
+// its place drops them rather than leaving stale indexes behind.
+func TestRegisterRebuildsIndexes(t *testing.T) {
+	c := catalog.New()
+	if err := c.Register("emp", sion.MustParse(`{{ {'id': 1} }}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(spec("ix", "emp", "id", index.Hash), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Register("emp", sion.MustParse(`{{ {'id': 7}, {'id': 7}, {'id': 8} }}`)); err != nil {
+		t.Fatal(err)
+	}
+	ix, ok := c.LookupIndex("ix")
+	if !ok {
+		t.Fatal("index vanished on re-register")
+	}
+	if ix.Len() != 3 {
+		t.Errorf("rebuilt index covers %d elements, want 3", ix.Len())
+	}
+	if got := ix.Lookup(value.Int(7)); len(got) != 2 {
+		t.Errorf("rebuilt Lookup(7) = %v, want two positions", got)
+	}
+	if got := ix.Lookup(value.Int(1)); got != nil {
+		t.Errorf("rebuilt index still knows the old snapshot: %v", got)
+	}
+
+	// A scalar re-registration cannot carry an index: the binding takes
+	// effect, the index is dropped, and the error says why.
+	if err := c.Register("emp", value.Int(42)); err == nil {
+		t.Error("re-register with a scalar: want index-rebuild error, got nil")
+	}
+	if v, ok := c.LookupValue("emp"); !ok || !value.Equivalent(v, value.Int(42)) {
+		t.Errorf("binding did not take effect: %v %v", v, ok)
+	}
+	if _, ok := c.LookupIndex("ix"); ok {
+		t.Error("stale index survived a non-collection re-register")
+	}
+}
+
+// TestAppendExtendsIndexes: Append merges elements into the collection
+// and extends its indexes incrementally.
+func TestAppendExtendsIndexes(t *testing.T) {
+	c := catalog.New()
+	if err := c.Register("emp", sion.MustParse(`[ {'id': 1}, {'id': 2} ]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(spec("ix", "emp", "id", index.Ordered), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append("emp", []value.Value{sion.MustParse(`{'id': 2}`), sion.MustParse(`{'id': 9}`)}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	v, _ := c.LookupValue("emp")
+	if _, ok := v.(value.Array); !ok {
+		t.Errorf("Append changed the collection kind: %T", v)
+	}
+	els, _ := value.Elements(v)
+	if len(els) != 4 {
+		t.Fatalf("appended collection has %d elements, want 4", len(els))
+	}
+
+	ix, ok := c.LookupIndex("ix")
+	if !ok {
+		t.Fatal("index vanished on append")
+	}
+	if ix.Len() != 4 {
+		t.Errorf("extended index covers %d elements, want 4", ix.Len())
+	}
+	if got := ix.Lookup(value.Int(2)); len(got) != 2 {
+		t.Errorf("Lookup(2) = %v, want two positions", got)
+	}
+	if r, err := ix.Range(value.Int(2), value.Int(9), true, true, nil); err != nil || len(r) != 3 {
+		t.Errorf("Range(2..9) = %v (%v), want three positions", r, err)
+	}
+
+	if err := c.Append("nope", []value.Value{value.Int(1)}, nil); err == nil {
+		t.Error("Append to unknown collection accepted")
+	}
+}

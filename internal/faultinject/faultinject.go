@@ -32,9 +32,14 @@ const (
 	// WorkerStart fires once per parallel-scan worker goroutine, before
 	// it processes its first chunk row.
 	WorkerStart = "worker-start"
+	// IndexBuildInsert fires per element inserted into a secondary index
+	// during a build or an incremental extend.
+	IndexBuildInsert = "index-build-insert"
+	// IndexProbeNext fires per candidate row produced by an index probe.
+	IndexProbeNext = "index-probe-next"
 )
 
 // Points lists every injection point, for harness sweeps.
 func Points() []string {
-	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart}
+	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart, IndexBuildInsert, IndexProbeNext}
 }

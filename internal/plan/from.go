@@ -9,6 +9,7 @@ import (
 	"sqlpp/internal/ast"
 	"sqlpp/internal/eval"
 	"sqlpp/internal/faultinject"
+	"sqlpp/internal/index"
 	"sqlpp/internal/value"
 )
 
@@ -262,6 +263,7 @@ type physState struct {
 	outer   *eval.Env
 	sources []lazyValue
 	tables  []lazyTable
+	idxs    []lazyIndex
 	// preFilter and stats are the pre-resolved EXPLAIN ANALYZE nodes and
 	// counters, nil when instrumentation is off. Resolving once here
 	// keeps the per-row work to nil tests and atomic adds even in
@@ -278,6 +280,9 @@ type stepStats struct {
 	candidates *atomic.Int64
 	verified   *atomic.Int64
 	pads       *atomic.Int64
+	// index-probe hot counters (nil unless the step probes an index).
+	probes *atomic.Int64
+	hits   *atomic.Int64
 }
 
 func newPhysState(ctx *eval.Context, phys *sfwPhys, outer *eval.Env) *physState {
@@ -286,6 +291,7 @@ func newPhysState(ctx *eval.Context, phys *sfwPhys, outer *eval.Env) *physState 
 		outer:   outer,
 		sources: make([]lazyValue, len(phys.steps)),
 		tables:  make([]lazyTable, len(phys.steps)),
+		idxs:    make([]lazyIndex, len(phys.steps)),
 	}
 	if ctx.Stats != nil {
 		parent := statsParent(ctx)
@@ -303,6 +309,14 @@ func newPhysState(ctx *eval.Context, phys *sfwPhys, outer *eval.Env) *physState 
 				if step.hash.leftJoin {
 					ss.pads = ss.node.Counter("left_pads")
 				}
+				if step.hash.buildIdx != nil {
+					ss.probes = ss.node.Counter("probes")
+					ss.hits = ss.node.Counter("hits")
+				}
+			} else if step.idx != nil {
+				ss.node = indexNode(ctx, parent, step)
+				ss.probes = ss.node.Counter("probes")
+				ss.hits = ss.node.Counter("hits")
 			} else {
 				op, label := describeItem(step.item)
 				ss.node = ctx.Stats.Node(parent, step.item, "item", op, label)
@@ -378,7 +392,20 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		return st.run(ctx, child, i+1, k)
 	}
 	if step.hash != nil {
+		if step.hash.buildIdx != nil {
+			if ix := st.idxs[i].get(func() *index.Index { return resolveIndex(ctx, step.hash.buildIdx) }); ix != nil {
+				return st.runIndexJoin(ctx, env, i, step.hash, ix, next)
+			}
+		}
 		return st.runHash(ctx, env, i, step.hash, next)
+	}
+	if step.idx != nil {
+		// A nil resolution (index dropped or redeclared since planning)
+		// falls through to the scan paths below — the matched conjuncts
+		// are still in step.filters, so only the speed changes.
+		if ix := st.idxs[i].get(func() *index.Index { return resolveIndex(ctx, step.idx) }); ix != nil {
+			return st.runIndexScan(ctx, env, i, step, ix, next)
+		}
 	}
 	if step.hoist {
 		// The hoisted paths bypass produceItem, so the step node's

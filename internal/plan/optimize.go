@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"sqlpp/internal/ast"
 	"sqlpp/internal/eval"
@@ -40,8 +41,39 @@ import (
 // OptOptions configures the optimization pass.
 type OptOptions struct {
 	// Mode is the engine's typing mode; equality-based rewrites
-	// (pushdown, hash joins) require Permissive.
+	// (pushdown, hash joins, index access paths) require Permissive.
 	Mode eval.TypingMode
+	// Indexes resolves secondary-index availability at plan time; nil
+	// disables access-path selection.
+	Indexes IndexSource
+}
+
+// IndexSource answers plan-time access-path questions; the catalog
+// implements it. needOrdered asks for range-probe capability.
+type IndexSource interface {
+	IndexFor(collection string, path []string, needOrdered bool) (name string, ok bool)
+}
+
+// indexAccess records an access-path choice: probe the named index
+// instead of scanning its collection. The matched conjuncts always stay
+// in the step's filters (or the join's verify set) — index positions
+// are candidate prefilters in original scan order, and every candidate
+// is re-verified, so indexed execution is bit-identical to scanning.
+// If the index is gone (or changed shape) by execution time, the
+// runtime falls back to that ordinary scan.
+type indexAccess struct {
+	name       string
+	collection string
+	path       []string
+	// ordered requires a range-capable index at runtime.
+	ordered bool
+	// eq, when non-nil, is the equality probe key, evaluated in the
+	// environment incoming to the step (so a correlated key turns the
+	// step into an index nested-loop join). When nil, the access is a
+	// range probe over lo/hi, of which at least one is set.
+	eq             ast.Expr
+	lo, hi         ast.Expr
+	loIncl, hiIncl bool
 }
 
 // sfwPhys is the physical plan of one query block, stored in ast.SFW.Phys.
@@ -75,6 +107,9 @@ type fromStep struct {
 	// hash, when non-nil, replaces the nested-loop production of this
 	// item with a hash-table probe.
 	hash *hashJoinStep
+	// idx, when non-nil, replaces the scan of this item's named
+	// collection with a secondary-index probe (filters still verify).
+	idx *indexAccess
 }
 
 // hashJoinStep describes one hash equi-join.
@@ -96,6 +131,10 @@ type hashJoinStep struct {
 	// leftJoin enables the LEFT JOIN null-padding path over padVars.
 	leftJoin bool
 	padVars  []string
+	// buildIdx, when non-nil, replaces the build-side hash table with an
+	// existing secondary index on the build key (buildIdx.eq holds the
+	// paired probe key); verify and padding semantics are unchanged.
+	buildIdx *indexAccess
 }
 
 // Optimize annotates every query block under root with a physical plan
@@ -201,6 +240,36 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 		}
 	}
 
+	// Access-path selection: a FROM item scanning a named collection
+	// whose pushed conjuncts include an equality or range over an
+	// indexed key path probes the index instead. The conjuncts stay in
+	// the step's filters, so every index candidate is re-verified and
+	// the rewrite is a pure prefilter. Like pushdown, it only fires in
+	// permissive mode (a probe key that would fault under stop-on-error
+	// could otherwise be evaluated when the naive plan never reaches it).
+	var idxNotes []string
+	if permissive && o.Indexes != nil {
+		for i := range phys.steps {
+			step := &phys.steps[i]
+			x, ok := step.item.(*ast.FromExpr)
+			if !ok || len(step.filters) == 0 {
+				continue
+			}
+			ref, ok := x.Expr.(*ast.NamedRef)
+			if !ok {
+				continue
+			}
+			if ia := chooseIndexAccess(o.Indexes, ref.Name, x, step.filters, itemV[i]); ia != nil {
+				step.idx = ia
+				if ia.eq != nil {
+					idxNotes = append(idxNotes, fmt.Sprintf("index-eq(%s)", ia.name))
+				} else {
+					idxNotes = append(idxNotes, fmt.Sprintf("index-range(%s)", ia.name))
+				}
+			}
+		}
+	}
+
 	// Hash equi-joins.
 	hashed := 0
 	if permissive {
@@ -212,11 +281,21 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 				if h := analyzeJoinHash(x, earlier); h != nil {
 					step.hash = h
 					hashed++
+					// An index on a build key replaces the hash table: the
+					// probe key hits the prebuilt index, skipping the build.
+					if o.Indexes != nil {
+						if ia := chooseJoinIndex(o.Indexes, h); ia != nil {
+							h.buildIdx = ia
+							idxNotes = append(idxNotes, fmt.Sprintf("index-join(%s)", ia.name))
+						}
+					}
 				}
 			case *ast.FromExpr:
 				// Comma-derived: the uncorrelated right side pairs with
 				// the bindings accumulated so far via pushed equi-conjuncts.
-				if !step.hoist || len(step.filters) == 0 {
+				// An index access path already covers the step (and beats
+				// a hash table: no build at all).
+				if step.idx != nil || !step.hoist || len(step.filters) == 0 {
 					break
 				}
 				if h := analyzeCommaHash(x, step, itemV[i], earlier); h != nil {
@@ -236,7 +315,7 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	// scan as the outermost item. GROUP BY, DISTINCT, and HAVING all
 	// merge deterministically (see parallel.go).
 	if len(q.OrderBy) == 0 && q.Limit == nil && q.Offset == nil && len(q.Windows) == 0 {
-		if _, ok := phys.steps[0].item.(*ast.FromExpr); ok && phys.steps[0].hash == nil {
+		if _, ok := phys.steps[0].item.(*ast.FromExpr); ok && phys.steps[0].hash == nil && phys.steps[0].idx == nil {
 			phys.parallel = true
 		}
 	}
@@ -255,10 +334,193 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	if hashed > 0 {
 		add("hash-join(%d)", hashed)
 	}
+	for _, n := range idxNotes {
+		add("%s", n)
+	}
 	if phys.parallel {
 		add("parallel-scan")
 	}
 	return phys, notes
+}
+
+// chooseIndexAccess matches a step's pushed conjuncts against the
+// available indexes on its collection. Equality wins over range (a
+// bucket probe is the tighter prefilter); among range conjuncts, bounds
+// over the same key path combine, and the first path (in conjunct
+// order) with an ordered index wins. A matched key expression must be
+// free of the step's own variables — it is evaluated once per incoming
+// environment, before any binding this step produces.
+func chooseIndexAccess(src IndexSource, collection string, x *ast.FromExpr, filters []ast.Expr, ownVars map[string]bool) *indexAccess {
+	for _, c := range filters {
+		path, probe := matchEqConjunct(c, x.As, ownVars)
+		if path == nil {
+			continue
+		}
+		if name, ok := src.IndexFor(collection, path, false); ok {
+			return &indexAccess{name: name, collection: collection, path: path, eq: probe}
+		}
+	}
+	type bounds struct {
+		path           []string
+		lo, hi         ast.Expr
+		loIncl, hiIncl bool
+	}
+	var order []*bounds
+	byPath := map[string]*bounds{}
+	for _, c := range filters {
+		path, lo, hi, loIncl, hiIncl := matchRangeConjunct(c, x.As, ownVars)
+		if path == nil {
+			continue
+		}
+		key := strings.Join(path, "\x00")
+		b := byPath[key]
+		if b == nil {
+			b = &bounds{path: path}
+			byPath[key] = b
+			order = append(order, b)
+		}
+		if lo != nil && b.lo == nil {
+			b.lo, b.loIncl = lo, loIncl
+		}
+		if hi != nil && b.hi == nil {
+			b.hi, b.hiIncl = hi, hiIncl
+		}
+	}
+	for _, b := range order {
+		if name, ok := src.IndexFor(collection, b.path, true); ok {
+			return &indexAccess{
+				name: name, collection: collection, path: b.path, ordered: true,
+				lo: b.lo, hi: b.hi, loIncl: b.loIncl, hiIncl: b.hiIncl,
+			}
+		}
+	}
+	return nil
+}
+
+// chooseJoinIndex matches a hash join's build keys against indexes on
+// the build-side collection: buildKeys[j] must be a key path over the
+// build variable, and the paired probe key becomes the index probe.
+func chooseJoinIndex(src IndexSource, h *hashJoinStep) *indexAccess {
+	ref, ok := h.right.Expr.(*ast.NamedRef)
+	if !ok {
+		return nil
+	}
+	for j, bk := range h.buildKeys {
+		path := fieldPath(bk, h.right.As)
+		if path == nil {
+			continue
+		}
+		if name, ok := src.IndexFor(ref.Name, path, false); ok {
+			return &indexAccess{name: name, collection: ref.Name, path: path, eq: h.probeKeys[j]}
+		}
+	}
+	return nil
+}
+
+// matchEqConjunct matches `path = key` (either orientation) where path
+// navigates attributes from the step variable and key is free of the
+// step's variables.
+func matchEqConjunct(c ast.Expr, base string, ownVars map[string]bool) ([]string, ast.Expr) {
+	eq, ok := c.(*ast.Binary)
+	if !ok || eq.Op != "=" {
+		return nil, nil
+	}
+	if path := fieldPath(eq.L, base); path != nil && !intersects(ast.FreeVars(eq.R), ownVars) {
+		return path, eq.R
+	}
+	if path := fieldPath(eq.R, base); path != nil && !intersects(ast.FreeVars(eq.L), ownVars) {
+		return path, eq.L
+	}
+	return nil, nil
+}
+
+// matchRangeConjunct matches one range conjunct over a key path: an
+// ordering comparison `path < key` / `key <= path` (either orientation)
+// or `path BETWEEN lo AND hi`. Bound expressions must be free of the
+// step's variables.
+func matchRangeConjunct(c ast.Expr, base string, ownVars map[string]bool) (path []string, lo, hi ast.Expr, loIncl, hiIncl bool) {
+	switch x := c.(type) {
+	case *ast.Binary:
+		var flip func(op string) (string, bool)
+		flip = func(op string) (string, bool) {
+			switch op {
+			case "<":
+				return ">", true
+			case "<=":
+				return ">=", true
+			case ">":
+				return "<", true
+			case ">=":
+				return "<=", true
+			}
+			return "", false
+		}
+		op := x.Op
+		l, r := x.L, x.R
+		if _, ok := flip(op); !ok {
+			return nil, nil, nil, false, false
+		}
+		path = fieldPath(l, base)
+		if path == nil {
+			// `key < path` is `path > key`.
+			if path = fieldPath(r, base); path == nil {
+				return nil, nil, nil, false, false
+			}
+			op, _ = flip(op)
+			l, r = r, l
+		}
+		if intersects(ast.FreeVars(r), ownVars) {
+			return nil, nil, nil, false, false
+		}
+		switch op {
+		case "<":
+			return path, nil, r, false, false
+		case "<=":
+			return path, nil, r, false, true
+		case ">":
+			return path, r, nil, false, false
+		case ">=":
+			return path, r, nil, true, false
+		}
+	case *ast.Between:
+		if x.Negate {
+			return nil, nil, nil, false, false
+		}
+		path = fieldPath(x.Target, base)
+		if path == nil {
+			return nil, nil, nil, false, false
+		}
+		if intersects(ast.FreeVars(x.Lo), ownVars) || intersects(ast.FreeVars(x.Hi), ownVars) {
+			return nil, nil, nil, false, false
+		}
+		return path, x.Lo, x.Hi, true, true
+	}
+	return nil, nil, nil, false, false
+}
+
+// fieldPath decomposes a chain of attribute accesses rooted at the
+// variable base (`base.a.b.c`) into its path steps, or nil when e is
+// anything else.
+func fieldPath(e ast.Expr, base string) []string {
+	var rev []string
+	for {
+		switch x := e.(type) {
+		case *ast.FieldAccess:
+			rev = append(rev, x.Name)
+			e = x.Base
+		case *ast.VarRef:
+			if x.Name != base || len(rev) == 0 {
+				return nil
+			}
+			path := make([]string, len(rev))
+			for i, s := range rev {
+				path[len(rev)-1-i] = s
+			}
+			return path
+		default:
+			return nil
+		}
+	}
 }
 
 // analyzeJoinHash turns an INNER or LEFT JOIN with an uncorrelated

@@ -68,13 +68,29 @@ func itemSkeleton(ctx *eval.Context, parent *eval.StatsNode, item ast.FromItem) 
 	return n
 }
 
-// hashNode resolves a hash-join step's node.
+// hashNode resolves a hash-join step's node. A join whose build side is
+// served by a secondary index reports as index_join, labeled with the
+// join kind and the index name.
 func hashNode(ctx *eval.Context, parent *eval.StatsNode, h *hashJoinStep) *eval.StatsNode {
 	kind := "inner"
 	if h.leftJoin {
 		kind = "left"
 	}
+	if h.buildIdx != nil {
+		return ctx.Stats.Node(parent, h, "hash", "index_join", kind+" "+h.buildIdx.name)
+	}
 	return ctx.Stats.Node(parent, h, "hash", "hash-join", kind)
+}
+
+// indexNode resolves an index-probing fromStep's node. It is keyed like
+// an ordinary item node, so a runtime fallback to scanning accumulates
+// into the same operator block.
+func indexNode(ctx *eval.Context, parent *eval.StatsNode, step *fromStep) *eval.StatsNode {
+	op := "index_probe"
+	if step.idx.eq == nil {
+		op = "index_range"
+	}
+	return ctx.Stats.Node(parent, step.item, "item", op, step.idx.name)
 }
 
 // buildBlockSkeleton pre-creates the block's operator nodes in pipeline
@@ -94,7 +110,11 @@ func buildBlockSkeleton(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, limit, off
 				if step.hash.left != nil {
 					itemSkeleton(ctx, n, step.hash.left)
 				}
-				itemSkeleton(ctx, n, step.hash.right)
+				if step.hash.buildIdx == nil {
+					itemSkeleton(ctx, n, step.hash.right)
+				}
+			} else if step.idx != nil {
+				n = indexNode(ctx, block, step)
 			} else {
 				n = itemSkeleton(ctx, block, step.item)
 				if step.hoist {

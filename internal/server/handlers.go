@@ -366,6 +366,10 @@ func (s *Server) plan(engine *sqlpp.Engine, opts sqlpp.Options, query string, pa
 			return Plan{}, false, err
 		}
 	}
+	// Index DDL changes what the optimizer may choose without changing
+	// the query text, so the catalog epoch is part of every fingerprint:
+	// a plan compiled before CREATE INDEX cannot survive it.
+	extras = append(extras, "epoch="+strconv.FormatInt(engine.IndexEpoch(), 10))
 	key := CacheKey(opts, paramNames, query, extras...)
 	if p, ok := s.cache.Get(key); ok {
 		return p, true, nil
@@ -496,6 +500,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "ingest %s: %v", name, err)
+		return
+	}
+	if r.URL.Query().Get("mode") == "append" {
+		// Appends extend the collection's secondary indexes incrementally
+		// instead of rebuilding them; only SION bodies are supported.
+		if format != "sion" && format != "" {
+			s.fail(w, http.StatusBadRequest, "append mode supports only the sion format")
+			return
+		}
+		var data []byte
+		if data, err = io.ReadAll(body); err == nil {
+			err = s.engine.AppendSION(name, string(data))
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "append %s: %v", name, err)
+			return
+		}
+		s.cache.Purge()
+		s.metrics.Ingests.Add(1)
+		count := -1
+		if v, ok := s.engine.Lookup(name); ok {
+			if els, ok := value.Elements(v); ok {
+				count = len(els)
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"name": name, "count": count})
 		return
 	}
 	switch format {

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Index admin endpoints. Index DDL is cheap relative to queries, so the
+// handlers take the simple route to plan-cache coherence: purge on any
+// create/drop. The catalog epoch folded into every plan fingerprint
+// (see plan) already guarantees stale plans cannot be served; the purge
+// just reclaims their memory promptly.
+
+// indexRequest is the POST /v1/indexes body.
+type indexRequest struct {
+	Name       string `json:"name"`
+	Collection string `json:"collection"`
+	// Path is the dotted key path extracted from each element, e.g.
+	// "addr.zip".
+	Path string `json:"path"`
+	// Kind is "hash" (default) or "ordered".
+	Kind string `json:"kind"`
+}
+
+// handleIndexCreate builds and installs a secondary index.
+func (s *Server) handleIndexCreate(w http.ResponseWriter, r *http.Request) {
+	var req indexRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad index request: %v", err)
+		return
+	}
+	if req.Name == "" || req.Collection == "" || req.Path == "" {
+		s.fail(w, http.StatusBadRequest, "index request needs name, collection, and path")
+		return
+	}
+	if err := s.engine.CreateIndex(req.Name, req.Collection, req.Path, req.Kind); err != nil {
+		s.fail(w, http.StatusBadRequest, "create index: %v", err)
+		return
+	}
+	s.cache.Purge()
+	for _, info := range s.engine.Indexes() {
+		if info.Name == req.Name {
+			writeJSON(w, http.StatusCreated, info)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name})
+}
+
+// handleIndexDrop removes a secondary index by name.
+func (s *Server) handleIndexDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.engine.DropIndex(name) {
+		s.fail(w, http.StatusNotFound, "unknown index %q", name)
+		return
+	}
+	s.cache.Purge()
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "dropped": true})
+}
+
+// handleIndexList lists the declared indexes.
+func (s *Server) handleIndexList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"indexes": s.engine.Indexes()})
+}

@@ -1,0 +1,186 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/server"
+	"sqlpp/internal/value"
+)
+
+// indexAdmin drives the index endpoints and decodes replies.
+func createIndex(t *testing.T, base string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/indexes", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode create-index reply: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func dropIndex(t *testing.T, base, name string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/indexes/"+name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func hasNote(notes []string, substr string) bool {
+	for _, n := range notes {
+		if strings.Contains(n, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestIndexDDLReplansCachedQueries is the plan-cache coherence
+// regression: a query planned and cached before an index exists must
+// be replanned — not served stale from the cache — after the index is
+// created, and replanned again after the index is dropped. The catalog
+// epoch folded into the plan fingerprint is what forces the miss.
+func TestIndexDDLReplansCachedQueries(t *testing.T) {
+	_, ts := newTestServer(t, &sqlpp.Options{Parallelism: 1}, server.Config{})
+
+	var sb strings.Builder
+	sb.WriteString("{{")
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "{'id': %d, 'grp': %d}", i, i%10)
+	}
+	sb.WriteString("}}")
+	ingest(t, ts.URL, "rows", "sion", sb.String())
+
+	req := `{"query": "SELECT VALUE r.grp FROM rows AS r WHERE r.id = 42", "format": "sion"}`
+	want := value.Bag{value.Int(42 % 10)}
+
+	// Prepare-and-cache before any index exists.
+	status, first := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("first query: status %d (%s)", status, first.Error)
+	}
+	if first.Cached {
+		t.Error("first execution claims a cache hit")
+	}
+	if hasNote(first.Plan, "index-eq") {
+		t.Errorf("pre-index plan already mentions an index: %v", first.Plan)
+	}
+	status, second := postQuery(t, ts.URL, req)
+	if status != http.StatusOK || !second.Cached {
+		t.Fatalf("second query should hit the cache: status %d cached %v", status, second.Cached)
+	}
+
+	// DDL: the cached plan must not survive the index create.
+	status, created := createIndex(t, ts.URL, `{"name": "ix_id", "collection": "rows", "path": "id", "kind": "hash"}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create index: status %d (%v)", status, created)
+	}
+	status, third := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("post-create query: status %d (%s)", status, third.Error)
+	}
+	if third.Cached {
+		t.Error("query after index create served the stale pre-index plan")
+	}
+	if !hasNote(third.Plan, "index-eq(ix_id)") {
+		t.Errorf("replanned query does not use the new index: %v", third.Plan)
+	}
+	if got := sionResult(t, third.Result); !value.Equivalent(want, got) {
+		t.Errorf("indexed result mismatch: got %s want %s", got, want)
+	}
+
+	// The replanned entry caches normally until the next DDL.
+	if _, again := postQuery(t, ts.URL, req); !again.Cached {
+		t.Error("replanned query did not re-enter the cache")
+	}
+
+	// Drop: the indexed plan must not survive either.
+	if status := dropIndex(t, ts.URL, "ix_id"); status != http.StatusOK {
+		t.Fatalf("drop index: status %d", status)
+	}
+	status, fourth := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("post-drop query: status %d (%s)", status, fourth.Error)
+	}
+	if fourth.Cached {
+		t.Error("query after index drop served the stale indexed plan")
+	}
+	if hasNote(fourth.Plan, "index-eq") {
+		t.Errorf("post-drop plan still mentions the dropped index: %v", fourth.Plan)
+	}
+	if got := sionResult(t, fourth.Result); !value.Equivalent(want, got) {
+		t.Errorf("post-drop result mismatch: got %s want %s", got, want)
+	}
+}
+
+// TestIndexAdminEndpoints covers the admin surface: list reflects
+// creates and drops, bad requests are rejected, and dropping an
+// unknown index is a 404.
+func TestIndexAdminEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, nil, server.Config{})
+	ingest(t, ts.URL, "rows", "sion", `{{ {'id': 1}, {'id': 2}, {'id': null}, {'x': 9} }}`)
+
+	if status, _ := createIndex(t, ts.URL, `{"name": "ix", "collection": "rows", "path": "id", "kind": "ordered"}`); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	// Duplicate name and unknown collection are client errors.
+	if status, _ := createIndex(t, ts.URL, `{"name": "ix", "collection": "rows", "path": "id"}`); status != http.StatusBadRequest {
+		t.Errorf("duplicate create: status %d, want 400", status)
+	}
+	if status, _ := createIndex(t, ts.URL, `{"name": "ix2", "collection": "nope", "path": "id"}`); status != http.StatusBadRequest {
+		t.Errorf("unknown collection: status %d, want 400", status)
+	}
+	if status, _ := createIndex(t, ts.URL, `{"collection": "rows", "path": "id"}`); status != http.StatusBadRequest {
+		t.Errorf("missing name: status %d, want 400", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/indexes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Indexes []sqlpp.IndexInfo `json:"indexes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	resp.Body.Close()
+	if len(list.Indexes) != 1 {
+		t.Fatalf("list: got %d indexes, want 1", len(list.Indexes))
+	}
+	info := list.Indexes[0]
+	if info.Name != "ix" || info.Collection != "rows" || info.Path != "id" || info.Kind != "ordered" {
+		t.Errorf("list entry mismatch: %+v", info)
+	}
+	// 4 elements: ids 1 and 2 keyed, one null slot, one missing slot.
+	if info.Entries != 4 || info.Keys != 2 || info.Null != 1 || info.Missing != 1 {
+		t.Errorf("slot accounting mismatch: %+v", info)
+	}
+
+	if status := dropIndex(t, ts.URL, "ix"); status != http.StatusOK {
+		t.Errorf("drop: status %d", status)
+	}
+	if status := dropIndex(t, ts.URL, "ix"); status != http.StatusNotFound {
+		t.Errorf("double drop: status %d, want 404", status)
+	}
+}

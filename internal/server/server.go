@@ -10,8 +10,13 @@
 //
 //	POST /v1/query               run a query
 //	                             body: {"query", "params", "options", "timeout_ms", "format"}
-//	POST /v1/collections/{name}  ingest a collection (?format=sion|json|jsonl|csv|cbor)
+//	POST /v1/collections/{name}  ingest a collection (?format=sion|json|jsonl|csv|cbor;
+//	                             ?mode=append extends it and its indexes incrementally)
 //	GET  /v1/collections         list registered collections
+//	POST /v1/indexes             create a secondary index
+//	                             body: {"name", "collection", "path", "kind"}
+//	DELETE /v1/indexes/{name}    drop a secondary index
+//	GET  /v1/indexes             list secondary indexes
 //	GET  /healthz                liveness probe
 //	GET  /metrics                plain-text counters and latency percentiles
 package server
@@ -114,6 +119,9 @@ func New(engine *sqlpp.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/collections/{name}", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/collections", s.handleCollections)
+	s.mux.HandleFunc("POST /v1/indexes", s.handleIndexCreate)
+	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleIndexDrop)
+	s.mux.HandleFunc("GET /v1/indexes", s.handleIndexList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -26,6 +26,7 @@ import (
 	"sqlpp/internal/catalog"
 	"sqlpp/internal/eval"
 	"sqlpp/internal/funcs"
+	"sqlpp/internal/index"
 	"sqlpp/internal/parser"
 	"sqlpp/internal/plan"
 	"sqlpp/internal/rewrite"
@@ -187,8 +188,97 @@ func (e *Engine) RegisterSION(name, src string) error {
 	return e.cat.Register(name, v)
 }
 
-// Drop removes a named value.
+// Append adds the elements of v (or v itself, when it is not a
+// collection) to the collection registered under name, preserving its
+// array/bag kind. Secondary indexes over the collection are extended
+// incrementally — appending k elements costs O(k log n), not a rebuild.
+func (e *Engine) Append(name string, v value.Value) error {
+	elems, ok := value.Elements(v)
+	if !ok {
+		elems = []value.Value{v}
+	}
+	if err := e.cat.Append(name, elems, eval.NewGovernor(e.opts.Limits)); err != nil {
+		return fmt.Errorf("sqlpp: append %s: %w", name, err)
+	}
+	return nil
+}
+
+// AppendSION parses src in the paper's object notation and appends it
+// under name; see Append.
+func (e *Engine) AppendSION(name, src string) error {
+	v, err := sion.Parse(src)
+	if err != nil {
+		return fmt.Errorf("sqlpp: append %s: %w", name, err)
+	}
+	return e.Append(name, v)
+}
+
+// Drop removes a named value (and any indexes declared over it).
 func (e *Engine) Drop(name string) { e.cat.Drop(name) }
+
+// IndexInfo describes one secondary index.
+type IndexInfo struct {
+	Name       string `json:"name"`
+	Collection string `json:"collection"`
+	Path       string `json:"path"`
+	Kind       string `json:"kind"`
+	// Entries is the number of elements the index covers; Keys, Missing,
+	// and Null break it down into distinct probeable keys and the two
+	// absent-key slots (rows an index probe can never return, because
+	// equality/range against MISSING or NULL is never TRUE).
+	Entries int `json:"entries"`
+	Keys    int `json:"keys"`
+	Missing int `json:"missing"`
+	Null    int `json:"null"`
+}
+
+// CreateIndex declares a secondary index named name over the registered
+// collection, keyed by the dotted path (which may step into nested
+// tuples, e.g. "addr.zip"). kind is "hash" (equality probes, the
+// default) or "ordered" (equality and range probes). The build charges
+// the engine's resource limits; elements whose key path is MISSING,
+// NULL, or a permissive navigation fault are filed in dedicated slots
+// so indexed execution stays bit-identical to scanning.
+func (e *Engine) CreateIndex(name, collection, path, kind string) error {
+	k, err := index.ParseKind(kind)
+	if err != nil {
+		return fmt.Errorf("sqlpp: create index %s: %w", name, err)
+	}
+	spec := index.Spec{Name: name, Collection: collection, Path: strings.Split(path, "."), Kind: k}
+	if err := e.cat.CreateIndex(spec, eval.NewGovernor(e.opts.Limits)); err != nil {
+		return fmt.Errorf("sqlpp: create index %s: %w", name, err)
+	}
+	return nil
+}
+
+// DropIndex removes a secondary index, reporting whether it existed.
+func (e *Engine) DropIndex(name string) bool { return e.cat.DropIndex(name) }
+
+// Indexes lists the declared secondary indexes, sorted by name.
+func (e *Engine) Indexes() []IndexInfo {
+	ixs := e.cat.Indexes()
+	out := make([]IndexInfo, len(ixs))
+	for i, ix := range ixs {
+		sp := ix.Spec()
+		keys, missing, null := ix.Slots()
+		out[i] = IndexInfo{
+			Name:       sp.Name,
+			Collection: sp.Collection,
+			Path:       sp.PathString(),
+			Kind:       sp.Kind.String(),
+			Entries:    ix.Len(),
+			Keys:       keys,
+			Missing:    missing,
+			Null:       null,
+		}
+	}
+	return out
+}
+
+// IndexEpoch returns the catalog's mutation counter. It changes on
+// every index create/drop and data registration, so callers caching
+// compiled plans (the server does) can fold it into their cache keys.
+func (e *Engine) IndexEpoch() int64 { return e.cat.Epoch() }
 
 // Names lists the registered named values, sorted.
 func (e *Engine) Names() []string { return e.cat.Names() }
@@ -279,7 +369,7 @@ func (e *Engine) optimize(core ast.Expr) []string {
 	if e.opts.StopOnError {
 		mode = eval.StopOnError
 	}
-	return plan.Optimize(core, plan.OptOptions{Mode: mode})
+	return plan.Optimize(core, plan.OptOptions{Mode: mode, Indexes: e.cat})
 }
 
 // PlanNotes describes the physical optimizations applied to the prepared
