@@ -12,6 +12,8 @@
 //	sqlpp-bench -vet         measure static-analysis (sema) cost and write BENCH_vet.json
 //	sqlpp-bench -index       measure secondary-index build and probe cost vs full scans
 //	                         and write BENCH_index.json
+//	sqlpp-bench -vector      measure the compiled-expression execution core against
+//	                         the tree-walking interpreter and write BENCH_vector.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -49,10 +51,12 @@ func main() {
 	vetOut := flag.String("vet-out", "BENCH_vet.json", "machine-readable output of -vet")
 	indexBench := flag.Bool("index", false, "measure secondary-index build and probe cost vs full scans")
 	indexOut := flag.String("index-out", "BENCH_index.json", "machine-readable output of -index")
+	vector := flag.Bool("vector", false, "measure compiled-expression execution vs the interpreter")
+	vectorOut := flag.String("vector-out", "BENCH_vector.json", "machine-readable output of -vector")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -83,6 +87,9 @@ func main() {
 	}
 	if *indexBench || all {
 		failed = runIndexBench(*scale, *indexOut) || failed
+	}
+	if *vector || all {
+		failed = runVector(*scale, *vectorOut) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/bench"
+)
+
+// vectorReport is the machine-readable artifact of -vector: the
+// compiled-expression execution core (closure compilation + batched
+// scans) measured against the tree-walking interpreter on the same
+// prepared queries over the same data.
+type vectorReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scale      int            `json:"scale"`
+	Rows       int            `json:"rows"`
+	Queries    []vectorResult `json:"queries"`
+}
+
+type vectorResult struct {
+	Name          string  `json:"name"`
+	Query         string  `json:"query"`
+	InterpretedNs float64 `json:"interpreted_ns_per_op"`
+	CompiledNs    float64 `json:"compiled_ns_per_op"`
+	// Speedup is interpreted-ns / compiled-ns: >1 means the compiled
+	// path is faster.
+	Speedup float64 `json:"speedup"`
+	Rows    int     `json:"rows"`
+	// Operators break the end-to-end numbers down per plan operator,
+	// from one instrumented (EXPLAIN ANALYZE) run of each engine. Times
+	// are inclusive wall nanoseconds of a single instrumented run —
+	// noisier than the end-to-end benchmark, but enough to localize
+	// where the compiled path wins.
+	Operators []vectorOperator `json:"operators,omitempty"`
+}
+
+type vectorOperator struct {
+	Op            string `json:"op"`
+	Label         string `json:"label,omitempty"`
+	RowsOut       int64  `json:"rows_out"`
+	InterpretedNs int64  `json:"interpreted_ns"`
+	CompiledNs    int64  `json:"compiled_ns"`
+}
+
+// runVector measures the compiled-expression core: each query runs on
+// an interpreter-only engine (NoCompile) and on the default compiled
+// engine, results must render identically, and the headline
+// scan-filter-project query must not regress — a compiled path slower
+// than the interpreter on the workload it exists for fails the run.
+// Both engines run sequentially so the numbers isolate expression
+// evaluation from parallel-scan effects.
+func runVector(scale int, outPath string) bool {
+	rows := 100000 * scale
+	fmt.Println("== Compiled-expression core (closure compilation + batched scans) ==")
+	fmt.Printf("(rows=%d, sequential; interpreted = -no-compile, compiled = default)\n", rows)
+
+	interp := sqlpp.New(&sqlpp.Options{NoCompile: true, Parallelism: 1})
+	comp := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	emp := bench.FlatEmp(rows, 40, 42)
+	dept := bench.Departments(40, 42)
+	for _, db := range []*sqlpp.Engine{interp, comp} {
+		if err := db.Register("emp", emp); err != nil {
+			fmt.Println("ERROR:", err)
+			return true
+		}
+		if err := db.Register("dept", dept); err != nil {
+			fmt.Println("ERROR:", err)
+			return true
+		}
+	}
+
+	queries := []struct{ name, q string }{
+		{"scan-filter-project", `SELECT e.name AS n, e.salary AS s FROM emp AS e WHERE e.salary > 100000`},
+		{"arith-case", `SELECT e.name AS n, e.salary * 12 + 500 AS annual,
+		                       CASE WHEN e.salary > 150000 THEN 'high' WHEN e.salary > 80000 THEN 'mid' ELSE 'low' END AS band
+		                FROM emp AS e WHERE e.salary BETWEEN 40000 AND 180000`},
+		{"like-filter", `SELECT VALUE e.name FROM emp AS e WHERE e.name LIKE 'emp1%'`},
+		{"order-topk", `SELECT VALUE e.name FROM emp AS e ORDER BY e.salary DESC LIMIT 25`},
+		{"group-agg", `SELECT e.deptno AS dno, AVG(e.salary) AS avg_sal FROM emp AS e GROUP BY e.deptno`},
+		{"hash-join", `SELECT e.name AS n, d.name AS dn FROM emp AS e JOIN dept AS d ON e.deptno = d.dno WHERE e.salary > 120000`},
+	}
+
+	report := vectorReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale, Rows: rows}
+	failed := false
+	ctx := context.Background()
+	for _, tc := range queries {
+		pi, err := interp.Prepare(tc.q)
+		if err != nil {
+			fmt.Printf("  %-20s ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		pc, err := comp.Prepare(tc.q)
+		if err != nil {
+			fmt.Printf("  %-20s ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		vi, err := pi.Exec()
+		if err != nil {
+			fmt.Printf("  %-20s interpreted ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		vc, err := pc.Exec()
+		if err != nil {
+			fmt.Printf("  %-20s compiled ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		if vi.String() != vc.String() {
+			fmt.Printf("  %-20s RESULT MISMATCH: compilation changed the result\n", tc.name)
+			failed = true
+			continue
+		}
+		_, si, err := pi.ExplainAnalyze(ctx)
+		if err != nil {
+			fmt.Printf("  %-20s interpreted analyze ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		_, sc, err := pc.ExplainAnalyze(ctx)
+		if err != nil {
+			fmt.Printf("  %-20s compiled analyze ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		runtime.GC()
+		ri := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pi.Exec(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		runtime.GC()
+		rc := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pc.Exec(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		iNs, cNs := float64(ri.NsPerOp()), float64(rc.NsPerOp())
+		speedup := 0.0
+		if cNs > 0 {
+			speedup = iNs / cNs
+		}
+		report.Queries = append(report.Queries, vectorResult{
+			Name: tc.name, Query: tc.q,
+			InterpretedNs: iNs, CompiledNs: cNs, Speedup: speedup,
+			Rows:      int(resultRows(vi)),
+			Operators: zipOperators(si, sc),
+		})
+		fmt.Printf("  %-20s interpreted %12.0f ns/op   compiled %12.0f ns/op   (%.2fx)\n",
+			tc.name, iNs, cNs, speedup)
+		if tc.name == "scan-filter-project" && speedup < 1.0 {
+			fmt.Printf("  %-20s REGRESSION: compiled slower than interpreted on the headline query\n", tc.name)
+			failed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
+}
+
+// zipOperators pairs the interpreted and compiled EXPLAIN ANALYZE trees
+// operator-by-operator. Compilation never changes plan shape — the same
+// skeleton is built either way — so a preorder walk of both trees
+// aligns; if shapes ever diverge, the shorter prefix is reported.
+func zipOperators(interp, comp *sqlpp.OpStats) []vectorOperator {
+	fi := flattenStats(interp, nil)
+	fc := flattenStats(comp, nil)
+	n := len(fi)
+	if len(fc) < n {
+		n = len(fc)
+	}
+	out := make([]vectorOperator, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, vectorOperator{
+			Op:            fi[i].Op,
+			Label:         fi[i].Label,
+			RowsOut:       fi[i].RowsOut,
+			InterpretedNs: fi[i].TimeNS,
+			CompiledNs:    fc[i].TimeNS,
+		})
+	}
+	return out
+}
+
+func flattenStats(s *sqlpp.OpStats, out []*sqlpp.OpStats) []*sqlpp.OpStats {
+	if s == nil {
+		return out
+	}
+	out = append(out, s)
+	for _, c := range s.Children {
+		out = flattenStats(c, out)
+	}
+	return out
+}

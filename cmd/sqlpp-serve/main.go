@@ -18,6 +18,7 @@
 //	-timeout d          default per-query timeout (default 30s)
 //	-max-timeout d      cap on client-requested timeouts (default 5m)
 //	-no-opt             disable the physical optimizer (naive clause pipeline)
+//	-no-compile         disable closure compilation (tree-walking interpreter)
 //	-parallel n         parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //	-max-rows n         server-wide cap on per-query output rows (0 = unlimited)
 //	-max-bytes n        server-wide cap on per-query materialized bytes (0 = unlimited)
@@ -83,6 +84,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
+	noCompile := flag.Bool("no-compile", false, "disable closure compilation (evaluate through the interpreter)")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	maxRows := flag.Int64("max-rows", 0, "server-wide cap on per-query output rows (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "server-wide cap on per-query materialized bytes (0 = unlimited)")
@@ -95,6 +97,7 @@ func run() error {
 		Compat:           *compat,
 		StopOnError:      *strict,
 		DisableOptimizer: *noOpt,
+		NoCompile:        *noCompile,
 		Parallelism:      *parallel,
 	})
 	for _, spec := range data {

@@ -31,6 +31,7 @@
 //	                  stats tree (rows in/out, wall time, counters) after
 //	                  the result
 //	-no-opt           disable the physical optimizer (naive clause pipeline)
+//	-no-compile       disable closure compilation (tree-walking interpreter)
 //	-parallel n       parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //
 // With no query and no -f, sqlpp starts a REPL. REPL commands:
@@ -97,6 +98,7 @@ func run() error {
 	vet := flag.Bool("vet", false, "print static-analysis diagnostics instead of executing; nonzero exit on errors")
 	explain := flag.Bool("explain", false, "execute with EXPLAIN ANALYZE and print the per-operator stats tree")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
+	noCompile := flag.Bool("no-compile", false, "disable closure compilation (evaluate through the interpreter)")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
@@ -104,6 +106,7 @@ func run() error {
 		Compat:           *compat,
 		StopOnError:      *strict,
 		DisableOptimizer: *noOpt,
+		NoCompile:        *noCompile,
 		Parallelism:      *parallel,
 		Limits: sqlpp.Limits{
 			MaxOutputRows:        *maxRows,
@@ -497,8 +500,8 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		indexCommand(db, rest)
 	case "\\mode":
 		o := db.Options()
-		fmt.Printf("compat=%v strict=%v optimizer=%v parallel=%d\n",
-			o.Compat, o.StopOnError, !o.DisableOptimizer, o.Parallelism)
+		fmt.Printf("compat=%v strict=%v optimizer=%v compile=%v parallel=%d\n",
+			o.Compat, o.StopOnError, !o.DisableOptimizer, !o.NoCompile, o.Parallelism)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", cmd)
 	}

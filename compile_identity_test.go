@@ -1,0 +1,151 @@
+package sqlpp_test
+
+// Differential battery for the compiled-expression execution core:
+// closure compilation (and the batched scans it enables) may only
+// change how expressions are evaluated, never what they evaluate to.
+// Every test here runs the same query with compilation on and off and
+// requires byte-identical renderings (or identical errors) — alone,
+// mixed with parallel scans, and mixed with secondary indexes.
+
+import (
+	"fmt"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/bench"
+	"sqlpp/internal/compat"
+)
+
+// compileEngines builds an interpreter-only engine and a compiled one
+// over the same generated data. parallelism applies to both, so the
+// compiled closures are also exercised inside parallel-scan workers.
+func compileEngines(t *testing.T, seed int64, parallelism int) (interp, compiled *sqlpp.Engine) {
+	t.Helper()
+	interp = sqlpp.New(&sqlpp.Options{NoCompile: true, Parallelism: parallelism})
+	compiled = sqlpp.New(&sqlpp.Options{Parallelism: parallelism})
+	for _, db := range []*sqlpp.Engine{interp, compiled} {
+		if err := db.Register("emp", bench.FlatEmp(1500, 40, seed)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Register("dept", bench.Departments(40, seed)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Register("hr", bench.HR(bench.HROptions{N: 200, ScalarProjects: true, Seed: seed})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return interp, compiled
+}
+
+// TestCompilationEquivalenceProperty: over several random datasets, the
+// optimizer battery renders byte-identically with compilation on and
+// off, sequentially and with parallel scans enabled.
+func TestCompilationEquivalenceProperty(t *testing.T) {
+	for _, parallelism := range []int{1, 8} {
+		for seed := int64(0); seed < 3; seed++ {
+			interp, compiled := compileEngines(t, seed, parallelism)
+			for i, q := range optimizerBattery {
+				want, err := interp.Query(q)
+				if err != nil {
+					t.Fatalf("p=%d seed %d query %d interpreted: %v", parallelism, seed, i, err)
+				}
+				got, err := compiled.Query(q)
+				if err != nil {
+					t.Fatalf("p=%d seed %d query %d compiled: %v", parallelism, seed, i, err)
+				}
+				if want.String() != got.String() {
+					t.Errorf("p=%d seed %d: compilation changed query %d (%s):\n  interpreted %s\n  compiled    %s",
+						parallelism, seed, i, q, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCompilationEquivalenceWithIndexes: compiled index-probe keys
+// (equality and range) and compiled verify filters return exactly what
+// the interpreted probes return, with the same index complement
+// declared on both engines.
+func TestCompilationEquivalenceWithIndexes(t *testing.T) {
+	interp, compiled := compileEngines(t, 7, 1)
+	for _, db := range []*sqlpp.Engine{interp, compiled} {
+		if err := db.CreateIndex("ix_sal", "emp", "salary", "ordered"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex("ix_dept", "emp", "deptno", "hash"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex("ix_dno", "dept", "dno", "hash"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		`SELECT VALUE e.name FROM emp AS e WHERE e.salary = 120000`,
+		`SELECT VALUE e.name FROM emp AS e WHERE e.salary >= 100000 AND e.salary < 140000 ORDER BY e.name`,
+		`SELECT e.name AS n FROM emp AS e WHERE e.salary BETWEEN 90000 AND 110000 AND e.deptno = 3`,
+		`SELECT e.name AS n, d.name AS dn FROM emp AS e JOIN dept AS d ON e.deptno = d.dno WHERE e.salary > 150000`,
+	}
+	for i, q := range queries {
+		want, err := interp.Query(q)
+		if err != nil {
+			t.Fatalf("query %d interpreted: %v", i, err)
+		}
+		got, err := compiled.Query(q)
+		if err != nil {
+			t.Fatalf("query %d compiled: %v", i, err)
+		}
+		if want.String() != got.String() {
+			t.Errorf("compilation changed indexed query %d (%s):\n  interpreted %s\n  compiled    %s",
+				i, q, want, got)
+		}
+	}
+}
+
+// TestPaperListingsUnchangedByCompilation: every paper listing renders
+// byte-identically with compilation on and off, in each mode the
+// listing declares.
+func TestPaperListingsUnchangedByCompilation(t *testing.T) {
+	for _, c := range compat.PaperCases() {
+		for _, compatMode := range []bool{false, true} {
+			if c.Mode == compat.Core && compatMode {
+				continue
+			}
+			if c.Mode == compat.Compat && !compatMode {
+				continue
+			}
+			run := func(noCompile bool) (string, error) {
+				db := sqlpp.New(&sqlpp.Options{
+					Compat:      compatMode,
+					StopOnError: c.Strict,
+					NoCompile:   noCompile,
+				})
+				for name, src := range c.Data {
+					if err := db.RegisterSION(name, src); err != nil {
+						return "", fmt.Errorf("register %s: %w", name, err)
+					}
+				}
+				v, err := db.Query(c.Query)
+				if err != nil {
+					return "", err
+				}
+				return v.String(), nil
+			}
+			interp, ierr := run(true)
+			comp, cerr := run(false)
+			if (ierr == nil) != (cerr == nil) {
+				t.Errorf("%s (compat=%v): error behavior diverges: interpreted=%v compiled=%v",
+					c.Name, compatMode, ierr, cerr)
+				continue
+			}
+			if ierr != nil && ierr.Error() != cerr.Error() {
+				t.Errorf("%s (compat=%v): error text diverges:\n  interpreted %v\n  compiled    %v",
+					c.Name, compatMode, ierr, cerr)
+				continue
+			}
+			if interp != comp {
+				t.Errorf("%s (compat=%v): compilation changed the listing:\n  interpreted %s\n  compiled    %s",
+					c.Name, compatMode, interp, comp)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sqlpp_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -11,9 +12,11 @@ import (
 
 // FuzzEvalPermissive drives the whole engine end to end: parse arbitrary
 // input and, when it parses, execute it in permissive mode against a
-// small fixed catalog. The engine must never panic — type mismatches
-// become MISSING/NULL per the paper's permissive semantics, and anything
-// else surfaces as an error value.
+// small fixed catalog — once on the default compiled engine and once on
+// the interpreter-only engine. Neither may panic, and the two must
+// agree: same rendering when both succeed, and never a success on one
+// side paired with a real failure on the other (deadline expiry is
+// timing, not semantics, and is exempt).
 //
 // MaxCollectionSize bounds materialized intermediates and the deadline
 // bounds wall time, so fuzz-invented cross joins fail fast instead of
@@ -25,18 +28,43 @@ func FuzzEvalPermissive(f *testing.F) {
 	f.Add(`SELECT VALUE t FROM t AS t WHERE t.a + 'x' > 0`)
 	f.Add(`SELECT COUNT(*) AS n FROM t AS x GROUP BY x.a HAVING COUNT(*) > 0`)
 	f.Add(`SELECT VALUE v FROM t AS x, UNPIVOT x AS v AT n ORDER BY v LIMIT 3`)
+	// Compiled-fallback boundaries: forms the compiler specializes
+	// (LIKE/BETWEEN/IN/CASE/constructors) mixed with forms it lowers to
+	// the interpreter (subqueries, WITH), absent inputs, and malformed
+	// patterns — the seams where the two paths could drift.
+	f.Add(`SELECT VALUE x.a FROM t AS x WHERE x.b LIKE 'o%' AND x.a BETWEEN 1 AND 2`)
+	f.Add(`SELECT VALUE x.b FROM t AS x WHERE x.b LIKE 'o!' ESCAPE '!'`)
+	f.Add(`WITH w AS (SELECT VALUE x.a FROM t AS x) SELECT VALUE v FROM w AS v WHERE v IN [1, null, 3]`)
+	f.Add(`SELECT CASE WHEN x.a > 1 THEN {'hi': [x.a, missing]} ELSE {{x.b}} END AS c FROM t AS x`)
+	f.Add(`SELECT VALUE x.a FROM t AS x WHERE x.a = ANY (SELECT VALUE u.v FROM u AS u)`)
 
 	db := sqlpp.New(&sqlpp.Options{MaxCollectionSize: 4096})
-	if err := db.RegisterSION("t", `{{ {'a': 1, 'b': 'one'}, {'a': 2}, {'a': null, 'b': 3.5}, 7, 'str', [1, 2] }}`); err != nil {
-		f.Fatal(err)
-	}
-	if err := db.RegisterSION("u", `[ {'k': 'x', 'v': 1}, {'k': 'y', 'v': 2} ]`); err != nil {
-		f.Fatal(err)
+	interp := sqlpp.New(&sqlpp.Options{MaxCollectionSize: 4096, NoCompile: true})
+	for _, e := range []*sqlpp.Engine{db, interp} {
+		if err := e.RegisterSION("t", `{{ {'a': 1, 'b': 'one'}, {'a': 2}, {'a': null, 'b': 3.5}, 7, 'str', [1, 2] }}`); err != nil {
+			f.Fatal(err)
+		}
+		if err := e.RegisterSION("u", `[ {'k': 'x', 'v': 1}, {'k': 'y', 'v': 2} ]`); err != nil {
+			f.Fatal(err)
+		}
 	}
 
 	f.Fuzz(func(t *testing.T, src string) {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		_, _ = db.QueryContext(ctx, src) // errors fine; panics are not
+		cv, cerr := db.QueryContext(ctx, src) // errors fine; panics are not
+		iv, ierr := interp.QueryContext(ctx, src)
+		timedOut := errors.Is(cerr, context.DeadlineExceeded) || errors.Is(ierr, context.DeadlineExceeded)
+		if timedOut {
+			return
+		}
+		if (cerr == nil) != (ierr == nil) {
+			t.Fatalf("compiled/interpreted error divergence on %q:\n  compiled    err=%v\n  interpreted err=%v",
+				src, cerr, ierr)
+		}
+		if cerr == nil && cv.String() != iv.String() {
+			t.Fatalf("compiled/interpreted result divergence on %q:\n  compiled    %s\n  interpreted %s",
+				src, cv, iv)
+		}
 	})
 }

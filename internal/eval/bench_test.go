@@ -28,12 +28,48 @@ func benchEval(b *testing.B, src string, vars map[string]string) {
 	}
 }
 
+// benchCompiled is benchEval's twin on the compiled path: the same
+// expression lowered once by Compile, then executed as a closure. The
+// Benchmark{Eval,Compiled}X pairs measure exactly the per-evaluation
+// saving closure compilation buys — parse and compile cost is outside
+// the timer in both.
+func benchCompiled(b *testing.B, src string, vars map[string]string) {
+	b.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := NewEnv()
+	for name, vsrc := range vars {
+		env.Bind(name, sion.MustParse(vsrc))
+	}
+	ctx := &Context{}
+	c := Compile(e, CompileOpts{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c(ctx, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEvalArithmetic(b *testing.B) {
 	benchEval(b, "(x + 3) * 2 - x % 7", map[string]string{"x": "41"})
 }
 
+func BenchmarkCompiledArithmetic(b *testing.B) {
+	benchCompiled(b, "(x + 3) * 2 - x % 7", map[string]string{"x": "41"})
+}
+
 func BenchmarkEvalNavigation(b *testing.B) {
 	benchEval(b, "t.a.b[1].c", map[string]string{
+		"t": `{'a': {'b': [{'c': 0}, {'c': 42}]}}`,
+	})
+}
+
+func BenchmarkCompiledNavigation(b *testing.B) {
+	benchCompiled(b, "t.a.b[1].c", map[string]string{
 		"t": `{'a': {'b': [{'c': 0}, {'c': 42}]}}`,
 	})
 }
@@ -46,12 +82,24 @@ func BenchmarkEvalLike(b *testing.B) {
 	benchEval(b, "s LIKE '%Security%'", map[string]string{"s": "'OLAP Security Engineering'"})
 }
 
+func BenchmarkCompiledLike(b *testing.B) {
+	benchCompiled(b, "s LIKE '%Security%'", map[string]string{"s": "'OLAP Security Engineering'"})
+}
+
 func BenchmarkEvalLikeComplex(b *testing.B) {
 	benchEval(b, "s LIKE '%a_b%c__d%'", map[string]string{"s": "'xxaybzzcqqdww'"})
 }
 
+func BenchmarkCompiledLikeComplex(b *testing.B) {
+	benchCompiled(b, "s LIKE '%a_b%c__d%'", map[string]string{"s": "'xxaybzzcqqdww'"})
+}
+
 func BenchmarkEvalPredicate(b *testing.B) {
 	benchEval(b, "x > 10 AND x < 100 OR x = 42", map[string]string{"x": "42"})
+}
+
+func BenchmarkCompiledPredicate(b *testing.B) {
+	benchCompiled(b, "x > 10 AND x < 100 OR x = 42", map[string]string{"x": "42"})
 }
 
 func BenchmarkEvalCase(b *testing.B) {
@@ -59,8 +107,17 @@ func BenchmarkEvalCase(b *testing.B) {
 		map[string]string{"x": "42"})
 }
 
+func BenchmarkCompiledCase(b *testing.B) {
+	benchCompiled(b, "CASE WHEN x > 100 THEN 'hi' WHEN x > 10 THEN 'mid' ELSE 'lo' END",
+		map[string]string{"x": "42"})
+}
+
 func BenchmarkEvalTupleCtor(b *testing.B) {
 	benchEval(b, "{'a': x, 'b': x + 1, 'c': 'lit'}", map[string]string{"x": "1"})
+}
+
+func BenchmarkCompiledTupleCtor(b *testing.B) {
+	benchCompiled(b, "{'a': x, 'b': x + 1, 'c': 'lit'}", map[string]string{"x": "1"})
 }
 
 func BenchmarkEnvLookup(b *testing.B) {

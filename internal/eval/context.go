@@ -139,6 +139,28 @@ func (c *Context) Interrupted() error {
 	if c.polls&(pollInterval-1) != 0 {
 		return nil
 	}
+	return c.pollNow()
+}
+
+// InterruptedN is Interrupted for a batch of n rows: it advances the
+// poll counter by n in one step and performs a real check only when the
+// batch crossed a pollInterval boundary, so batched scan loops keep the
+// cancellation cadence of the row-at-a-time path without a per-row call.
+func (c *Context) InterruptedN(n int) error {
+	if c.Ctx == nil && c.Gov == nil {
+		return nil
+	}
+	before := c.polls
+	c.polls += uint(n)
+	if before&^(pollInterval-1) == c.polls&^(pollInterval-1) {
+		return nil
+	}
+	return c.pollNow()
+}
+
+// pollNow is the real cancellation/time-budget check behind the
+// Interrupted fast paths.
+func (c *Context) pollNow() error {
 	if c.Ctx != nil {
 		if err := c.Ctx.Err(); err != nil {
 			return fmt.Errorf("sqlpp: query interrupted: %w", err)

@@ -96,13 +96,7 @@ func Eval(ctx *Context, env *Env, e ast.Expr) (value.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		if elems, ok := value.Elements(v); ok {
-			return value.Bool(len(elems) > 0), nil
-		}
-		if value.IsAbsent(v) {
-			return value.False, nil
-		}
-		return ctx.mistyped(x.Pos(), "EXISTS", "operand is "+v.Kind().String()+", not a collection")
+		return existsValue(ctx, v, x.Pos())
 	case *ast.SFW, *ast.PivotQuery, *ast.SetOp:
 		if ctx.Run == nil {
 			return nil, fmt.Errorf("eval: no query runner installed for nested query at %s", e.Pos())
@@ -131,6 +125,16 @@ func Navigate(ctx *Context, base value.Value, name string, pos lexer.Pos) (value
 	}
 }
 
+func existsValue(ctx *Context, v value.Value, pos lexer.Pos) (value.Value, error) {
+	if elems, ok := value.Elements(v); ok {
+		return value.Bool(len(elems) > 0), nil
+	}
+	if value.IsAbsent(v) {
+		return value.False, nil
+	}
+	return ctx.mistyped(pos, "EXISTS", "operand is "+v.Kind().String()+", not a collection")
+}
+
 func evalIndex(ctx *Context, env *Env, x *ast.IndexAccess) (value.Value, error) {
 	base, err := Eval(ctx, env, x.Base)
 	if err != nil {
@@ -140,6 +144,11 @@ func evalIndex(ctx *Context, env *Env, x *ast.IndexAccess) (value.Value, error) 
 	if err != nil {
 		return nil, err
 	}
+	return indexValue(ctx, base, idx, x.Pos())
+}
+
+// indexValue applies base[idx] to already-evaluated operands.
+func indexValue(ctx *Context, base, idx value.Value, pos lexer.Pos) (value.Value, error) {
 	switch b := base.(type) {
 	case value.Array:
 		i, ok := value.AsInt(idx)
@@ -147,7 +156,7 @@ func evalIndex(ctx *Context, env *Env, x *ast.IndexAccess) (value.Value, error) 
 			if value.IsAbsent(idx) {
 				return absentOut(ctx, idx.Kind() == value.KindMissing), nil
 			}
-			return ctx.mistyped(x.Pos(), "indexing", "array index is "+idx.Kind().String())
+			return ctx.mistyped(pos, "indexing", "array index is "+idx.Kind().String())
 		}
 		if i < 0 || i >= int64(len(b)) {
 			return value.Missing, nil
@@ -159,7 +168,7 @@ func evalIndex(ctx *Context, env *Env, x *ast.IndexAccess) (value.Value, error) 
 			if value.IsAbsent(idx) {
 				return absentOut(ctx, idx.Kind() == value.KindMissing), nil
 			}
-			return ctx.mistyped(x.Pos(), "indexing", "tuple index is "+idx.Kind().String()+", not a string")
+			return ctx.mistyped(pos, "indexing", "tuple index is "+idx.Kind().String()+", not a string")
 		}
 		v, _ := b.Get(string(s))
 		return v, nil
@@ -170,7 +179,7 @@ func evalIndex(ctx *Context, env *Env, x *ast.IndexAccess) (value.Value, error) 
 		case value.KindNull:
 			return value.Null, nil
 		}
-		return ctx.mistyped(x.Pos(), "indexing", "cannot index into "+base.Kind().String())
+		return ctx.mistyped(pos, "indexing", "cannot index into "+base.Kind().String())
 	}
 }
 
@@ -180,7 +189,15 @@ func evalUnary(ctx *Context, env *Env, x *ast.Unary) (value.Value, error) {
 		return nil, err
 	}
 	switch x.Op {
-	case "-":
+	case "-", "NOT":
+		return unaryValue(ctx, x.Op, v, x.Pos())
+	}
+	return nil, fmt.Errorf("eval: unknown unary operator %q at %s", x.Op, x.Pos())
+}
+
+// unaryValue applies a unary operator to an already-evaluated operand.
+func unaryValue(ctx *Context, op string, v value.Value, pos lexer.Pos) (value.Value, error) {
+	if op == "-" {
 		switch n := v.(type) {
 		case value.Int:
 			return value.Int(-n), nil
@@ -190,15 +207,13 @@ func evalUnary(ctx *Context, env *Env, x *ast.Unary) (value.Value, error) {
 		if value.IsAbsent(v) {
 			return absentOut(ctx, v.Kind() == value.KindMissing), nil
 		}
-		return ctx.mistyped(x.Pos(), "unary -", "operand is "+v.Kind().String())
-	case "NOT":
-		t, ok := truthOf(v)
-		if !ok {
-			return ctx.mistyped(x.Pos(), "NOT", "operand is "+v.Kind().String())
-		}
-		return not3(t).val(ctx), nil
+		return ctx.mistyped(pos, "unary -", "operand is "+v.Kind().String())
 	}
-	return nil, fmt.Errorf("eval: unknown unary operator %q at %s", x.Op, x.Pos())
+	t, ok := truthOf(v)
+	if !ok {
+		return ctx.mistyped(pos, "NOT", "operand is "+v.Kind().String())
+	}
+	return not3(t).val(ctx), nil
 }
 
 func evalBinary(ctx *Context, env *Env, x *ast.Binary) (value.Value, error) {
@@ -394,26 +409,44 @@ func evalLike(ctx *Context, env *Env, x *ast.Like) (value.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		es, ok := ev.(value.String)
-		if !ok || len([]rune(string(es))) != 1 {
-			return ctx.mistyped(x.Pos(), "LIKE", "ESCAPE must be a single-character string")
+		var bad value.Value
+		escape, bad, err = likeEscapeRune(ctx, ev, x.Pos())
+		if bad != nil || err != nil {
+			return bad, err
 		}
-		escape = []rune(string(es))[0]
 	}
+	return likeValue(ctx, target, pattern, escape, x.Negate, x.Pos())
+}
+
+// likeEscapeRune validates an evaluated ESCAPE operand. On a type fault
+// the non-nil bad value (permissive) or error (strict) short-circuits
+// the whole LIKE.
+func likeEscapeRune(ctx *Context, ev value.Value, pos lexer.Pos) (escape rune, bad value.Value, err error) {
+	es, ok := ev.(value.String)
+	if !ok || len([]rune(string(es))) != 1 {
+		bad, err = ctx.mistyped(pos, "LIKE", "ESCAPE must be a single-character string")
+		return 0, bad, err
+	}
+	return []rune(string(es))[0], nil, nil
+}
+
+// likeValue applies LIKE to already-evaluated target and pattern with a
+// validated escape rune (0 when no ESCAPE clause).
+func likeValue(ctx *Context, target, pattern value.Value, escape rune, negate bool, pos lexer.Pos) (value.Value, error) {
 	if value.IsAbsent(target) || value.IsAbsent(pattern) {
 		return absentOut(ctx, target.Kind() == value.KindMissing || pattern.Kind() == value.KindMissing), nil
 	}
 	ts, tOK := target.(value.String)
 	ps, pOK := pattern.(value.String)
 	if !tOK || !pOK {
-		return ctx.mistyped(x.Pos(), "LIKE", fmt.Sprintf("operands are %s and %s", target.Kind(), pattern.Kind()))
+		return ctx.mistyped(pos, "LIKE", fmt.Sprintf("operands are %s and %s", target.Kind(), pattern.Kind()))
 	}
 	m, ok := compileLike(string(ps), escape)
 	if !ok {
-		return ctx.mistyped(x.Pos(), "LIKE", "malformed pattern "+ps.String())
+		return ctx.mistyped(pos, "LIKE", "malformed pattern "+ps.String())
 	}
 	result := m.match(string(ts))
-	if x.Negate {
+	if negate {
 		result = !result
 	}
 	return value.Bool(result), nil
@@ -432,21 +465,26 @@ func evalBetween(ctx *Context, env *Env, x *ast.Between) (value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	ge, err := Comparison(ctx, ">=", target, lo, x.Pos())
+	return betweenValues(ctx, target, lo, hi, x.Negate, x.Pos())
+}
+
+// betweenValues applies BETWEEN to already-evaluated operands.
+func betweenValues(ctx *Context, target, lo, hi value.Value, negate bool, pos lexer.Pos) (value.Value, error) {
+	ge, err := Comparison(ctx, ">=", target, lo, pos)
 	if err != nil {
 		return nil, err
 	}
-	le, err := Comparison(ctx, "<=", target, hi, x.Pos())
+	le, err := Comparison(ctx, "<=", target, hi, pos)
 	if err != nil {
 		return nil, err
 	}
 	gt, ok1 := truthOf(ge)
 	lt, ok2 := truthOf(le)
 	if !ok1 || !ok2 {
-		return ctx.mistyped(x.Pos(), "BETWEEN", "bounds comparison did not produce a boolean")
+		return ctx.mistyped(pos, "BETWEEN", "bounds comparison did not produce a boolean")
 	}
 	result := and3(gt, lt)
-	if x.Negate {
+	if negate {
 		result = not3(result)
 	}
 	return result.val(ctx), nil
@@ -472,18 +510,35 @@ func evalIn(ctx *Context, env *Env, x *ast.In) (value.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		var ok bool
-		elems, ok = value.Elements(set)
-		if !ok {
-			if value.IsAbsent(set) {
-				return absentOut(ctx, set.Kind() == value.KindMissing), nil
-			}
-			return ctx.mistyped(x.Pos(), "IN", "right operand is "+set.Kind().String()+", not a collection")
+		var short value.Value
+		elems, short, err = collectionElems(ctx, set, "IN", x.Pos())
+		if short != nil || err != nil {
+			return short, err
 		}
 	}
+	return inValues(ctx, target, elems, x.Negate, x.Pos())
+}
+
+// collectionElems extracts the element list of an evaluated right-hand
+// collection operand. On absent or mistyped input the non-nil short
+// value (or error) short-circuits the enclosing predicate.
+func collectionElems(ctx *Context, set value.Value, op string, pos lexer.Pos) (elems []value.Value, short value.Value, err error) {
+	elems, ok := value.Elements(set)
+	if ok {
+		return elems, nil, nil
+	}
+	if value.IsAbsent(set) {
+		return nil, absentOut(ctx, set.Kind() == value.KindMissing), nil
+	}
+	short, err = ctx.mistyped(pos, op, "right operand is "+set.Kind().String()+", not a collection")
+	return nil, short, err
+}
+
+// inValues applies IN to an already-evaluated target and element list.
+func inValues(ctx *Context, target value.Value, elems []value.Value, negate bool, pos lexer.Pos) (value.Value, error) {
 	result := truthFalse
 	for _, e := range elems {
-		eq, err := Comparison(ctx, "=", target, e, x.Pos())
+		eq, err := Comparison(ctx, "=", target, e, pos)
 		if err != nil {
 			return nil, err
 		}
@@ -496,7 +551,7 @@ func evalIn(ctx *Context, env *Env, x *ast.In) (value.Value, error) {
 			break
 		}
 	}
-	if x.Negate {
+	if negate {
 		result = not3(result)
 	}
 	return result.val(ctx), nil
@@ -514,19 +569,22 @@ func evalQuantified(ctx *Context, env *Env, x *ast.Quantified) (value.Value, err
 	if err != nil {
 		return nil, err
 	}
-	elems, ok := value.Elements(set)
-	if !ok {
-		if value.IsAbsent(set) {
-			return absentOut(ctx, set.Kind() == value.KindMissing), nil
-		}
-		return ctx.mistyped(x.Pos(), "quantified comparison", "right operand is "+set.Kind().String()+", not a collection")
+	elems, short, err := collectionElems(ctx, set, "quantified comparison", x.Pos())
+	if short != nil || err != nil {
+		return short, err
 	}
+	return quantifiedValues(ctx, x.Op, x.All, target, elems, x.Pos())
+}
+
+// quantifiedValues applies op ALL / op ANY to an already-evaluated
+// target and element list.
+func quantifiedValues(ctx *Context, op string, all bool, target value.Value, elems []value.Value, pos lexer.Pos) (value.Value, error) {
 	result := truthTrue
-	if !x.All {
+	if !all {
 		result = truthFalse
 	}
 	for _, e := range elems {
-		cmp, err := Comparison(ctx, x.Op, target, e, x.Pos())
+		cmp, err := Comparison(ctx, op, target, e, pos)
 		if err != nil {
 			return nil, err
 		}
@@ -534,7 +592,7 @@ func evalQuantified(ctx *Context, env *Env, x *ast.Quantified) (value.Value, err
 		if !ok {
 			continue
 		}
-		if x.All {
+		if all {
 			result = and3(result, t)
 			if result == truthFalse {
 				break
@@ -554,8 +612,13 @@ func evalIs(ctx *Context, env *Env, x *ast.Is) (value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return isValue(ctx, v, x.What, x.Negate, x.Pos())
+}
+
+// isValue applies an IS predicate to an already-evaluated operand.
+func isValue(ctx *Context, v value.Value, what string, negate bool, pos lexer.Pos) (value.Value, error) {
 	var result bool
-	switch x.What {
+	switch what {
 	case "NULL":
 		// In SQL-compatibility mode MISSING satisfies IS NULL, which is
 		// what makes the null/missing guarantee of §IV-B hold for
@@ -567,13 +630,13 @@ func evalIs(ctx *Context, env *Env, x *ast.Is) (value.Value, error) {
 	case "UNKNOWN":
 		t, ok := truthOf(v)
 		if !ok {
-			return ctx.mistyped(x.Pos(), "IS UNKNOWN", "operand is "+v.Kind().String())
+			return ctx.mistyped(pos, "IS UNKNOWN", "operand is "+v.Kind().String())
 		}
 		result = t.isUnknown()
 	default:
-		return nil, fmt.Errorf("eval: unknown IS predicate %q at %s", x.What, x.Pos())
+		return nil, fmt.Errorf("eval: unknown IS predicate %q at %s", what, pos)
 	}
-	if x.Negate {
+	if negate {
 		result = !result
 	}
 	return value.Bool(result), nil
@@ -647,11 +710,17 @@ func evalCall(ctx *Context, env *Env, x *ast.Call) (value.Value, error) {
 		}
 		args[i] = v
 	}
+	return callFunc(ctx, def, args, x.Pos())
+}
+
+// callFunc invokes a resolved function on already-evaluated arguments,
+// applying the mode policy to type errors it raises.
+func callFunc(ctx *Context, def *FuncDef, args []value.Value, pos lexer.Pos) (value.Value, error) {
 	v, err := def.Fn(ctx, args)
 	if err != nil {
 		if te, ok := err.(*TypeError); ok {
 			if te.Pos == (lexer.Pos{}) {
-				te.Pos = x.Pos()
+				te.Pos = pos
 			}
 			if ctx.Mode == Permissive {
 				return value.Missing, nil
@@ -669,21 +738,33 @@ func evalTupleCtor(ctx *Context, env *Env, x *ast.TupleCtor) (value.Value, error
 		if err != nil {
 			return nil, err
 		}
-		name, ok := nameV.(value.String)
+		name, ok, err := tupleFieldName(ctx, nameV, x.Pos())
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
-			// A non-string attribute name is a type fault; in permissive
-			// mode the attribute is skipped (MISSING attribute name =>
-			// missing attribute).
-			if _, err := ctx.mistyped(x.Pos(), "tuple constructor", "attribute name is "+nameV.Kind().String()); err != nil {
-				return nil, err
-			}
 			continue
 		}
 		v, err := Eval(ctx, env, f.Value)
 		if err != nil {
 			return nil, err
 		}
-		t.Put(string(name), v)
+		t.Put(name, v)
 	}
 	return t, nil
+}
+
+// tupleFieldName validates an evaluated attribute-name operand. A
+// non-string name is a type fault; in permissive mode the attribute is
+// skipped (ok=false, MISSING attribute name => missing attribute)
+// without evaluating its value.
+func tupleFieldName(ctx *Context, nameV value.Value, pos lexer.Pos) (string, bool, error) {
+	name, ok := nameV.(value.String)
+	if !ok {
+		if _, err := ctx.mistyped(pos, "tuple constructor", "attribute name is "+nameV.Kind().String()); err != nil {
+			return "", false, err
+		}
+		return "", false, nil
+	}
+	return string(name), true, nil
 }

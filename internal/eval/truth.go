@@ -40,14 +40,18 @@ func truthOf(v value.Value) (truth, bool) {
 // val converts a truth back to a value under the context's mode:
 // missing-unknown stays MISSING in flexible mode and becomes NULL in
 // SQL-compatibility mode.
-func (t truth) val(ctx *Context) value.Value {
+func (t truth) val(ctx *Context) value.Value { return t.valc(ctx.Compat) }
+
+// valc is val with the compat bit passed directly, for compiled closures
+// that captured the bit at compile time.
+func (t truth) valc(compat bool) value.Value {
 	switch t {
 	case truthTrue:
 		return value.True
 	case truthFalse:
 		return value.False
 	case truthMissing:
-		if ctx.Compat {
+		if compat {
 			return value.Null
 		}
 		return value.Missing
@@ -112,7 +116,13 @@ func IsTrue(v value.Value) bool {
 // any operand is MISSING (flexible mode), NULL otherwise. In compat mode
 // MISSING is treated as NULL.
 func absentOut(ctx *Context, hasMissing bool) value.Value {
-	if hasMissing && !ctx.Compat {
+	return absentVal(ctx.Compat, hasMissing)
+}
+
+// absentVal is absentOut with the compat bit passed directly, for
+// compiled closures that captured the bit at compile time.
+func absentVal(compat, hasMissing bool) value.Value {
+	if hasMissing && !compat {
 		return value.Missing
 	}
 	return value.Null

@@ -17,8 +17,8 @@ import (
 // its materialization: unlike a streamed scan, a hoisted source is held
 // for the lifetime of the block, so its full size counts against the
 // governor's materialization budget.
-func hoistSource(ctx *eval.Context, outer *eval.Env, expr ast.Expr) (value.Value, error) {
-	src, err := eval.Eval(ctx, outer, expr)
+func hoistSource(ctx *eval.Context, outer *eval.Env, expr ast.Expr, srcC eval.CompiledExpr) (value.Value, error) {
+	src, err := evalMaybe(ctx, outer, expr, srcC)
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +357,7 @@ func (st *physState) produce(ctx *eval.Context, k emit) error {
 	if st.preFilter != nil {
 		st.preFilter.AddIn(1)
 	}
-	ok, err := evalFilters(ctx, st.outer, st.phys.pre)
+	ok, err := filtersPass(ctx, st.outer, st.phys.pre, st.phys.preC)
 	if err != nil || !ok {
 		return err
 	}
@@ -382,7 +382,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		if ss != nil && ss.filter != nil {
 			ss.filter.AddIn(1)
 		}
-		ok, err := evalFilters(ctx, child, step.filters)
+		ok, err := filtersPass(ctx, child, step.filters, step.filtersC)
 		if err != nil || !ok {
 			return err
 		}
@@ -407,6 +407,11 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 			return st.runIndexScan(ctx, env, i, step, ix, next)
 		}
 	}
+	if st.phys.compiled {
+		if x, ok := step.item.(*ast.FromExpr); ok {
+			return st.runScanFused(ctx, env, i, x, step, ss, next)
+		}
+	}
 	if step.hoist {
 		// The hoisted paths bypass produceItem, so the step node's
 		// emitted-row count is recorded here.
@@ -422,7 +427,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		switch x := step.item.(type) {
 		case *ast.FromExpr:
 			src, err := st.sources[i].get(func() (value.Value, error) {
-				return hoistSource(ctx, st.outer, x.Expr)
+				return hoistSource(ctx, st.outer, x.Expr, step.srcC)
 			})
 			if err != nil {
 				return err
@@ -430,7 +435,7 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 			return scanValue(ctx, env, x, src, emitNext)
 		case *ast.FromUnpivot:
 			src, err := st.sources[i].get(func() (value.Value, error) {
-				return hoistSource(ctx, st.outer, x.Expr)
+				return hoistSource(ctx, st.outer, x.Expr, step.srcC)
 			})
 			if err != nil {
 				return err
@@ -439,6 +444,118 @@ func (st *physState) run(ctx *eval.Context, env *eval.Env, i int, k emit) error 
 		}
 	}
 	return produceItem(ctx, env, step.item, next)
+}
+
+// scanBatch is the row-slice size of the fused compiled scan loop: the
+// cancellation poll and the stats row-count charges are amortized to one
+// per batch. A power of two a few multiples of the eval pollInterval, so
+// batched polling stays on the interpreter's cadence.
+const scanBatch = 256
+
+// runScanFused is the batched scan loop of the compiled pipeline,
+// replacing produceItem+scanValue (and the hoisted scanValue path) for
+// plain FromExpr steps. The source evaluates through its precompiled
+// closure (or the shared hoist cell); the element loop then binds,
+// filters (inside next), and recurses exactly like the row-at-a-time
+// path, but batch-at-a-time: one InterruptedN poll per batch and one
+// stats true-up per batch with exact emitted counts. When phys.reuseEnv
+// holds, one child Env is allocated per invocation and rebound in place
+// per row instead of allocating per row. Observable row order, error
+// points, stats totals, and fault-injection sites are identical to the
+// interpreted path.
+//
+// governor: the fused loop materializes nothing — rows stream to next
+// and are charged at the pipeline's sinks (rowSink, groupState, hash
+// build), exactly as in the row-at-a-time path.
+func (st *physState) runScanFused(ctx *eval.Context, env *eval.Env, i int, x *ast.FromExpr, step *fromStep, ss *stepStats, next emit) error {
+	var src value.Value
+	var err error
+	if step.hoist {
+		src, err = st.sources[i].get(func() (value.Value, error) {
+			return hoistSource(ctx, st.outer, x.Expr, step.srcC)
+		})
+	} else {
+		src, err = evalMaybe(ctx, env, x.Expr, step.srcC)
+	}
+	if err != nil {
+		return err
+	}
+
+	var node *eval.StatsNode
+	if ss != nil {
+		node = ss.node
+		if !step.hoist {
+			// Hoisted steps have no timer in the interpreted path either
+			// (their per-row work is the continuation's); keep that shape.
+			defer node.Timer()()
+		}
+	}
+
+	elems, isColl := value.Elements(src)
+	if !isColl {
+		// Non-collection sources (singleton bindings, MISSING, strict
+		// faults) keep the row-at-a-time edge semantics of scanValue,
+		// wrapped with produceItem's emitted-row accounting.
+		emitNext := next
+		if node != nil {
+			inner := next
+			emitNext = func(child *eval.Env) error {
+				node.AddOut(1)
+				return inner(child)
+			}
+		}
+		return scanValue(ctx, env, x, src, emitNext)
+	}
+
+	if node != nil {
+		node.AddIn(int64(len(elems)))
+	}
+	isArray := src.Kind() == value.KindArray
+	reuse := st.phys.reuseEnv
+	var child *eval.Env
+	for base := 0; base < len(elems); base += scanBatch {
+		hi := base + scanBatch
+		if hi > len(elems) {
+			hi = len(elems)
+		}
+		if err := ctx.InterruptedN(hi - base); err != nil {
+			return err
+		}
+		emitted := int64(0)
+		for j := base; j < hi; j++ {
+			if faultinject.Enabled {
+				if err := faultinject.Fire(faultinject.ScanNext); err != nil {
+					if node != nil {
+						node.AddOut(emitted)
+					}
+					return err
+				}
+			}
+			if child == nil || !reuse {
+				child = env.Child()
+			}
+			child.Bind(x.As, elems[j])
+			if x.AtVar != "" {
+				if isArray {
+					child.Bind(x.AtVar, value.Int(int64(j)))
+				} else {
+					// Bags are unordered: AT binds MISSING.
+					child.Bind(x.AtVar, value.Missing)
+				}
+			}
+			emitted++
+			if err := next(child); err != nil {
+				if node != nil {
+					node.AddOut(emitted)
+				}
+				return err
+			}
+		}
+		if node != nil {
+			node.AddOut(emitted)
+		}
+	}
+	return nil
 }
 
 // evalFilters evaluates pushed conjuncts; the binding survives only when
@@ -454,6 +571,41 @@ func evalFilters(ctx *eval.Context, env *eval.Env, filters []ast.Expr) (bool, er
 		}
 	}
 	return true, nil
+}
+
+// filtersPass is evalFilters through the compiled closures when the plan
+// carries them, the interpreter otherwise. compiled is nil exactly when
+// compilation was off for the block, so the nil test selects the path.
+func filtersPass(ctx *eval.Context, env *eval.Env, filters []ast.Expr, compiled []eval.CompiledExpr) (bool, error) {
+	if compiled == nil {
+		return evalFilters(ctx, env, filters)
+	}
+	for _, f := range compiled {
+		cond, err := f(ctx, env)
+		if err != nil {
+			return false, err
+		}
+		if !eval.IsTrue(cond) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalMaybe evaluates e through its compiled form when available.
+func evalMaybe(ctx *eval.Context, env *eval.Env, e ast.Expr, c eval.CompiledExpr) (value.Value, error) {
+	if c != nil {
+		return c(ctx, env)
+	}
+	return eval.Eval(ctx, env, e)
+}
+
+// compiledAt indexes a compiled slice that may be nil (compilation off).
+func compiledAt(cs []eval.CompiledExpr, i int) eval.CompiledExpr {
+	if cs == nil {
+		return nil
+	}
+	return cs[i]
 }
 
 // groupState materializes GROUP BY groups (§V-B). Each input binding
@@ -473,6 +625,10 @@ type groupState struct {
 	// same keyed node, so rows-in sums across workers and groups-out is
 	// recorded once by the merged state's flush.
 	st *eval.StatsNode
+	// keysC are the compiled grouping-key expressions, set by the plan
+	// runner when the block was compiled; nil falls back to interpreting
+	// spec.Keys[i].Expr.
+	keysC []eval.CompiledExpr
 }
 
 func newGroupState(ctx *eval.Context, outer *eval.Env, spec *ast.GroupBy) *groupState {
@@ -507,7 +663,7 @@ func (g *groupState) add(env *eval.Env) error {
 	keys := make([]value.Value, len(g.spec.Keys))
 	var kb []byte
 	for i, key := range g.spec.Keys {
-		v, err := eval.Eval(g.ctx, env, key.Expr)
+		v, err := evalMaybe(g.ctx, env, key.Expr, compiledAt(g.keysC, i))
 		if err != nil {
 			return err
 		}

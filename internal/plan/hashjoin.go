@@ -47,8 +47,8 @@ func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashT
 			return err
 		}
 		kb = kb[:0]
-		for _, bk := range h.buildKeys {
-			v, err := eval.Eval(ctx, renv, bk)
+		for j, bk := range h.buildKeys {
+			v, err := evalMaybe(ctx, renv, bk, compiledAt(h.buildC, j))
 			if err != nil {
 				return err
 			}
@@ -119,8 +119,8 @@ func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoi
 		}
 		var kb []byte
 		absent := false
-		for _, pk := range h.probeKeys {
-			v, err := eval.Eval(ctx, lenv, pk)
+		for j, pk := range h.probeKeys {
+			v, err := evalMaybe(ctx, lenv, pk, compiledAt(h.probeC, j))
 			if err != nil {
 				return err
 			}
@@ -143,7 +143,7 @@ func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoi
 			for j, n := range row.names {
 				cand.Bind(n, row.vals[j])
 			}
-			ok, err := evalFilters(ctx, cand, h.verify)
+			ok, err := filtersPass(ctx, cand, h.verify, h.verifyC)
 			if err != nil {
 				return err
 			}

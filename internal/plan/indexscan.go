@@ -87,7 +87,7 @@ func probePositions(ctx *eval.Context, env *eval.Env, ia *indexAccess, ix *index
 		return nil, nil
 	}
 	if ia.eq != nil {
-		key, err := eval.Eval(ctx, env, ia.eq)
+		key, err := evalMaybe(ctx, env, ia.eq, ia.eqC)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ func probePositions(ctx *eval.Context, env *eval.Env, ia *indexAccess, ix *index
 	}
 	var lo, hi value.Value
 	if ia.lo != nil {
-		v, err := eval.Eval(ctx, env, ia.lo)
+		v, err := evalMaybe(ctx, env, ia.lo, ia.loC)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +111,7 @@ func probePositions(ctx *eval.Context, env *eval.Env, ia *indexAccess, ix *index
 		lo = v
 	}
 	if ia.hi != nil {
-		v, err := eval.Eval(ctx, env, ia.hi)
+		v, err := evalMaybe(ctx, env, ia.hi, ia.hiC)
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +202,7 @@ func (st *physState) runIndexJoin(ctx *eval.Context, env *eval.Env, i int, h *ha
 			ss.node.AddIn(1)
 			ss.probes.Add(1)
 		}
-		key, err := eval.Eval(ctx, lenv, h.buildIdx.eq)
+		key, err := evalMaybe(ctx, lenv, h.buildIdx.eq, h.buildIdx.eqC)
 		if err != nil {
 			return err
 		}
@@ -234,7 +234,7 @@ func (st *physState) runIndexJoin(ctx *eval.Context, env *eval.Env, i int, h *ha
 					cand.Bind(x.AtVar, value.Missing)
 				}
 			}
-			ok, err := evalFilters(ctx, cand, h.verify)
+			ok, err := filtersPass(ctx, cand, h.verify, h.verifyC)
 			if err != nil {
 				return err
 			}

@@ -46,6 +46,17 @@ type OptOptions struct {
 	// Indexes resolves secondary-index availability at plan time; nil
 	// disables access-path selection.
 	Indexes IndexSource
+	// Compat is the engine's SQL-compatibility bit; compiled expressions
+	// specialize on it, so it must match the execution Context.
+	Compat bool
+	// Compile lowers every per-row expression of each block to a closure
+	// (internal/eval/compile.go) stored alongside its AST in the
+	// physical plan; execution then runs the compiled pipeline. Off,
+	// everything evaluates through the tree-walking interpreter.
+	Compile bool
+	// Funcs resolves function names at compile time; nil leaves calls on
+	// the interpreted path.
+	Funcs eval.FuncSource
 }
 
 // IndexSource answers plan-time access-path questions; the catalog
@@ -74,6 +85,8 @@ type indexAccess struct {
 	eq             ast.Expr
 	lo, hi         ast.Expr
 	loIncl, hiIncl bool
+	// Compiled forms of eq/lo/hi; nil when compilation is off.
+	eqC, loC, hiC eval.CompiledExpr
 }
 
 // sfwPhys is the physical plan of one query block, stored in ast.SFW.Phys.
@@ -91,6 +104,26 @@ type sfwPhys struct {
 	// parallel marks the outermost scan as eligible for partitioned
 	// execution.
 	parallel bool
+	// compiled marks the block as carrying closure-compiled forms of its
+	// per-row expressions (the *C fields below and on steps); execution
+	// prefers them over interpreting the AST.
+	compiled bool
+	// reuseEnv permits the fused scan loop to reuse one child Env across
+	// the rows of a scan, rebinding in place. Safe only when nothing
+	// downstream of the pipeline retains row environments; window
+	// functions are the only retainer (plan.go windowEnvs), so this is
+	// simply "no window clauses".
+	reuseEnv bool
+	// Compiled forms of pre/residual, LET sources, HAVING, the SELECT
+	// projection, ORDER BY keys, and GROUP BY keys. All nil when
+	// compilation is off.
+	preC      []eval.CompiledExpr
+	residualC []eval.CompiledExpr
+	letsC     []eval.CompiledExpr
+	havingC   eval.CompiledExpr
+	selectC   eval.CompiledExpr
+	orderC    []eval.CompiledExpr
+	groupC    []eval.CompiledExpr
 }
 
 // fromStep is the physical form of one top-level FROM item.
@@ -110,6 +143,10 @@ type fromStep struct {
 	// idx, when non-nil, replaces the scan of this item's named
 	// collection with a secondary-index probe (filters still verify).
 	idx *indexAccess
+	// Compiled forms of filters and of the item's source expression
+	// (FromExpr/FromUnpivot only); nil when compilation is off.
+	filtersC []eval.CompiledExpr
+	srcC     eval.CompiledExpr
 }
 
 // hashJoinStep describes one hash equi-join.
@@ -135,6 +172,9 @@ type hashJoinStep struct {
 	// existing secondary index on the build key (buildIdx.eq holds the
 	// paired probe key); verify and padding semantics are unchanged.
 	buildIdx *indexAccess
+	// Compiled forms of probeKeys/buildKeys/verify; nil when compilation
+	// is off.
+	probeC, buildC, verifyC []eval.CompiledExpr
 }
 
 // Optimize annotates every query block under root with a physical plan
@@ -320,6 +360,10 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 		}
 	}
 
+	if o.Compile {
+		compileSFW(q, phys, eval.CompileOpts{Mode: o.Mode, Compat: o.Compat, Funcs: o.Funcs})
+	}
+
 	var notes []string
 	pos := q.Pos()
 	add := func(format string, args ...any) {
@@ -340,7 +384,67 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	if phys.parallel {
 		add("parallel-scan")
 	}
+	if phys.compiled {
+		add("compiled")
+	}
 	return phys, notes
+}
+
+// compileSFW lowers every expression the physical pipeline evaluates per
+// row — source expressions, pushed and residual filters, join and index
+// keys, LET sources, HAVING, GROUP BY keys, the SELECT projection, and
+// ORDER BY keys — to eval closures, once, at plan time. The compiled
+// forms ride in the physical plan next to the AST they were lowered
+// from; every execution site falls back to interpreting the AST when
+// its compiled field is nil, so partially-compiled plans stay correct.
+func compileSFW(q *ast.SFW, phys *sfwPhys, co eval.CompileOpts) {
+	phys.compiled = true
+	phys.reuseEnv = len(q.Windows) == 0
+	phys.preC = eval.CompileAll(phys.pre, co)
+	phys.residualC = eval.CompileAll(phys.residual, co)
+	if len(q.Lets) > 0 {
+		phys.letsC = make([]eval.CompiledExpr, len(q.Lets))
+		for i, l := range q.Lets {
+			phys.letsC[i] = eval.Compile(l.Expr, co)
+		}
+	}
+	phys.havingC = eval.Compile(q.Having, co)
+	phys.selectC = eval.Compile(q.Select.Value, co)
+	if len(q.OrderBy) > 0 {
+		phys.orderC = make([]eval.CompiledExpr, len(q.OrderBy))
+		for i, ob := range q.OrderBy {
+			phys.orderC[i] = eval.Compile(ob.Expr, co)
+		}
+	}
+	if q.GroupBy != nil && len(q.GroupBy.Keys) > 0 {
+		phys.groupC = make([]eval.CompiledExpr, len(q.GroupBy.Keys))
+		for i, key := range q.GroupBy.Keys {
+			phys.groupC[i] = eval.Compile(key.Expr, co)
+		}
+	}
+	for i := range phys.steps {
+		step := &phys.steps[i]
+		step.filtersC = eval.CompileAll(step.filters, co)
+		switch x := step.item.(type) {
+		case *ast.FromExpr:
+			step.srcC = eval.Compile(x.Expr, co)
+		case *ast.FromUnpivot:
+			step.srcC = eval.Compile(x.Expr, co)
+		}
+		if h := step.hash; h != nil {
+			h.probeC = eval.CompileAll(h.probeKeys, co)
+			h.buildC = eval.CompileAll(h.buildKeys, co)
+			h.verifyC = eval.CompileAll(h.verify, co)
+			if h.buildIdx != nil {
+				h.buildIdx.eqC = eval.Compile(h.buildIdx.eq, co)
+			}
+		}
+		if ia := step.idx; ia != nil {
+			ia.eqC = eval.Compile(ia.eq, co)
+			ia.loC = eval.Compile(ia.lo, co)
+			ia.hiC = eval.Compile(ia.hi, co)
+		}
+	}
 }
 
 // chooseIndexAccess matches a step's pushed conjuncts against the

@@ -42,7 +42,7 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 
 	// The pre filters and the outer source evaluate exactly once, as in
 	// the sequential plan.
-	ok, err := evalFilters(ctx, outer, phys.pre)
+	ok, err := filtersPass(ctx, outer, phys.pre, phys.preC)
 	if err != nil {
 		return nil, true, err
 	}
@@ -52,7 +52,7 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 		}
 		return value.Bag(nil), true, nil
 	}
-	src, err := eval.Eval(ctx, outer, scan.Expr)
+	src, err := evalMaybe(ctx, outer, scan.Expr, phys.steps[0].srcC)
 	if err != nil {
 		return nil, true, err
 	}
@@ -84,6 +84,11 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 	// build once (under sync.Once) and are read-only afterwards.
 	st := newPhysState(ctx, phys, outer)
 	filters := phys.steps[0].filters
+	filtersC := phys.steps[0].filtersC
+	// Each worker owns its chunk's child environment exclusively, so the
+	// same per-row reuse the fused sequential scan applies is safe here —
+	// one rebindable env per worker, gated on the same window-free check.
+	reuse := phys.compiled && phys.reuseEnv
 
 	// EXPLAIN ANALYZE: the workers fold into the same keyed nodes the
 	// sequential plan would use; only the counters below are recorded
@@ -117,13 +122,17 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 		wctx := ctx.Fork()
 		sink := newRowSink(wctx, q, false, -1, 0)
 		sink.keepKeys = q.Select.Distinct
+		sink.bindCompiled(phys)
 		ws[w].sink = sink
 		var consume emit
 		if q.GroupBy != nil {
 			ws[w].grouper = newGroupState(wctx, outer, q.GroupBy)
+			if phys.compiled {
+				ws[w].grouper.keysC = phys.groupC
+			}
 			consume = ws[w].grouper.add
 		} else {
-			consume = havingChain(wctx, q, sink.project)
+			consume = havingChain(wctx, q, phys, sink.project)
 		}
 		consume = preGroupChain(wctx, q, phys, consume)
 		wg.Add(1)
@@ -143,12 +152,15 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 					return
 				}
 			}
+			var child *eval.Env
 			for j := lo; j < hi; j++ {
 				if err := wctx.Interrupted(); err != nil {
 					ws[w].err = err
 					return
 				}
-				child := outer.Child()
+				if child == nil || !reuse {
+					child = outer.Child()
+				}
 				child.Bind(scan.As, elems[j])
 				if scan.AtVar != "" {
 					// Bags are unordered: AT binds MISSING.
@@ -164,7 +176,7 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 						filterNode.AddIn(1)
 					}
 				}
-				ok, err := evalFilters(wctx, child, filters)
+				ok, err := filtersPass(wctx, child, filters, filtersC)
 				if err != nil {
 					ws[w].err = err
 					return
@@ -200,7 +212,8 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 			}
 		}
 		sink := newRowSink(ctx, q, false, -1, 0)
-		if err := merged.flush(havingChain(ctx, q, sink.project)); err != nil && err != errStop {
+		sink.bindCompiled(phys)
+		if err := merged.flush(havingChain(ctx, q, phys, sink.project)); err != nil && err != errStop {
 			return nil, true, err
 		}
 		return value.Bag(sink.out), true, nil

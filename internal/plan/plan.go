@@ -109,6 +109,21 @@ type rowSink struct {
 	stDistinct *eval.StatsNode
 	stOrder    *eval.StatsNode
 	stLimit    *eval.StatsNode
+	// Compiled SELECT projection and ORDER BY keys, set via bindCompiled
+	// when the block was compiled; nil falls back to the interpreter.
+	selectC eval.CompiledExpr
+	orderC  []eval.CompiledExpr
+}
+
+// bindCompiled points the sink at the block's precompiled projection and
+// ORDER BY key closures. A nil or uncompiled phys leaves the sink on the
+// interpreted path.
+func (s *rowSink) bindCompiled(phys *sfwPhys) {
+	if phys == nil || !phys.compiled {
+		return
+	}
+	s.selectC = phys.selectC
+	s.orderC = phys.orderC
 }
 
 func newRowSink(ctx *eval.Context, q *ast.SFW, ordered bool, limit, offset int64) *rowSink {
@@ -147,7 +162,7 @@ func newRowSink(ctx *eval.Context, q *ast.SFW, ordered bool, limit, offset int64
 
 // project evaluates SELECT VALUE for one binding and folds the row in.
 func (s *rowSink) project(env *eval.Env) error {
-	v, err := eval.Eval(s.ctx, env, s.q.Select.Value)
+	v, err := evalMaybe(s.ctx, env, s.q.Select.Value, s.selectC)
 	if err != nil {
 		return err
 	}
@@ -196,7 +211,7 @@ func (s *rowSink) project(env *eval.Env) error {
 		}
 		keys := make([]value.Value, len(s.q.OrderBy))
 		for i, o := range s.q.OrderBy {
-			kv, err := eval.Eval(s.ctx, env, o.Expr)
+			kv, err := evalMaybe(s.ctx, env, o.Expr, compiledAt(s.orderC, i))
 			if err != nil {
 				return err
 			}
@@ -279,9 +294,13 @@ func (s *rowSink) finish(limit, offset int64) value.Value {
 }
 
 // havingChain wraps inner with the HAVING filter.
-func havingChain(ctx *eval.Context, q *ast.SFW, inner emit) emit {
+func havingChain(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, inner emit) emit {
 	if q.Having == nil {
 		return inner
+	}
+	var havingC eval.CompiledExpr
+	if phys != nil && phys.compiled {
+		havingC = phys.havingC
 	}
 	var st *eval.StatsNode
 	if ctx.Stats != nil {
@@ -291,7 +310,7 @@ func havingChain(ctx *eval.Context, q *ast.SFW, inner emit) emit {
 		if st != nil {
 			st.AddIn(1)
 		}
-		cond, err := eval.Eval(ctx, env, q.Having)
+		cond, err := evalMaybe(ctx, env, q.Having, havingC)
 		if err != nil {
 			return err
 		}
@@ -317,11 +336,12 @@ func preGroupChain(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, consume emit) e
 			if ctx.Stats != nil {
 				st = ctx.Stats.Node(statsParent(ctx), q, "where", "filter", "residual")
 			}
+			residualC := phys.residualC
 			consume = func(env *eval.Env) error {
 				if st != nil {
 					st.AddIn(1)
 				}
-				ok, err := evalFilters(ctx, env, residual)
+				ok, err := filtersPass(ctx, env, residual, residualC)
 				if err != nil || !ok {
 					return err
 				}
@@ -357,9 +377,13 @@ func preGroupChain(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, consume emit) e
 	if len(q.Lets) > 0 {
 		inner := consume
 		lets := q.Lets
+		var letsC []eval.CompiledExpr
+		if phys != nil && phys.compiled {
+			letsC = phys.letsC
+		}
 		consume = func(env *eval.Env) error {
-			for _, l := range lets {
-				v, err := eval.Eval(ctx, env, l.Expr)
+			for i, l := range lets {
+				v, err := evalMaybe(ctx, env, l.Expr, compiledAt(letsC, i))
 				if err != nil {
 					return err
 				}
@@ -414,6 +438,7 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 	}
 
 	sink := newRowSink(ctx, q, ordered, limit, offset)
+	sink.bindCompiled(phys)
 
 	// Window functions force materialization of the post-group bindings:
 	// each partition must be complete before any row's value is known.
@@ -437,13 +462,16 @@ func runSFW(ctx *eval.Context, outer *eval.Env, q *ast.SFW) (value.Value, error)
 
 	// postGroup runs HAVING and then projection (or window collection)
 	// for a group-output binding.
-	postGroup := havingChain(ctx, q, postHaving)
+	postGroup := havingChain(ctx, q, phys, postHaving)
 
 	// The consumer of FROM/WHERE bindings.
 	var consume emit
 	var grouper *groupState
 	if q.GroupBy != nil {
 		grouper = newGroupState(ctx, outer, q.GroupBy)
+		if phys != nil && phys.compiled {
+			grouper.keysC = phys.groupC
+		}
 		consume = grouper.add
 	} else {
 		consume = postGroup

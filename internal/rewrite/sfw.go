@@ -310,6 +310,12 @@ func (tf *groupTransform) rewriteAggregate(call *ast.Call, collName string) ast.
 		out.SetPos(call.Pos())
 		return out
 	}
+	if len(call.Args) == 0 {
+		// Zero-arg aggregate (e.g. COUNT() without *): leave the call
+		// untouched so evaluation reports its usual arity error; apply
+		// has no error channel of its own.
+		return call
+	}
 	gi := tf.rw.fresh("gi")
 	arg := substituteBlockVars(call.Args[0], tf.blockVars, gi)
 	inner := &ast.SFW{

@@ -55,7 +55,10 @@ type queryOptions struct {
 	// request; Parallelism bounds the parallel-scan worker pool (0 =
 	// GOMAXPROCS, 1 = sequential).
 	DisableOptimizer *bool `json:"disable_optimizer,omitempty"`
-	Parallelism      *int  `json:"parallelism,omitempty"`
+	// NoCompile disables the closure-compilation pass for this request;
+	// expressions evaluate through the tree-walking interpreter instead.
+	NoCompile   *bool `json:"no_compile,omitempty"`
+	Parallelism *int  `json:"parallelism,omitempty"`
 	// MaxRows / MaxBytes set this request's governor budgets for output
 	// rows and materialized bytes. The server's own caps clamp both: a
 	// request may tighten the budget below the cap but never exceed it.
@@ -195,6 +198,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Options.DisableOptimizer != nil {
 			opts.DisableOptimizer = *req.Options.DisableOptimizer
+		}
+		if req.Options.NoCompile != nil {
+			opts.NoCompile = *req.Options.NoCompile
 		}
 		if req.Options.Parallelism != nil {
 			opts.Parallelism = *req.Options.Parallelism

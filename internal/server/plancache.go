@@ -75,6 +75,11 @@ func CacheKey(opts sqlpp.Options, paramNames []string, query string, extras ...s
 	sb.WriteString(strconv.FormatBool(opts.MaterializeClauses))
 	sb.WriteByte('o')
 	sb.WriteString(strconv.FormatBool(opts.DisableOptimizer))
+	// NoCompile changes the physical plan (compiled closures vs the
+	// interpreter), so compiled and interpreted plans of the same text are
+	// distinct cache entries.
+	sb.WriteByte('k')
+	sb.WriteString(strconv.FormatBool(opts.NoCompile))
 	sb.WriteByte('w')
 	sb.WriteString(strconv.Itoa(opts.Parallelism))
 	// Vet changes Prepare's outcome (error-severity diagnostics reject

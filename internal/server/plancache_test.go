@@ -65,6 +65,7 @@ func TestPlanCacheKeyPartitions(t *testing.T) {
 		server.CacheKey(sqlpp.Options{StopOnError: true}, nil, q),
 		server.CacheKey(sqlpp.Options{MaxCollectionSize: 10}, nil, q),
 		server.CacheKey(sqlpp.Options{MaterializeClauses: true}, nil, q),
+		server.CacheKey(sqlpp.Options{NoCompile: true}, nil, q),
 		server.CacheKey(sqlpp.Options{}, []string{"$p"}, q),
 		server.CacheKey(sqlpp.Options{}, nil, "SELECT VALUE 2"),
 	}

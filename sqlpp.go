@@ -63,6 +63,12 @@ type Options struct {
 	// Parallelism bounds the worker pool of parallel outer scans. Zero
 	// selects GOMAXPROCS; 1 restores fully sequential execution.
 	Parallelism int
+	// NoCompile disables the closure-compilation pass: expressions the
+	// optimizer would lower to prepared closures evaluate through the
+	// tree-walking interpreter instead, and fused batch scans revert to
+	// row-at-a-time production. Results are identical; the option exists
+	// for debugging and A/B measurement (see BENCH_vector.json).
+	NoCompile bool
 	// Limits is the per-query resource budget enforced by the governor:
 	// output rows, materialized values/bytes, nesting depth, and wall
 	// time. The zero value means unlimited and costs nothing per row; a
@@ -369,7 +375,13 @@ func (e *Engine) optimize(core ast.Expr) []string {
 	if e.opts.StopOnError {
 		mode = eval.StopOnError
 	}
-	return plan.Optimize(core, plan.OptOptions{Mode: mode, Indexes: e.cat})
+	return plan.Optimize(core, plan.OptOptions{
+		Mode:    mode,
+		Indexes: e.cat,
+		Compat:  e.opts.Compat,
+		Compile: !e.opts.NoCompile,
+		Funcs:   e.funcs,
+	})
 }
 
 // PlanNotes describes the physical optimizations applied to the prepared

@@ -119,6 +119,64 @@ func collect(vs []int) []int {
 	}
 }
 
+func TestGovchargeCoversCompile(t *testing.T) {
+	f := parseSrc(t, "internal/eval/compile.go", `package eval
+func compileThing(xs []int) func() []int {
+	return func() []int {
+		var out []int
+		for _, x := range xs { out = append(out, x) }
+		return out
+	}
+}
+`)
+	if got := govcharge(f); len(got) != 1 {
+		t.Fatalf("want 1 finding for uncharged accumulation in compile.go, got %v", got)
+	}
+}
+
+func TestCompilepureNestedLiteral(t *testing.T) {
+	f := parseSrc(t, "internal/eval/compile.go", `package eval
+func compileThing() func() func() int {
+	return func() func() int {
+		return func() int { return 1 }
+	}
+}
+`)
+	got := compilepure(f)
+	if len(got) != 1 {
+		t.Fatalf("want 1 finding for nested func literal, got %v", got)
+	}
+}
+
+func TestCompilepureTopLevelLiteralsClean(t *testing.T) {
+	f := parseSrc(t, "internal/eval/compile.go", `package eval
+func compileA() func() int {
+	k := 1
+	return func() int { return k }
+}
+func compileB() func() int {
+	inner := compileA()
+	return func() int { return inner() + 1 }
+}
+`)
+	if got := compilepure(f); len(got) != 0 {
+		t.Fatalf("one top-level literal per compileX should be clean, got %v", got)
+	}
+}
+
+func TestCompilepureScopedToCompile(t *testing.T) {
+	f := parseSrc(t, "internal/eval/expr.go", `package eval
+func helper() func() func() int {
+	return func() func() int {
+		return func() int { return 1 }
+	}
+}
+`)
+	if got := compilepure(f); len(got) != 0 {
+		t.Fatalf("compilepure must only apply to internal/eval/compile.go, got %v", got)
+	}
+}
+
 func TestNoclock(t *testing.T) {
 	f := parseSrc(t, "internal/plan/x.go", `package plan
 import "time"
@@ -136,7 +194,7 @@ func stamp() time.Time { return time.Now() }
 	}
 }
 
-// TestRepoClean runs all three checks over the real tree: the repo must
+// TestRepoClean runs all the checks over the real tree: the repo must
 // satisfy its own invariants (the same gate CI enforces).
 func TestRepoClean(t *testing.T) {
 	files, err := parseTree("../..")
@@ -151,6 +209,9 @@ func TestRepoClean(t *testing.T) {
 			t.Errorf("%s: [%s] %s", fd.pos, fd.check, fd.msg)
 		}
 		for _, fd := range noclock(f) {
+			t.Errorf("%s: [%s] %s", fd.pos, fd.check, fd.msg)
+		}
+		for _, fd := range compilepure(f) {
 			t.Errorf("%s: [%s] %s", fd.pos, fd.check, fd.msg)
 		}
 	}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// compilepure enforces the closure-compilation allocation discipline in
+// internal/eval/compile.go: a compileX function may allocate exactly one
+// closure — the CompiledExpr it returns — and must do all of its
+// preparation (operand compilation, constant folding, matcher
+// construction) before that closure is built. Structurally that means
+// no func literal may nest inside another func literal: a nested
+// literal would be allocated per evaluation, not per compilation,
+// putting an allocation back on the per-row path the compiler exists to
+// clear. The check is lexical, so a violation is visible at the exact
+// line the nested closure appears.
+func compilepure(f *srcFile) []finding {
+	if f.path != "internal/eval/compile.go" {
+		return nil
+	}
+	// Collect every func literal's body span, then flag literals that
+	// start inside another literal's body.
+	var bodies []span
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, span{fl.Body.Pos(), fl.Body.End()})
+		}
+		return true
+	})
+	var out []finding
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok || !inAny(bodies, fl.Pos()) {
+			return true
+		}
+		out = append(out, finding{
+			pos:   f.fset.Position(fl.Pos()),
+			check: "compilepure",
+			msg: "func literal nested inside a compiled closure; closures must be " +
+				"allocated at compile time only — hoist the inner literal into the compileX body",
+		})
+		return true
+	})
+	return out
+}

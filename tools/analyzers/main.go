@@ -23,6 +23,12 @@
 //     belongs to the stats sink (internal/eval), which is sampled once
 //     per batch — a clock read inside a row loop would put a syscall on
 //     the per-row path.
+//
+//   - compilepure: internal/eval/compile.go never nests a func literal
+//     inside another func literal. Compiled closures are allocated once
+//     at prepare time; a nested literal would be re-allocated on every
+//     evaluation, putting per-row allocation back on the path closure
+//     compilation exists to clear.
 package main
 
 import (
@@ -67,6 +73,7 @@ func main() {
 		findings = append(findings, faultgate(f)...)
 		findings = append(findings, govcharge(f)...)
 		findings = append(findings, noclock(f)...)
+		findings = append(findings, compilepure(f)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
