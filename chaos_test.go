@@ -408,3 +408,128 @@ func TestChaosServerPaperBattery(t *testing.T) {
 	client.CloseIdleConnections()
 	waitGoroutines(t, base)
 }
+
+// TestChaosStatsSweep arms the statistics-build injection point. A
+// failed statistics build must never fail registration or ingest —
+// the collection lands, the snapshot simply carries no statistics —
+// and planning must degrade to the heuristic order with results
+// byte-identical to a statistics-driven engine's. Disarmed re-ingest
+// restores cost-based planning.
+func TestChaosStatsSweep(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	mkRows := func(n int, key string) string {
+		var sb strings.Builder
+		sb.WriteString("{{")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "{'%s': %d}", key, i)
+		}
+		sb.WriteString("}}")
+		return sb.String()
+	}
+	load := func(t *testing.T, db *sqlpp.Engine) {
+		t.Helper()
+		for _, c := range []struct {
+			name, key string
+			n         int
+		}{{"l", "x", 3000}, {"m", "y", 300}, {"s", "j", 10}} {
+			if err := db.RegisterSION(c.name, mkRows(c.n, c.key)); err != nil {
+				t.Fatalf("register %s: %v", c.name, err)
+			}
+		}
+	}
+	query := `SELECT VALUE {'x': l.x, 'y': m.y} FROM l AS l, m AS m, s AS s WHERE l.x = s.j AND m.y = s.j`
+	hasNote := func(p *sqlpp.Prepared, prefix string) bool {
+		for _, n := range p.PlanNotes() {
+			if strings.HasPrefix(n, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Fault-free baseline: statistics present, join reordered.
+	healthy := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	load(t, healthy)
+	if len(healthy.Stats()) != 3 {
+		t.Fatalf("healthy engine tracks %d stats snapshots, want 3", len(healthy.Stats()))
+	}
+	hp, err := healthy.Prepare(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasNote(hp, "join-order(") {
+		t.Fatalf("healthy plan not reordered: %v", hp.PlanNotes())
+	}
+	baseline, err := hp.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Armed at every sketch add: registration must still succeed, with
+	// the statistics dropped and planning back on the heuristic order.
+	faultinject.Set(faultinject.StatsSketchAdd, 0, 1, 1<<40, faultinject.Action{Err: faultinject.ErrInjected})
+	degraded := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	load(t, degraded)
+	if faultinject.Fired(faultinject.StatsSketchAdd) == 0 {
+		t.Fatal("stats-sketch-add never fired during registration")
+	}
+	if got := len(degraded.Stats()); got != 0 {
+		t.Fatalf("faulted engine still tracks %d stats snapshots, want 0", got)
+	}
+	dp, err := degraded.Prepare(query)
+	if err != nil {
+		t.Fatalf("prepare without statistics: %v", err)
+	}
+	if hasNote(dp, "join-order(") || hasNote(dp, "est-rows(") {
+		t.Fatalf("stats-less plan carries cost notes: %v", dp.PlanNotes())
+	}
+	dres, err := dp.Exec()
+	if err != nil {
+		t.Fatalf("exec without statistics: %v", err)
+	}
+	if dres.String() != baseline.String() {
+		t.Fatalf("stats-less result diverges from baseline:\n  baseline %s\n  degraded %s", baseline, dres)
+	}
+
+	// A faulted incremental extend must keep the append (rows land) and
+	// drop the snapshot, not corrupt it.
+	faultinject.Reset()
+	appendee := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	load(t, appendee)
+	faultinject.Set(faultinject.StatsSketchAdd, 0, 1, 1<<40, faultinject.Action{Err: faultinject.ErrInjected})
+	if err := appendee.AppendSION("s", "{{{'j': 10}}}"); err != nil {
+		t.Fatalf("append under stats fault: %v", err)
+	}
+	if got := len(appendee.Stats()); got != 2 {
+		t.Fatalf("after faulted append: %d stats snapshots, want 2 (s dropped)", got)
+	}
+	v, err := appendee.Query(`SELECT VALUE COUNT(*) FROM s AS s`)
+	if err != nil || v.String() != "{{11}}" {
+		t.Fatalf("faulted append lost rows: %s, %v", v, err)
+	}
+
+	// Disarmed: a fresh ingest is statistics-driven again and agrees
+	// with the baseline byte-for-byte.
+	faultinject.Reset()
+	recovered := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	load(t, recovered)
+	rp, err := recovered.Prepare(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasNote(rp, "join-order(") {
+		t.Fatalf("recovered plan not reordered: %v", rp.PlanNotes())
+	}
+	rres, err := rp.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.String() != baseline.String() {
+		t.Fatalf("recovered result diverges:\n  baseline  %s\n  recovered %s", baseline, rres)
+	}
+}

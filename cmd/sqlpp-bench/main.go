@@ -14,6 +14,9 @@
 //	                         and write BENCH_index.json
 //	sqlpp-bench -vector      measure the compiled-expression execution core against
 //	                         the tree-walking interpreter and write BENCH_vector.json
+//	sqlpp-bench -planner     run identical queries through the heuristic and the
+//	                         cost-based planner (one shared executor) and write
+//	                         BENCH_planner.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -53,10 +56,12 @@ func main() {
 	indexOut := flag.String("index-out", "BENCH_index.json", "machine-readable output of -index")
 	vector := flag.Bool("vector", false, "measure compiled-expression execution vs the interpreter")
 	vectorOut := flag.String("vector-out", "BENCH_vector.json", "machine-readable output of -vector")
+	planner := flag.Bool("planner", false, "run the planner-quality differential harness")
+	plannerOut := flag.String("planner-out", "BENCH_planner.json", "machine-readable output of -planner")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector && !*planner
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -90,6 +95,9 @@ func main() {
 	}
 	if *vector || all {
 		failed = runVector(*scale, *vectorOut) || failed
+	}
+	if *planner || all {
+		failed = runPlanner(*scale, *plannerOut) || failed
 	}
 	if failed {
 		os.Exit(1)

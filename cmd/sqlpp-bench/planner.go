@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/value"
+)
+
+// Planner-quality differential harness (-planner). Every query runs
+// twice through the SAME executor: once on an engine with statistics
+// disabled (the heuristic planner) and once with statistics enabled
+// (the cost-based planner). The only degree of freedom is the physical
+// plan, so any result difference is a planner bug and any wall-time
+// difference is plan quality. The headline is an adversarial worst-
+// first 3-way comma-join whose written order cross-products the two
+// large relations before the small one that links them; the cost-based
+// planner must win it by at least 5x with byte-identical results.
+
+// plannerReport is the machine-readable artifact of -planner.
+type plannerReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scale      int            `json:"scale"`
+	Queries    []plannerQuery `json:"queries"`
+}
+
+// plannerQuery records one differential run: both plan shapes (the
+// optimizer notes, including join-order and est-rows annotations), the
+// actual result cardinality, and the wall time of one execution per
+// planner.
+type plannerQuery struct {
+	Name       string   `json:"name"`
+	Query      string   `json:"query"`
+	Headline   bool     `json:"headline"`
+	PlanHeur   []string `json:"plan_heuristic"`
+	PlanCost   []string `json:"plan_cost_based"`
+	EstRows    string   `json:"est_rows"`
+	ActualRows int64    `json:"actual_rows"`
+	Identical  bool     `json:"identical"`
+	HeurNs     float64  `json:"heuristic_ns"`
+	CostNs     float64  `json:"cost_based_ns"`
+	// Speedup is heuristic-ns / cost-based-ns; > 1 means the cost-based
+	// plan won.
+	Speedup float64 `json:"speedup"`
+}
+
+// plannerData builds the three relations of the adversarial join:
+// l is large with a unique key, m is mid-sized with a unique key, and
+// s is tiny and links the two (l.x = s.j AND m.y = s.j). Written
+// worst-first (l, m, s), the first two relations share no predicate, so
+// a syntax-order planner cross-products |l| x |m| rows before s prunes
+// them; ordering s first keeps every intermediate at |s| rows.
+func plannerData(scale int) (l, m, s value.Bag) {
+	nl, nm, ns := 100000*scale, 1000*scale, 10
+	l = make(value.Bag, 0, nl)
+	for i := 0; i < nl; i++ {
+		t := value.EmptyTuple()
+		t.Put("x", value.Int(int64(i)))
+		t.Put("pl", value.String(fmt.Sprintf("l-%06d", i)))
+		l = append(l, t)
+	}
+	m = make(value.Bag, 0, nm)
+	for i := 0; i < nm; i++ {
+		t := value.EmptyTuple()
+		t.Put("y", value.Int(int64(i)))
+		t.Put("pm", value.String(fmt.Sprintf("m-%06d", i)))
+		m = append(m, t)
+	}
+	s = make(value.Bag, 0, ns)
+	for i := 0; i < ns; i++ {
+		t := value.EmptyTuple()
+		t.Put("j", value.Int(int64(i)))
+		s = append(s, t)
+	}
+	return l, m, s
+}
+
+// timedExec runs one prepared query once and returns its result and
+// wall time. The adversarial heuristic plans are far too slow to
+// repeat, so both sides are measured the same way: a single cold
+// execution after a GC.
+func timedExec(p *sqlpp.Prepared) (value.Value, float64, error) {
+	runtime.GC()
+	start := time.Now()
+	res, err := p.Exec()
+	return res, float64(time.Since(start).Nanoseconds()), err
+}
+
+// estRowsNote extracts the est-rows(...) annotation from a plan's
+// notes, "" when the plan has none.
+func estRowsNote(notes []string) string {
+	for _, n := range notes {
+		if strings.HasPrefix(n, "est-rows(") {
+			return n
+		}
+	}
+	return ""
+}
+
+// runPlanner runs the planner-quality differential harness and writes
+// BENCH_planner.json. It reports failure when any variant errors, when
+// the two planners' results are not byte-identical, or when the
+// cost-based planner loses a headline query (the adversarial 3-way
+// must improve by at least 5x; no headline may regress at all).
+func runPlanner(scale int, outPath string) bool {
+	fmt.Println("== Planner quality (heuristic vs cost-based, one shared executor) ==")
+	fmt.Println("(Parallelism=1; results diffed byte-for-byte between planners)")
+	report := plannerReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale}
+	failed := false
+
+	heurDB := sqlpp.New(&sqlpp.Options{Parallelism: 1, NoStats: true})
+	costDB := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	l, m, s := plannerData(scale)
+	for _, db := range []*sqlpp.Engine{heurDB, costDB} {
+		for name, data := range map[string]value.Bag{"l": l, "m": m, "s": s} {
+			if err := db.Register(name, data); err != nil {
+				fmt.Println("  ERROR:", err)
+				return true
+			}
+		}
+	}
+
+	queries := []struct {
+		name     string
+		query    string
+		headline bool
+		minGain  float64
+	}{
+		{
+			// The acceptance headline: worst-first comma-join. l and m
+			// share no predicate, so written order is |l| x |m| = 10^8
+			// intermediates; cost-based order (s first) never exceeds |s|.
+			name:     "3way-worst-first",
+			query:    `SELECT VALUE {'x': l.x, 'y': m.y} FROM l AS l, m AS m, s AS s WHERE l.x = s.j AND m.y = s.j`,
+			headline: true,
+			minGain:  5,
+		},
+		{
+			// Large-before-small with a link: the heuristic already hash-
+			// joins, so this records that statistics do not regress the
+			// easy case rather than a dramatic win.
+			name:  "2way-large-small",
+			query: `SELECT VALUE {'x': l.x} FROM l AS l, s AS s WHERE l.x = s.j`,
+		},
+		{
+			// Mid relation first by syntax, large relation filtered hard
+			// by a range predicate the statistics can see.
+			name:  "3way-filtered",
+			query: `SELECT VALUE {'x': l.x, 'y': m.y} FROM m AS m, l AS l, s AS s WHERE l.x = s.j AND m.y = s.j AND l.x < 500000`,
+		},
+	}
+
+	for _, tc := range queries {
+		q := plannerQuery{Name: tc.name, Query: tc.query, Headline: tc.headline}
+		hp, err := heurDB.Prepare(tc.query)
+		if err != nil {
+			fmt.Printf("  %-18s heuristic ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		cp, err := costDB.Prepare(tc.query)
+		if err != nil {
+			fmt.Printf("  %-18s cost-based ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		q.PlanHeur = hp.PlanNotes()
+		q.PlanCost = cp.PlanNotes()
+		q.EstRows = estRowsNote(q.PlanCost)
+
+		hres, hns, err := timedExec(hp)
+		if err != nil {
+			fmt.Printf("  %-18s heuristic ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		cres, cns, err := timedExec(cp)
+		if err != nil {
+			fmt.Printf("  %-18s cost-based ERROR %v\n", tc.name, err)
+			failed = true
+			continue
+		}
+		q.Identical = hres.String() == cres.String()
+		q.ActualRows = resultRows(cres)
+		q.HeurNs, q.CostNs = hns, cns
+		if cns > 0 {
+			q.Speedup = hns / cns
+		}
+
+		status := ""
+		if !q.Identical {
+			status = "  RESULT MISMATCH"
+			failed = true
+		}
+		if tc.headline && q.Speedup < tc.minGain {
+			status += fmt.Sprintf("  HEADLINE LOST (want >= %.0fx, got %.2fx)", tc.minGain, q.Speedup)
+			failed = true
+		}
+		fmt.Printf("  %-18s heuristic %14.0f ns   cost-based %12.0f ns   %8.1fx   %5d rows%s\n",
+			tc.name, q.HeurNs, q.CostNs, q.Speedup, q.ActualRows, status)
+		if n := q.EstRows; n != "" {
+			fmt.Printf("  %-18s %s\n", "", n)
+		}
+		report.Queries = append(report.Queries, q)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
+}

@@ -19,6 +19,7 @@
 //	-max-timeout d      cap on client-requested timeouts (default 5m)
 //	-no-opt             disable the physical optimizer (naive clause pipeline)
 //	-no-compile         disable closure compilation (tree-walking interpreter)
+//	-no-stats           disable statistics-driven cost-based planning
 //	-parallel n         parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //	-max-rows n         server-wide cap on per-query output rows (0 = unlimited)
 //	-max-bytes n        server-wide cap on per-query materialized bytes (0 = unlimited)
@@ -85,6 +86,7 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	noCompile := flag.Bool("no-compile", false, "disable closure compilation (evaluate through the interpreter)")
+	noStats := flag.Bool("no-stats", false, "disable statistics-driven cost-based planning")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	maxRows := flag.Int64("max-rows", 0, "server-wide cap on per-query output rows (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "server-wide cap on per-query materialized bytes (0 = unlimited)")
@@ -98,6 +100,7 @@ func run() error {
 		StopOnError:      *strict,
 		DisableOptimizer: *noOpt,
 		NoCompile:        *noCompile,
+		NoStats:          *noStats,
 		Parallelism:      *parallel,
 	})
 	for _, spec := range data {

@@ -32,6 +32,7 @@
 //	                  the result
 //	-no-opt           disable the physical optimizer (naive clause pipeline)
 //	-no-compile       disable closure compilation (tree-walking interpreter)
+//	-no-stats         disable statistics-driven cost-based planning
 //	-parallel n       parallel-scan workers: 0 = GOMAXPROCS, 1 = sequential
 //
 // With no query and no -f, sqlpp starts a REPL. REPL commands:
@@ -41,6 +42,7 @@
 //	\core <query>     show the SQL++ Core form of a query
 //	\vet <query>      show the static analyzer's diagnostics for a query
 //	\plan <query>     show the physical optimizations a query would use
+//	\stats [c [path]] show the optimizer statistics for one or all collections
 //	\index create <name> <collection> <path> [hash|ordered]
 //	                  build a secondary index over a key path
 //	\index drop <name>
@@ -99,6 +101,7 @@ func run() error {
 	explain := flag.Bool("explain", false, "execute with EXPLAIN ANALYZE and print the per-operator stats tree")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	noCompile := flag.Bool("no-compile", false, "disable closure compilation (evaluate through the interpreter)")
+	noStats := flag.Bool("no-stats", false, "disable statistics-driven cost-based planning")
 	parallel := flag.Int("parallel", 0, "parallel-scan workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
@@ -107,6 +110,7 @@ func run() error {
 		StopOnError:      *strict,
 		DisableOptimizer: *noOpt,
 		NoCompile:        *noCompile,
+		NoStats:          *noStats,
 		Parallelism:      *parallel,
 		Limits: sqlpp.Limits{
 			MaxOutputRows:        *maxRows,
@@ -498,10 +502,12 @@ func command(db *sqlpp.Engine, line, outFormat string) bool {
 		}
 	case "\\index":
 		indexCommand(db, rest)
+	case "\\stats":
+		statsCommand(db, rest)
 	case "\\mode":
 		o := db.Options()
-		fmt.Printf("compat=%v strict=%v optimizer=%v compile=%v parallel=%d\n",
-			o.Compat, o.StopOnError, !o.DisableOptimizer, !o.NoCompile, o.Parallelism)
+		fmt.Printf("compat=%v strict=%v optimizer=%v compile=%v stats=%v parallel=%d\n",
+			o.Compat, o.StopOnError, !o.DisableOptimizer, !o.NoCompile, !o.NoStats, o.Parallelism)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", cmd)
 	}
@@ -556,5 +562,70 @@ func indexCommand(db *sqlpp.Engine, rest string) {
 		}
 	default:
 		usage()
+	}
+}
+
+// statsCommand prints the optimizer statistics for one collection (or
+// one path within it), or a one-line summary per collection when no
+// name is given.
+func statsCommand(db *sqlpp.Engine, rest string) {
+	args := strings.Fields(rest)
+	if len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: \\stats [collection [path]]")
+		return
+	}
+	coll, path := "", ""
+	if len(args) > 0 {
+		coll = args[0]
+	}
+	if len(args) > 1 {
+		path = args[1]
+	}
+	all := db.Stats()
+	if len(all) == 0 {
+		fmt.Println("no statistics (only registered collections are profiled)")
+		return
+	}
+	pathSeen := false
+	for _, cs := range all {
+		if coll != "" && cs.Collection != coll {
+			continue
+		}
+		s := cs.Stats
+		fmt.Printf("%s\trows=%d paths=%d", cs.Collection, s.Rows, len(s.Paths))
+		if s.Truncated {
+			fmt.Print(" (path set truncated)")
+		}
+		fmt.Println()
+		if coll == "" {
+			continue
+		}
+		for _, p := range s.Paths {
+			if path != "" && p.Path != path {
+				continue
+			}
+			pathSeen = true
+			exact := "~"
+			if p.NDVExact {
+				exact = "="
+			}
+			fmt.Printf("  %s\tpresent=%d null=%d missing=%d ndv%s%.0f\n",
+				p.Path, p.Present, p.Null, p.Missing, exact, p.NDV)
+			for _, c := range p.Classes {
+				fmt.Printf("    %s\trows=%d min=%s max=%s buckets=%d\n",
+					c.Class, c.Rows, c.Min, c.Max, len(c.Histogram))
+			}
+		}
+	}
+	if coll != "" {
+		for _, cs := range all {
+			if cs.Collection == coll {
+				if path != "" && !pathSeen {
+					fmt.Fprintf(os.Stderr, "no statistics for path %q in %q\n", path, coll)
+				}
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "no statistics for %q\n", coll)
 	}
 }

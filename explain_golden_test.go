@@ -62,8 +62,8 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT e.name AS n FROM emp AS e WHERE e.salary > 100`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=4
-    scan(e) in=6 out=6
-      filter(pushed) in=6 out=4
+    scan(e) in=6 out=6 est_rows=6
+      filter(pushed) in=6 out=4 est_rows=4
 `,
 		},
 		{
@@ -71,7 +71,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT e.name AS n, d.name AS dn FROM emp AS e JOIN dept AS d ON e.deptno = d.dno`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=5
-    hash-join(inner) in=6 out=5 buckets=3 build_rows=3 candidates=5 verified=5
+    hash-join(inner) in=6 out=5 buckets=3 build_rows=3 candidates=5 est_build=3 est_rows=6 verified=5
       scan(e) in=6 out=6
       scan(d) in=3 out=3
 `,
@@ -81,7 +81,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT e.name AS n, d.name AS dn FROM emp AS e LEFT JOIN dept AS d ON e.deptno = d.dno`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=6
-    hash-join(left) in=6 out=6 buckets=3 build_rows=3 candidates=5 left_pads=1 verified=5
+    hash-join(left) in=6 out=6 buckets=3 build_rows=3 candidates=5 est_build=3 est_rows=6 left_pads=1 verified=5
       scan(e) in=6 out=6
       scan(d) in=3 out=3
 `,
@@ -91,7 +91,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT e.title AS title, COUNT(*) AS n FROM emp AS e GROUP BY e.title HAVING COUNT(*) > 1`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=2
-    scan(e) in=6 out=6
+    scan(e) in=6 out=6 est_rows=6
     group-by in=6 out=4
     filter(having) in=4 out=2
 `,
@@ -101,7 +101,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT DISTINCT e.deptno AS dno FROM emp AS e`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=3
-    scan(e) in=6 out=6
+    scan(e) in=6 out=6 est_rows=6
     distinct in=6 out=3
 `,
 		},
@@ -110,7 +110,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT VALUE e.name FROM emp AS e ORDER BY e.salary DESC LIMIT 3`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=3
-    scan(e) in=6 out=6
+    scan(e) in=6 out=6 est_rows=6
     top-k in=6 out=3 heap_evictions=1
     limit in=3 out=3
 `,
@@ -120,7 +120,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT h.name AS n, p AS proj FROM hr AS h, h.projects AS p WHERE p LIKE '%Security%'`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=2
-    scan(h) in=3 out=3
+    scan(h) in=3 out=3 est_rows=3
     scan(p) in=4 out=4
       filter(pushed) in=4 out=2
 `,
@@ -132,11 +132,11 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			query: `SELECT e.name AS n FROM emp AS e WHERE e.deptno IN (SELECT VALUE d.dno FROM dept AS d WHERE d.budget > 400)`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=5
-    scan(e) in=6 out=6
-      filter(pushed) in=6 out=5
+    scan(e) in=6 out=6 est_rows=6
+      filter(pushed) in=6 out=5 est_rows=2
     select(1:53) in=0 out=2
-      scan(d) in=18 out=18
-        filter(pushed) in=18 out=12
+      scan(d) in=18 out=18 est_rows=3
+        filter(pushed) in=18 out=12 est_rows=2
 `,
 		},
 		{
@@ -146,10 +146,10 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			want: `query in=0 out=0
   set-op(UNION ALL) in=7 out=7
     select(1:1) in=0 out=4
-      scan(e) in=6 out=6
-        filter(pushed) in=6 out=4
+      scan(e) in=6 out=6 est_rows=6
+        filter(pushed) in=6 out=4 est_rows=4
     select(2:12) in=0 out=3
-      scan(d) in=3 out=3
+      scan(d) in=3 out=3 est_rows=3
 `,
 		},
 	}
@@ -189,8 +189,8 @@ func TestExplainAnalyzeGoldenParallel(t *testing.T) {
 			query: `SELECT e.name AS n FROM emp AS e WHERE e.salary > 150000`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=507
-    scan(e) in=1500 out=1500 chunks=4
-      filter(pushed) in=1500 out=507
+    scan(e) in=1500 out=1500 chunks=4 est_rows=1500
+      filter(pushed) in=1500 out=507 est_rows=552
 `,
 		},
 		{
@@ -198,7 +198,7 @@ func TestExplainAnalyzeGoldenParallel(t *testing.T) {
 			query: `SELECT e.deptno AS dno, COUNT(*) AS n FROM emp AS e GROUP BY e.deptno HAVING COUNT(*) > 40`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=15
-    scan(e) in=1500 out=1500 chunks=4
+    scan(e) in=1500 out=1500 chunks=4 est_rows=1500
     group-by in=1500 out=40
     filter(having) in=40 out=15
 `,
@@ -208,7 +208,7 @@ func TestExplainAnalyzeGoldenParallel(t *testing.T) {
 			query: `SELECT DISTINCT e.title AS t FROM emp AS e`,
 			want: `query in=0 out=0
   select(1:1) in=0 out=4
-    scan(e) in=1500 out=1500 chunks=4
+    scan(e) in=1500 out=1500 chunks=4 est_rows=1500
     distinct in=1500 out=4
 `,
 		},

@@ -13,20 +13,22 @@ import (
 
 	"sqlpp/internal/eval"
 	"sqlpp/internal/index"
+	"sqlpp/internal/stats"
 	"sqlpp/internal/value"
 )
 
-// Catalog is a set of named values plus the secondary indexes declared
-// over them. The zero value is not usable; call New.
+// Catalog is a set of named values plus the secondary indexes and
+// statistics declared over them. The zero value is not usable; call New.
 type Catalog struct {
 	mu      sync.RWMutex
 	named   map[string]value.Value
-	indexes map[string]*index.Index // by index name
-	byColl  map[string][]string     // collection name -> sorted index names
+	indexes map[string]*index.Index      // by index name
+	byColl  map[string][]string          // collection name -> sorted index names
+	stats   map[string]*stats.Collection // collection name -> statistics snapshot
 
 	// epoch counts catalog mutations. The server folds it into plan
 	// fingerprints so plans compiled before an index existed (or before
-	// its collection changed) cannot be replayed after.
+	// its collection or statistics changed) cannot be replayed after.
 	epoch atomic.Int64
 }
 
@@ -36,6 +38,7 @@ func New() *Catalog {
 		named:   make(map[string]value.Value),
 		indexes: make(map[string]*index.Index),
 		byColl:  make(map[string][]string),
+		stats:   make(map[string]*stats.Collection),
 	}
 }
 
@@ -59,6 +62,14 @@ func (c *Catalog) Register(name string, v value.Value) error {
 	defer c.mu.Unlock()
 	c.named[name] = v
 	c.epoch.Add(1)
+	// Statistics are advisory: a failed build (resource budget, injected
+	// fault) drops them and planning falls back to heuristics, never
+	// failing the registration itself.
+	if st, err := stats.Build(v, nil); err == nil {
+		c.stats[name] = st
+	} else {
+		delete(c.stats, name)
+	}
 	var firstErr error
 	for _, iname := range append([]string(nil), c.byColl[name]...) {
 		ix := c.indexes[iname]
@@ -104,6 +115,17 @@ func (c *Catalog) Append(name string, elems []value.Value, gov *eval.Governor) e
 	}
 	c.named[name] = nv
 	c.epoch.Add(1)
+	// Extend statistics copy-on-write, like indexes. The extend charges
+	// gov at the "stats-build" site; on failure the statistics are
+	// dropped (planning falls back to heuristics) and the append itself
+	// still takes effect.
+	if st, ok := c.stats[name]; ok {
+		if nst, err := st.Extended(elems, gov); err == nil {
+			c.stats[name] = nst
+		} else {
+			delete(c.stats, name)
+		}
+	}
 	var firstErr error
 	for _, iname := range append([]string(nil), c.byColl[name]...) {
 		nx, err := c.indexes[iname].Extended(nv, elems, gov)
@@ -125,10 +147,21 @@ func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.named, name)
+	delete(c.stats, name)
 	for _, iname := range append([]string(nil), c.byColl[name]...) {
 		c.dropIndexLocked(iname)
 	}
 	c.epoch.Add(1)
+}
+
+// StatsFor returns the current statistics snapshot for a registered
+// collection, or nil when none exist (stats build failed, or the name
+// is unknown). Snapshots are immutable; the caller may hold one across
+// the lock. It implements the planner's stats source.
+func (c *Catalog) StatsFor(name string) *stats.Collection {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats[name]
 }
 
 // LookupValue implements eval.NameSource.

@@ -274,6 +274,28 @@ func (e *Env) Snapshot() *value.Tuple {
 	return t
 }
 
+// RechainBelow rebuilds the scope chain between e (inclusive) and stop
+// (exclusive) in a new nesting order, returning the innermost scope of
+// the rebuilt chain. order maps new nesting position (0 = outermost of
+// the rebuilt scopes) to the scope's current position, also counted
+// outermost-first. The scopes' binding storage is shared, not copied,
+// so the caller must not rebind the originals afterwards. The plan's
+// join-reorder buffer uses it to restore written nesting order over
+// scopes that were produced in a cost-chosen execution order.
+func (e *Env) RechainBelow(stop *Env, order []int) *Env {
+	var scopes []*Env
+	for s := e; s != nil && s != stop; s = s.parent {
+		scopes = append(scopes, s)
+	}
+	n := len(scopes) // scopes is innermost-first
+	cur := stop
+	for _, pos := range order {
+		s := scopes[n-1-pos]
+		cur = &Env{parent: cur, names: s.names, vals: s.vals}
+	}
+	return cur
+}
+
 // SnapshotBelow captures every binding introduced between e (inclusive)
 // and stop (exclusive) as a tuple: the FROM/LET variables of a query
 // block, which is exactly the group content the paper's GROUP AS exposes

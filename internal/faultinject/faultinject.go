@@ -37,9 +37,12 @@ const (
 	IndexBuildInsert = "index-build-insert"
 	// IndexProbeNext fires per candidate row produced by an index probe.
 	IndexProbeNext = "index-probe-next"
+	// StatsSketchAdd fires per element folded into a collection-statistics
+	// sketch during a build or an incremental extend.
+	StatsSketchAdd = "stats-sketch-add"
 )
 
 // Points lists every injection point, for harness sweeps.
 func Points() []string {
-	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart, IndexBuildInsert, IndexProbeNext}
+	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart, IndexBuildInsert, IndexProbeNext, StatsSketchAdd}
 }

@@ -270,6 +270,10 @@ type physState struct {
 	// parallel workers, which share this physState.
 	preFilter *eval.StatsNode
 	stats     []stepStats
+	// ord, non-nil only under a reordered chain (which is never
+	// parallel), records per step the source ordinal of its current
+	// binding; the reorder buffer reads it to key each produced row.
+	ord []int64
 }
 
 // stepStats is one FROM step's pre-resolved instrumentation.
@@ -313,16 +317,31 @@ func newPhysState(ctx *eval.Context, phys *sfwPhys, outer *eval.Env) *physState 
 					ss.probes = ss.node.Counter("probes")
 					ss.hits = ss.node.Counter("hits")
 				}
+				if step.hash.estBuild >= 0 {
+					ss.node.Counter("est_build").Store(step.hash.estBuild)
+				}
+				if step.hash.estOut >= 0 {
+					ss.node.Counter("est_rows").Store(step.hash.estOut)
+				}
 			} else if step.idx != nil {
 				ss.node = indexNode(ctx, parent, step)
 				ss.probes = ss.node.Counter("probes")
 				ss.hits = ss.node.Counter("hits")
+				if step.idx.estRows >= 0 {
+					ss.node.Counter("est_rows").Store(step.idx.estRows)
+				}
 			} else {
 				op, label := describeItem(step.item)
 				ss.node = ctx.Stats.Node(parent, step.item, "item", op, label)
+				if step.estSrc >= 0 {
+					ss.node.Counter("est_rows").Store(step.estSrc)
+				}
 			}
 			if len(step.filters) > 0 {
 				ss.filter = ctx.Stats.Node(ss.node, step, "filter", "filter", "pushed")
+				if step.estOut >= 0 {
+					ss.filter.Counter("est_rows").Store(step.estOut)
+				}
 			}
 		}
 	}
@@ -363,6 +382,9 @@ func (st *physState) produce(ctx *eval.Context, k emit) error {
 	}
 	if st.preFilter != nil {
 		st.preFilter.AddOut(1)
+	}
+	if st.phys.reorder != nil {
+		return st.produceReordered(ctx, k)
 	}
 	return st.run(ctx, st.outer, 0, k)
 }
@@ -496,6 +518,9 @@ func (st *physState) runScanFused(ctx *eval.Context, env *eval.Env, i int, x *as
 		// Non-collection sources (singleton bindings, MISSING, strict
 		// faults) keep the row-at-a-time edge semantics of scanValue,
 		// wrapped with produceItem's emitted-row accounting.
+		if st.ord != nil {
+			st.ord[i] = 0
+		}
 		emitNext := next
 		if node != nil {
 			inner := next
@@ -533,6 +558,9 @@ func (st *physState) runScanFused(ctx *eval.Context, env *eval.Env, i int, x *as
 			}
 			if child == nil || !reuse {
 				child = env.Child()
+			}
+			if st.ord != nil {
+				st.ord[i] = int64(j)
 			}
 			child.Bind(x.As, elems[j])
 			if x.AtVar != "" {

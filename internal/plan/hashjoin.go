@@ -21,10 +21,14 @@ type hashTable struct {
 	rows    int
 }
 
-// hashRow is one build-side binding: the variables its scan introduced.
+// hashRow is one build-side binding: the variables its scan introduced,
+// plus the binding's position in the build source's enumeration (seq),
+// which the join-reorder buffer uses as this step's ordinal. Bucket
+// order preserves it, so candidates stream in source order.
 type hashRow struct {
 	names []string
 	vals  []value.Value
+	seq   int64
 }
 
 // buildHashTable evaluates the build side once and indexes its bindings.
@@ -34,7 +38,13 @@ type hashRow struct {
 func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashTable, error) {
 	t := &hashTable{buckets: map[string][]hashRow{}}
 	var kb []byte
+	var seq int64
 	err := produceItem(ctx, outer, h.right, func(renv *eval.Env) error {
+		// seq numbers every produced binding, including those dropped for
+		// absent keys, so retained rows keep their source positions'
+		// relative order.
+		mySeq := seq
+		seq++
 		if faultinject.Enabled {
 			if err := faultinject.Fire(faultinject.HashBuildInsert); err != nil {
 				return err
@@ -58,7 +68,7 @@ func buildHashTable(ctx *eval.Context, outer *eval.Env, h *hashJoinStep) (*hashT
 			kb = value.AppendKey(kb, v)
 		}
 		names := renv.Names()
-		row := hashRow{names: names, vals: make([]value.Value, len(names))}
+		row := hashRow{names: names, vals: make([]value.Value, len(names)), seq: mySeq}
 		for i, n := range names {
 			v, _ := renv.Lookup(n)
 			row.vals[i] = v
@@ -138,6 +148,9 @@ func (st *physState) runHash(ctx *eval.Context, env *eval.Env, i int, h *hashJoi
 		for _, row := range bucket {
 			if ss != nil {
 				ss.candidates.Add(1)
+			}
+			if st.ord != nil {
+				st.ord[i] = row.seq
 			}
 			cand := lenv.Child()
 			for j, n := range row.names {

@@ -156,6 +156,9 @@ func (st *physState) runIndexScan(ctx *eval.Context, env *eval.Env, i int, step 
 		if err := ctx.Interrupted(); err != nil {
 			return err
 		}
+		if st.ord != nil {
+			st.ord[i] = int64(p)
+		}
 		child := env.Child()
 		child.Bind(x.As, elems[p])
 		if x.AtVar != "" {

@@ -57,6 +57,13 @@ type OptOptions struct {
 	// Funcs resolves function names at compile time; nil leaves calls on
 	// the interpreted path.
 	Funcs eval.FuncSource
+	// Stats resolves per-collection statistics at plan time; nil disables
+	// every cost-based decision (join reordering, index vetoes, parallel
+	// sizing, est_rows annotations) and keeps the heuristic plan.
+	Stats StatsSource
+	// Parallelism is the executor's worker budget, used only to size
+	// parallel-scan chunks from estimated row counts.
+	Parallelism int
 }
 
 // IndexSource answers plan-time access-path questions; the catalog
@@ -85,6 +92,9 @@ type indexAccess struct {
 	eq             ast.Expr
 	lo, hi         ast.Expr
 	loIncl, hiIncl bool
+	// estRows is the estimated probe result cardinality (-1 unknown),
+	// surfaced as est_rows on the EXPLAIN node.
+	estRows int64
 	// Compiled forms of eq/lo/hi; nil when compilation is off.
 	eqC, loC, hiC eval.CompiledExpr
 }
@@ -111,9 +121,19 @@ type sfwPhys struct {
 	// reuseEnv permits the fused scan loop to reuse one child Env across
 	// the rows of a scan, rebinding in place. Safe only when nothing
 	// downstream of the pipeline retains row environments; window
-	// functions are the only retainer (plan.go windowEnvs), so this is
-	// simply "no window clauses".
+	// functions retain them (plan.go windowEnvs), and so does the
+	// reorder buffer below.
 	reuseEnv bool
+	// reorder, when non-nil, runs the steps in a cost-chosen order and
+	// buffers bindings so they are consumed in written production order
+	// (see reorder.go); set only when every step is an uncorrelated named
+	// scan with statistics.
+	reorder *reorderExec
+	// scanEst is the estimated row count of the outermost scan (-1
+	// unknown); chunkHint is the parallel chunk size derived from it (0
+	// means use the runtime default).
+	scanEst   int64
+	chunkHint int
 	// Compiled forms of pre/residual, LET sources, HAVING, the SELECT
 	// projection, ORDER BY keys, and GROUP BY keys. All nil when
 	// compilation is off.
@@ -143,6 +163,9 @@ type fromStep struct {
 	// idx, when non-nil, replaces the scan of this item's named
 	// collection with a secondary-index probe (filters still verify).
 	idx *indexAccess
+	// estSrc/estOut are the estimated source and post-filter row counts
+	// of this step (-1 unknown), surfaced as est_rows on EXPLAIN nodes.
+	estSrc, estOut int64
 	// Compiled forms of filters and of the item's source expression
 	// (FromExpr/FromUnpivot only); nil when compilation is off.
 	filtersC []eval.CompiledExpr
@@ -172,6 +195,9 @@ type hashJoinStep struct {
 	// existing secondary index on the build key (buildIdx.eq holds the
 	// paired probe key); verify and padding semantics are unchanged.
 	buildIdx *indexAccess
+	// estBuild/estOut are the estimated build-side and join-output row
+	// counts (-1 unknown), surfaced as est_rows on EXPLAIN nodes.
+	estBuild, estOut int64
 	// Compiled forms of probeKeys/buildKeys/verify; nil when compilation
 	// is off.
 	probeC, buildC, verifyC []eval.CompiledExpr
@@ -220,41 +246,68 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 		late[w.Name] = true
 	}
 
-	phys := &sfwPhys{steps: make([]fromStep, n)}
+	phys := &sfwPhys{steps: make([]fromStep, n), scanEst: -1}
 	for i := range phys.steps {
-		phys.steps[i].item = q.From[i]
+		phys.steps[i] = fromStep{item: q.From[i], estSrc: -1, estOut: -1}
+	}
+
+	// The conjunct pool pushdown draws from: the WHERE conjuncts, plus —
+	// when reordering flattens JOIN chains below — their ON conjuncts.
+	var pool []ast.Expr
+	if permissive && q.Where != nil {
+		pool = conjuncts(q.Where)
+	}
+
+	// Cost-based join reordering: when statistics cover every leaf of the
+	// FROM chain and the written order is estimated to be expensive, run
+	// the steps smallest-estimated-intermediate-first. The runtime
+	// buffers bindings and restores written production order
+	// (reorder.go), and every predicate stays a verify filter, so
+	// results are byte-identical to the written plan.
+	var reorderNotes []string
+	if permissive && o.Compile && o.Stats != nil {
+		if ro := planJoinOrder(q, o, pool, late); ro != nil {
+			n = len(ro.items)
+			phys.steps = make([]fromStep, n)
+			itemV = make([]map[string]bool, n)
+			for i, item := range ro.items {
+				phys.steps[i] = fromStep{item: item, estSrc: -1, estOut: -1}
+				itemV[i] = nameSet(ast.ItemVars(item))
+			}
+			phys.reorder = ro.exec
+			pool = append(pool, ro.on...)
+			reorderNotes = ro.notes
+		}
 	}
 
 	// Predicate pushdown: each conjunct runs right after the last item
 	// binding one of its free variables.
 	pushed := 0
-	if q.Where != nil {
-		if permissive {
-			for _, c := range conjuncts(q.Where) {
-				fv := ast.FreeVars(c)
-				if intersects(fv, late) {
-					phys.residual = append(phys.residual, c)
-					continue
-				}
-				level := -1
-				for i := range itemV {
-					if intersects(fv, itemV[i]) {
-						level = i
-					}
-				}
-				if level < 0 {
-					phys.pre = append(phys.pre, c)
-					pushed++
-				} else {
-					phys.steps[level].filters = append(phys.steps[level].filters, c)
-					if level < n-1 {
-						pushed++
-					}
+	if permissive {
+		for _, c := range pool {
+			fv := ast.FreeVars(c)
+			if intersects(fv, late) {
+				phys.residual = append(phys.residual, c)
+				continue
+			}
+			level := -1
+			for i := range itemV {
+				if intersects(fv, itemV[i]) {
+					level = i
 				}
 			}
-		} else {
-			phys.residual = conjuncts(q.Where)
+			if level < 0 {
+				phys.pre = append(phys.pre, c)
+				pushed++
+			} else {
+				phys.steps[level].filters = append(phys.steps[level].filters, c)
+				if level < n-1 {
+					pushed++
+				}
+			}
 		}
+	} else if q.Where != nil {
+		phys.residual = conjuncts(q.Where)
 	}
 
 	// Source hoisting: item i's source is uncorrelated when it has no
@@ -262,8 +315,8 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	// evaluated once regardless.
 	earlier := map[string]bool{}
 	hoisted := 0
-	for i, item := range q.From {
-		switch x := item.(type) {
+	for i := range phys.steps {
+		switch x := phys.steps[i].item.(type) {
 		case *ast.FromExpr:
 			if i > 0 && !ast.FreeVarsOver(x.Expr, earlier) {
 				phys.steps[i].hoist = true
@@ -300,6 +353,14 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 				continue
 			}
 			if ia := chooseIndexAccess(o.Indexes, ref.Name, x, step.filters, itemV[i]); ia != nil {
+				// Index-vs-scan by estimated selectivity: on a large
+				// collection an access expected to return a big fraction
+				// of the rows loses to the scan's locality and is vetoed
+				// (the pushed filters it matched still apply).
+				if keep, est, rows := indexWorthIt(o.Stats, ref.Name, ia); !keep {
+					idxNotes = append(idxNotes, fmt.Sprintf("index-skip(%s est=%d/%d)", ia.name, est, rows))
+					continue
+				}
 				step.idx = ia
 				if ia.eq != nil {
 					idxNotes = append(idxNotes, fmt.Sprintf("index-eq(%s)", ia.name))
@@ -314,9 +375,9 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	hashed := 0
 	if permissive {
 		earlier = map[string]bool{}
-		for i, item := range q.From {
+		for i := range phys.steps {
 			step := &phys.steps[i]
-			switch x := item.(type) {
+			switch x := step.item.(type) {
 			case *ast.FromJoin:
 				if h := analyzeJoinHash(x, earlier); h != nil {
 					step.hash = h
@@ -353,15 +414,60 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	// Parallel outer scan: bag output, no LIMIT/OFFSET (their early-stop
 	// and slicing need global order), no window functions, and a plain
 	// scan as the outermost item. GROUP BY, DISTINCT, and HAVING all
-	// merge deterministically (see parallel.go).
-	if len(q.OrderBy) == 0 && q.Limit == nil && q.Offset == nil && len(q.Windows) == 0 {
+	// merge deterministically (see parallel.go). Reordered chains buffer
+	// and re-sort bindings, which assumes straight-line production.
+	if len(q.OrderBy) == 0 && q.Limit == nil && q.Offset == nil && len(q.Windows) == 0 && phys.reorder == nil {
 		if _, ok := phys.steps[0].item.(*ast.FromExpr); ok && phys.steps[0].hash == nil && phys.steps[0].idx == nil {
 			phys.parallel = true
 		}
 	}
 
+	// Row estimates for EXPLAIN ANALYZE (est_rows vs actuals) and for the
+	// parallel sizing below.
+	annotateEstimates(q, phys, o, itemV)
+	var estNotes []string
+	for i := range phys.steps {
+		if h := phys.steps[i].hash; h != nil && h.estBuild >= 0 {
+			estNotes = append(estNotes, fmt.Sprintf("build-side(%s est=%d)", h.right.As, h.estBuild))
+		}
+		if ia := phys.steps[i].idx; ia != nil && ia.estRows >= 0 {
+			estNotes = append(estNotes, fmt.Sprintf("index-est(%s rows=%d)", ia.name, ia.estRows))
+		}
+	}
+
+	// Parallel sizing from row counts: a scan estimated under the
+	// partitioning threshold skips the worker pool (its setup would
+	// dominate); larger scans get a chunk size dividing the estimate
+	// across the worker budget.
+	parallelNote := ""
+	if phys.parallel {
+		parallelNote = "parallel-scan"
+		if phys.scanEst >= 0 {
+			if phys.scanEst < int64(parallelMinRows) {
+				phys.parallel = false
+				parallelNote = fmt.Sprintf("parallel-skip(est=%d)", phys.scanEst)
+			} else {
+				workers := o.Parallelism
+				if workers < 1 {
+					workers = 1
+				}
+				chunk := int(phys.scanEst) / workers
+				if chunk < parallelMinChunk {
+					chunk = parallelMinChunk
+				}
+				phys.chunkHint = chunk
+				parallelNote = fmt.Sprintf("parallel-scan(est=%d chunk=%d)", phys.scanEst, chunk)
+			}
+		}
+	}
+
 	if o.Compile {
 		compileSFW(q, phys, eval.CompileOpts{Mode: o.Mode, Compat: o.Compat, Funcs: o.Funcs})
+	}
+	if phys.reorder != nil {
+		// The reorder buffer retains row environments until the chain
+		// finishes, so the fused scan must not rebind them in place.
+		phys.reuseEnv = false
 	}
 
 	var notes []string
@@ -381,8 +487,14 @@ func analyzeSFW(q *ast.SFW, o OptOptions) (*sfwPhys, []string) {
 	for _, n := range idxNotes {
 		add("%s", n)
 	}
-	if phys.parallel {
-		add("parallel-scan")
+	for _, n := range reorderNotes {
+		add("%s", n)
+	}
+	for _, n := range estNotes {
+		add("%s", n)
+	}
+	if parallelNote != "" {
+		add("%s", parallelNote)
 	}
 	if phys.compiled {
 		add("compiled")
@@ -461,7 +573,7 @@ func chooseIndexAccess(src IndexSource, collection string, x *ast.FromExpr, filt
 			continue
 		}
 		if name, ok := src.IndexFor(collection, path, false); ok {
-			return &indexAccess{name: name, collection: collection, path: path, eq: probe}
+			return &indexAccess{name: name, collection: collection, path: path, eq: probe, estRows: -1}
 		}
 	}
 	type bounds struct {
@@ -494,7 +606,7 @@ func chooseIndexAccess(src IndexSource, collection string, x *ast.FromExpr, filt
 		if name, ok := src.IndexFor(collection, b.path, true); ok {
 			return &indexAccess{
 				name: name, collection: collection, path: b.path, ordered: true,
-				lo: b.lo, hi: b.hi, loIncl: b.loIncl, hiIncl: b.hiIncl,
+				lo: b.lo, hi: b.hi, loIncl: b.loIncl, hiIncl: b.hiIncl, estRows: -1,
 			}
 		}
 	}
@@ -515,7 +627,7 @@ func chooseJoinIndex(src IndexSource, h *hashJoinStep) *indexAccess {
 			continue
 		}
 		if name, ok := src.IndexFor(ref.Name, path, false); ok {
-			return &indexAccess{name: name, collection: ref.Name, path: path, eq: h.probeKeys[j]}
+			return &indexAccess{name: name, collection: ref.Name, path: path, eq: h.probeKeys[j], estRows: -1}
 		}
 	}
 	return nil
@@ -662,6 +774,8 @@ func analyzeJoinHash(x *ast.FromJoin, earlier map[string]bool) *hashJoinStep {
 		verify:   []ast.Expr{x.On},
 		leftJoin: x.Kind == ast.JoinLeft,
 		padVars:  ast.ItemVars(right),
+		estBuild: -1,
+		estOut:   -1,
 	}
 }
 
@@ -692,6 +806,8 @@ func analyzeCommaHash(x *ast.FromExpr, step *fromStep, ownVars, earlier map[stri
 		buildKeys: buildKeys,
 		verify:    equi,
 		padVars:   ast.ItemVars(x),
+		estBuild:  -1,
+		estOut:    -1,
 	}
 }
 

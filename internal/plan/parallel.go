@@ -72,8 +72,15 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 	if len(elems) < parallelMinRows {
 		return nil, false, nil
 	}
+	// The plan-time chunk hint (statistics row estimate divided across
+	// the worker budget) bounds the split below; without statistics the
+	// floor is the static minimum chunk.
+	minChunk := parallelMinChunk
+	if phys.chunkHint > minChunk {
+		minChunk = phys.chunkHint
+	}
 	workers := ctx.Parallelism
-	if most := len(elems) / parallelMinChunk; workers > most {
+	if most := len(elems) / minChunk; workers > most {
 		workers = most
 	}
 	if workers < 2 {

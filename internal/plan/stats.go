@@ -102,11 +102,17 @@ func buildBlockSkeleton(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, limit, off
 		if len(phys.pre) > 0 {
 			ctx.Stats.Node(block, phys, "pre", "filter", "pre")
 		}
+		stepParent := block
+		if phys.reorder != nil {
+			// The reordered steps nest under the join-order buffer that
+			// restores their written production order.
+			stepParent = ctx.Stats.Node(block, phys, "reorder", "join-order", phys.reorder.label)
+		}
 		for i := range phys.steps {
 			step := &phys.steps[i]
 			var n *eval.StatsNode
 			if step.hash != nil {
-				n = hashNode(ctx, block, step.hash)
+				n = hashNode(ctx, stepParent, step.hash)
 				if step.hash.left != nil {
 					itemSkeleton(ctx, n, step.hash.left)
 				}
@@ -114,9 +120,9 @@ func buildBlockSkeleton(ctx *eval.Context, q *ast.SFW, phys *sfwPhys, limit, off
 					itemSkeleton(ctx, n, step.hash.right)
 				}
 			} else if step.idx != nil {
-				n = indexNode(ctx, block, step)
+				n = indexNode(ctx, stepParent, step)
 			} else {
-				n = itemSkeleton(ctx, block, step.item)
+				n = itemSkeleton(ctx, stepParent, step.item)
 				if step.hoist {
 					n.Counter("hoisted").Store(1)
 				}

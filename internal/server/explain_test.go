@@ -66,8 +66,8 @@ func TestExplainOption(t *testing.T) {
 	}
 	want := `query in=0 out=0
   select(1:1) in=0 out=2
-    scan(e) in=3 out=3
-      filter(pushed) in=3 out=2
+    scan(e) in=3 out=3 est_rows=3
+      filter(pushed) in=3 out=2 est_rows=2
 `
 	if got := inst.Stats.Render(true); got != want {
 		t.Errorf("stats tree mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

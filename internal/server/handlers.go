@@ -57,7 +57,11 @@ type queryOptions struct {
 	DisableOptimizer *bool `json:"disable_optimizer,omitempty"`
 	// NoCompile disables the closure-compilation pass for this request;
 	// expressions evaluate through the tree-walking interpreter instead.
-	NoCompile   *bool `json:"no_compile,omitempty"`
+	NoCompile *bool `json:"no_compile,omitempty"`
+	// NoStats disables statistics-driven planning for this request; the
+	// optimizer falls back to its heuristics (written join order, right
+	// build side, fixed parallel chunks).
+	NoStats     *bool `json:"no_stats,omitempty"`
 	Parallelism *int  `json:"parallelism,omitempty"`
 	// MaxRows / MaxBytes set this request's governor budgets for output
 	// rows and materialized bytes. The server's own caps clamp both: a
@@ -201,6 +205,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Options.NoCompile != nil {
 			opts.NoCompile = *req.Options.NoCompile
+		}
+		if req.Options.NoStats != nil {
+			opts.NoStats = *req.Options.NoStats
 		}
 		if req.Options.Parallelism != nil {
 			opts.Parallelism = *req.Options.Parallelism

@@ -122,6 +122,7 @@ func New(engine *sqlpp.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/indexes", s.handleIndexCreate)
 	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleIndexDrop)
 	s.mux.HandleFunc("GET /v1/indexes", s.handleIndexList)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStatsList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

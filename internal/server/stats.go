@@ -1,0 +1,16 @@
+package server
+
+import "net/http"
+
+// Statistics introspection endpoint. Statistics are maintained by the
+// catalog itself (built at registration, extended copy-on-write at
+// append), so the handler is read-only: it never mutates the catalog or
+// the plan cache, and the summaries it returns are snapshots that stay
+// coherent even while concurrent ingests replace them.
+
+// handleStatsList reports the per-collection optimizer statistics:
+// cardinality, per-path NDV estimates, value-class histograms, and
+// MISSING/NULL fractions, exactly as the cost-based planner sees them.
+func (s *Server) handleStatsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"stats": s.engine.Stats()})
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+// fuzzRows decodes an arbitrary byte stream into a bounded list of rows
+// with heterogeneous field values, so the fuzzer explores mixed-type
+// paths, NULLs, absent fields, nested tuples, and adversarial strings.
+func fuzzRows(data []byte) []value.Value {
+	const maxRows = 512
+	var rows []value.Value
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	for i < len(data) && len(rows) < maxRows {
+		t := value.EmptyTuple()
+		for f := 0; f < 3; f++ {
+			name := string(rune('a' + f))
+			switch next() % 8 {
+			case 0:
+				t.Put(name, value.Int(int64(next())|int64(next())<<8))
+			case 1:
+				t.Put(name, value.Float(float64(int64(next()))/(float64(next())+1)))
+			case 2:
+				n := int(next()) % 8
+				s := make([]byte, 0, n)
+				for j := 0; j < n; j++ {
+					s = append(s, next())
+				}
+				t.Put(name, value.String(string(s)))
+			case 3:
+				t.Put(name, value.Bool(next()%2 == 0))
+			case 4:
+				t.Put(name, value.Null)
+			case 5:
+				sub := value.EmptyTuple()
+				sub.Put("z", value.Int(int64(next())%16))
+				t.Put(name, sub)
+			case 6:
+				t.Put(name, value.Array{value.Int(int64(next()) % 4)})
+			default: // absent field
+			}
+		}
+		rows = append(rows, t)
+	}
+	return rows
+}
+
+// FuzzStats drives the statistics subsystem with arbitrary row sets:
+// building, extending, and merging must never panic, and the resulting
+// snapshot must be byte-deterministic under permuted ingest (reversal
+// permutes every pair) and commutative under Merge. The estimators are
+// then probed for NaN/negative escapes.
+func FuzzStats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte("\x00\x00\xff\xff statistics never panic \x02\x02\x02"))
+	seed := make([]byte, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		seed = append(seed, byte(i*7+i/13))
+	}
+	f.Add(seed) // enough rows to saturate the per-path sketches
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := fuzzRows(data)
+		fwd, err := Build(value.Bag(rows), nil)
+		if err != nil {
+			t.Fatalf("Build (no governor) errored: %v", err)
+		}
+		rev := make([]value.Value, len(rows))
+		for i, r := range rows {
+			rev[len(rows)-1-i] = r
+		}
+		bwd, err := Build(value.Bag(rev), nil)
+		if err != nil {
+			t.Fatalf("reverse Build errored: %v", err)
+		}
+		sf, sb := fwd.Summarize(), bwd.Summarize()
+		if !reflect.DeepEqual(sf, sb) {
+			t.Fatalf("permuted ingest diverged:\n%+v\nvs\n%+v", sf, sb)
+		}
+
+		half := len(rows) / 2
+		a, _ := Build(value.Bag(rows[:half]), nil)
+		b, err := a.Extended(rows[half:], nil)
+		if err != nil {
+			t.Fatalf("Extended errored: %v", err)
+		}
+		if !reflect.DeepEqual(b.Summarize(), sf) {
+			t.Fatalf("Extended diverged from whole-set Build")
+		}
+		c, _ := Build(value.Bag(rows[half:]), nil)
+		if ab, ba := Merge(a, c).Summarize(), Merge(c, a).Summarize(); !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("Merge is order-sensitive:\n%+v\nvs\n%+v", ab, ba)
+		}
+
+		for _, path := range [][]string{{"a"}, {"b"}, {"c"}, {"a", "z"}, {"nope"}} {
+			if est, ok := fwd.NDV(path); ok && (est < 1 || est != est) {
+				t.Fatalf("NDV(%v) = %f: not a sane estimate", path, est)
+			}
+			probes := []value.Value{value.Int(3), value.String("s"), value.Null, value.Bool(true)}
+			for _, p := range probes {
+				if frac, ok := fwd.EqFraction(path, p); ok && (frac < 0 || frac > 1 || frac != frac) {
+					t.Fatalf("EqFraction(%v, %s) = %f: out of [0,1]", path, p, frac)
+				}
+			}
+			if frac, ok := fwd.RangeFraction(path, value.Int(0), value.Int(100), true, false); ok && (frac < 0 || frac > 1 || frac != frac) {
+				t.Fatalf("RangeFraction(%v) = %f: out of [0,1]", path, frac)
+			}
+		}
+	})
+}

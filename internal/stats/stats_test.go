@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sqlpp/internal/value"
+)
+
+// row builds a one-level tuple from alternating name/value pairs.
+func row(pairs ...any) value.Value {
+	t := value.EmptyTuple()
+	for i := 0; i < len(pairs); i += 2 {
+		t.Put(pairs[i].(string), pairs[i+1].(value.Value))
+	}
+	return t
+}
+
+func mustBuild(t *testing.T, src value.Value) *Collection {
+	t.Helper()
+	c, err := Build(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBuildBasicCounts locks the exact bookkeeping on a collection small
+// enough that nothing is estimated: cardinality, per-path present/NULL/
+// MISSING splits, exact NDV, and per-class min/max.
+func TestBuildBasicCounts(t *testing.T) {
+	c := mustBuild(t, value.Bag{
+		row("a", value.Int(1), "b", value.String("x")),
+		row("a", value.Int(2), "b", value.Null),
+		row("a", value.Int(1)),
+		row("b", value.String("y")),
+		row("a", value.Float(2.5), "b", value.String("x")),
+	})
+	if got := c.Rows(); got != 5 {
+		t.Fatalf("rows = %d, want 5", got)
+	}
+	s := c.Summarize()
+	if len(s.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (a, b)", len(s.Paths))
+	}
+	a, b := s.Paths[0], s.Paths[1]
+	if a.Path != "a" || b.Path != "b" {
+		t.Fatalf("paths sorted wrong: %q, %q", a.Path, b.Path)
+	}
+	if a.Present != 4 || a.Null != 0 || a.Missing != 1 {
+		t.Errorf("a: present=%d null=%d missing=%d, want 4/0/1", a.Present, a.Null, a.Missing)
+	}
+	if b.Present != 3 || b.Null != 1 || b.Missing != 1 {
+		t.Errorf("b: present=%d null=%d missing=%d, want 3/1/1", b.Present, b.Null, b.Missing)
+	}
+	if !a.NDVExact || a.NDV != 3 { // 1, 2, 2.5
+		t.Errorf("a: ndv=%v exact=%v, want exactly 3", a.NDV, a.NDVExact)
+	}
+	if len(a.Classes) != 1 || a.Classes[0].Class != "number" {
+		t.Fatalf("a classes = %+v, want one number class", a.Classes)
+	}
+	if a.Classes[0].Min != "1" || a.Classes[0].Max != "2.5" {
+		t.Errorf("a number min/max = %s/%s, want 1/2.5", a.Classes[0].Min, a.Classes[0].Max)
+	}
+	if len(b.Classes) != 1 || b.Classes[0].Class != "string" || b.Classes[0].Rows != 3 {
+		t.Errorf("b classes = %+v, want one string class over 3 rows", b.Classes)
+	}
+}
+
+// TestNDVEstimateSaturated: far past the sketch size, the bottom-k
+// estimator must stay within a loose relative error (the theoretical
+// standard error at k=256 is ~6%).
+func TestNDVEstimateSaturated(t *testing.T) {
+	const n = 50000
+	elems := make(value.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		elems = append(elems, row("k", value.Int(int64(i))))
+	}
+	c := mustBuild(t, elems)
+	est, ok := c.NDV([]string{"k"})
+	if !ok {
+		t.Fatal("no NDV for k")
+	}
+	if est < 0.75*n || est > 1.25*n {
+		t.Fatalf("NDV estimate %f for %d distinct values: outside 25%%", est, n)
+	}
+	if s := c.Summarize(); s.Paths[0].NDVExact {
+		t.Fatal("50000 distinct values reported as exact NDV")
+	}
+}
+
+// TestFractionsExact: with fewer distinct values than the sketch holds,
+// equality fractions are exact and range fractions are exact over the
+// (complete) sample.
+func TestFractionsExact(t *testing.T) {
+	const n = 1000
+	elems := make(value.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		elems = append(elems, row("g", value.Int(int64(i%10))))
+	}
+	c := mustBuild(t, elems)
+	if frac, ok := c.EqFraction([]string{"g"}, value.Int(5)); !ok || frac != 0.1 {
+		t.Errorf("EqFraction(g=5) = %f, %v; want exactly 0.1", frac, ok)
+	}
+	if frac, ok := c.EqFraction([]string{"g"}, value.Int(42)); !ok || frac != 0 {
+		t.Errorf("EqFraction(g=42) = %f, %v; want exactly 0 (absent, unsaturated)", frac, ok)
+	}
+	frac, ok := c.RangeFraction([]string{"g"}, value.Int(0), value.Int(5), true, false)
+	if !ok || frac != 0.5 {
+		t.Errorf("RangeFraction(0 <= g < 5) = %f, %v; want exactly 0.5", frac, ok)
+	}
+}
+
+// TestRangeFractionSampled: saturated sketches estimate range fractions
+// from the retained sample; the error must stay in the few-percent range
+// binomial sampling predicts.
+func TestRangeFractionSampled(t *testing.T) {
+	const n = 10000
+	elems := make(value.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		elems = append(elems, row("k", value.Int(int64(i))))
+	}
+	c := mustBuild(t, elems)
+	frac, ok := c.RangeFraction([]string{"k"}, value.Int(0), value.Int(n/4), true, false)
+	if !ok {
+		t.Fatal("no range estimate")
+	}
+	if math.Abs(frac-0.25) > 0.1 {
+		t.Fatalf("RangeFraction over the first quarter = %f, want 0.25 +- 0.1", frac)
+	}
+}
+
+// TestExtendedCopyOnWrite: extending a snapshot must leave the original
+// observably untouched while the extension sees both row sets.
+func TestExtendedCopyOnWrite(t *testing.T) {
+	elems := make(value.Bag, 0, 100)
+	for i := 0; i < 100; i++ {
+		elems = append(elems, row("k", value.Int(int64(i)), "tag", value.String("old")))
+	}
+	old := mustBuild(t, elems)
+	before := old.Summarize()
+
+	more := make([]value.Value, 0, 50)
+	for i := 100; i < 150; i++ {
+		more = append(more, row("k", value.Int(int64(i)), "tag", value.String("new")))
+	}
+	ext, err := old.Extended(more, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := old.Summarize(); !reflect.DeepEqual(before, got) {
+		t.Fatalf("Extended mutated the original snapshot:\nbefore %+v\nafter  %+v", before, got)
+	}
+	if ext.Rows() != 150 {
+		t.Fatalf("extended rows = %d, want 150", ext.Rows())
+	}
+	if est, ok := ext.NDV([]string{"k"}); !ok || est != 150 {
+		t.Fatalf("extended NDV(k) = %f, %v; want exactly 150", est, ok)
+	}
+	if frac, ok := ext.EqFraction([]string{"tag"}, value.String("new")); !ok || math.Abs(frac-50.0/150) > 1e-9 {
+		t.Fatalf("extended EqFraction(tag='new') = %f, %v; want 1/3", frac, ok)
+	}
+}
+
+// randRows builds a heterogeneous collection: numbers, strings, bools,
+// NULLs, absent fields, and a nested tuple path.
+func randRows(rng *rand.Rand, n int) []value.Value {
+	out := make([]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		t := value.EmptyTuple()
+		switch rng.Intn(6) {
+		case 0:
+			t.Put("k", value.Int(int64(rng.Intn(500))))
+		case 1:
+			t.Put("k", value.Float(rng.Float64()*100))
+		case 2:
+			t.Put("k", value.String(fmt.Sprintf("s%03d", rng.Intn(300))))
+		case 3:
+			t.Put("k", value.Bool(rng.Intn(2) == 0))
+		case 4:
+			t.Put("k", value.Null)
+		default: // absent
+		}
+		if rng.Intn(3) == 0 {
+			sub := value.EmptyTuple()
+			sub.Put("z", value.Int(int64(rng.Intn(20))))
+			t.Put("n", sub)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// TestPermutedIngestDeterministic: sketch membership depends only on
+// hash values and counts are exact for retained values, so the same
+// multiset of rows must summarize identically regardless of ingest
+// order — including well past saturation.
+func TestPermutedIngestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 20; trial++ {
+		rows := randRows(rng, 200+rng.Intn(2000))
+		perm := make([]value.Value, len(rows))
+		for i, j := range rng.Perm(len(rows)) {
+			perm[i] = rows[j]
+		}
+		a := mustBuild(t, value.Bag(rows))
+		b := mustBuild(t, value.Bag(perm))
+		if sa, sb := a.Summarize(), b.Summarize(); !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("trial %d: permuted ingest diverged:\n%+v\nvs\n%+v", trial, sa, sb)
+		}
+	}
+}
+
+// TestMergeCommutes: Merge(a, b) and Merge(b, a) must be observably
+// identical, and agree with building over the concatenation.
+func TestMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		ra := randRows(rng, 100+rng.Intn(800))
+		rb := randRows(rng, 100+rng.Intn(800))
+		a := mustBuild(t, value.Bag(ra))
+		b := mustBuild(t, value.Bag(rb))
+		ab := Merge(a, b).Summarize()
+		ba := Merge(b, a).Summarize()
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: Merge is order-sensitive:\n%+v\nvs\n%+v", trial, ab, ba)
+		}
+		both := mustBuild(t, value.Bag(append(append([]value.Value{}, ra...), rb...))).Summarize()
+		if !reflect.DeepEqual(ab, both) {
+			t.Fatalf("trial %d: Merge diverges from building over the union:\n%+v\nvs\n%+v", trial, ab, both)
+		}
+	}
+}
+
+// TestPathBudgetDeterministic: past maxPaths, the retained path set is
+// the lexicographically smallest — independent of ingest order.
+func TestPathBudgetDeterministic(t *testing.T) {
+	n := maxPaths + 20
+	wide := value.EmptyTuple()
+	for i := n - 1; i >= 0; i-- { // descending insertion order on purpose
+		wide.Put(fmt.Sprintf("p%03d", i), value.Int(int64(i)))
+	}
+	c := mustBuild(t, value.Bag{wide})
+	s := c.Summarize()
+	if !s.Truncated {
+		t.Fatal("path budget overflow not flagged as truncated")
+	}
+	if len(s.Paths) != maxPaths {
+		t.Fatalf("tracked paths = %d, want %d", len(s.Paths), maxPaths)
+	}
+	if got, want := s.Paths[len(s.Paths)-1].Path, fmt.Sprintf("p%03d", maxPaths-1); got != want {
+		t.Fatalf("largest retained path = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,225 @@
+package sqlpp_test
+
+// Plan-quality differential harness at unit scale: the same queries are
+// prepared on a statistics-blind engine (the heuristic planner) and a
+// statistics-aware one (the cost-based planner), executed through the
+// one shared executor, and compared byte-for-byte. The cost-based plans
+// must additionally carry their decisions in PlanNotes — join order
+// with estimated cost, per-step cardinality estimates, build sides,
+// index vetoes, and parallel chunk sizing — and EXPLAIN ANALYZE must
+// surface est_rows next to the actual row counters.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlpp"
+	"sqlpp/internal/value"
+)
+
+// planqRows builds n rows {<key>: 0..n-1, grp: i%2, pad}.
+func planqRows(n int, key string) value.Bag {
+	out := make(value.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		t := value.EmptyTuple()
+		t.Put(key, value.Int(int64(i)))
+		t.Put("grp", value.Int(int64(i%2)))
+		t.Put("pad", value.String(fmt.Sprintf("r%05d", i)))
+		out = append(out, t)
+	}
+	return out
+}
+
+// planqEngines returns a heuristic and a cost-based engine over the
+// adversarial three-relation catalog (3000 x 300 x 10).
+func planqEngines(t *testing.T, parallelism int) (heur, cost *sqlpp.Engine) {
+	t.Helper()
+	heur = sqlpp.New(&sqlpp.Options{Parallelism: parallelism, NoStats: true})
+	cost = sqlpp.New(&sqlpp.Options{Parallelism: parallelism})
+	for name, data := range map[string]value.Bag{
+		"l": planqRows(3000, "x"),
+		"m": planqRows(300, "y"),
+		"s": planqRows(10, "j"),
+	} {
+		if err := heur.Register(name, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := cost.Register(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return heur, cost
+}
+
+func hasNote(notes []string, prefix string) bool {
+	for _, n := range notes {
+		if strings.HasPrefix(n, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPlannerDifferentialIdentity: a battery of join/filter shapes, each
+// run through both planners; results must be byte-identical even where
+// the physical plans diverge completely.
+func TestPlannerDifferentialIdentity(t *testing.T) {
+	heur, cost := planqEngines(t, 1)
+	queries := []string{
+		// The adversarial worst-first comma-join: written order cross-
+		// products l x m before s links them.
+		`SELECT VALUE {'x': l.x, 'y': m.y} FROM l AS l, m AS m, s AS s WHERE l.x = s.j AND m.y = s.j`,
+		// Same chain written in the good order: reorder must not fire (or
+		// must be a no-op) and results still match.
+		`SELECT VALUE {'x': l.x, 'y': m.y} FROM s AS s, m AS m, l AS l WHERE l.x = s.j AND m.y = s.j`,
+		// Explicit JOIN chain (flattened and reordered through ON).
+		`SELECT VALUE {'x': l.x} FROM l AS l JOIN m AS m ON l.x = m.y JOIN s AS s ON m.y = s.j`,
+		// Local filters the statistics can price.
+		`SELECT VALUE {'x': l.x} FROM l AS l, s AS s WHERE l.x = s.j AND l.grp = 1`,
+		`SELECT VALUE l.x FROM l AS l WHERE l.x >= 100 AND l.x < 140`,
+		// Aggregation and DISTINCT over a reordered join.
+		`SELECT s.j AS j, COUNT(*) AS n FROM l AS l, m AS m, s AS s WHERE l.x = s.j AND m.y = s.j GROUP BY s.j`,
+		`SELECT DISTINCT m.grp AS g FROM m AS m, s AS s WHERE m.y = s.j`,
+		// ORDER BY + LIMIT exercises errStop through the reorder buffer.
+		`SELECT VALUE l.x FROM l AS l, s AS s WHERE l.x = s.j ORDER BY l.x DESC LIMIT 3`,
+	}
+	for _, q := range queries {
+		hv, herr := heur.Query(q)
+		cv, cerr := cost.Query(q)
+		if (herr == nil) != (cerr == nil) {
+			t.Fatalf("%q: error divergence: %v vs %v", q, herr, cerr)
+		}
+		if herr != nil {
+			continue
+		}
+		if hv.String() != cv.String() {
+			t.Fatalf("%q diverges:\n  heuristic  %s\n  cost-based %s", q, hv, cv)
+		}
+	}
+}
+
+// TestPlannerNotesSurfaceDecisions: every cost-based decision must be
+// visible in PlanNotes, and the heuristic plan of the same text must
+// carry none of them.
+func TestPlannerNotesSurfaceDecisions(t *testing.T) {
+	heur, cost := planqEngines(t, 1)
+	q := `SELECT VALUE {'x': l.x} FROM l AS l, m AS m, s AS s WHERE l.x = s.j AND m.y = s.j`
+
+	cp, err := cost.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := cp.PlanNotes()
+	if !hasNote(notes, "join-order(s,") {
+		t.Errorf("cost-based plan does not reorder smallest-first: %v", notes)
+	}
+	if !hasNote(notes, "est-rows(") {
+		t.Errorf("cost-based plan carries no cardinality estimates: %v", notes)
+	}
+	if !hasNote(notes, "build-side(") {
+		t.Errorf("cost-based plan does not report its build sides: %v", notes)
+	}
+
+	hp, err := heur.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range hp.PlanNotes() {
+		for _, forbidden := range []string{"join-order(", "est-rows(", "build-side(", "index-skip(", "parallel-scan(est"} {
+			if strings.HasPrefix(n, forbidden) {
+				t.Errorf("heuristic plan carries a statistics note: %s", n)
+			}
+		}
+	}
+}
+
+// TestPlannerIndexVeto: statistics must veto an index probe that would
+// select most of a large collection, keep one that stays selective, and
+// never change results either way.
+func TestPlannerIndexVeto(t *testing.T) {
+	heur, cost := planqEngines(t, 1)
+	for _, db := range []*sqlpp.Engine{heur, cost} {
+		if err := db.CreateIndex("ixg", "l", "grp", "hash"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex("ixx", "l", "x", "hash"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wide := `SELECT VALUE l.pad FROM l AS l WHERE l.grp = 1`
+	narrow := `SELECT VALUE l.pad FROM l AS l WHERE l.x = 7`
+
+	cp, err := cost.Prepare(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasNote(cp.PlanNotes(), "index-skip(ixg") {
+		t.Errorf("half-selective probe not vetoed: %v", cp.PlanNotes())
+	}
+	np, err := cost.Prepare(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasNote(np.PlanNotes(), "index-eq(ixx") || !hasNote(np.PlanNotes(), "index-est(ixx") {
+		t.Errorf("selective probe lost its index or estimate: %v", np.PlanNotes())
+	}
+	for _, q := range []string{wide, narrow} {
+		hv, herr := heur.Query(q)
+		cv, cerr := cost.Query(q)
+		if herr != nil || cerr != nil {
+			t.Fatalf("%q: %v / %v", q, herr, cerr)
+		}
+		if hv.String() != cv.String() {
+			t.Fatalf("%q diverges under index veto:\n  heuristic  %s\n  cost-based %s", q, hv, cv)
+		}
+	}
+}
+
+// TestPlannerParallelSizing: row estimates size parallel chunks (and the
+// note says so); results stay identical to the heuristic engine's.
+func TestPlannerParallelSizing(t *testing.T) {
+	heur, cost := planqEngines(t, 4)
+	q := `SELECT VALUE l.x FROM l AS l WHERE l.grp = 1`
+	cp, err := cost.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasNote(cp.PlanNotes(), "parallel-scan(est=3000 chunk=750)") {
+		t.Errorf("parallel sizing note missing: %v", cp.PlanNotes())
+	}
+	hv, herr := heur.Query(q)
+	cv, cerr := cost.Query(q)
+	if herr != nil || cerr != nil {
+		t.Fatalf("%v / %v", herr, cerr)
+	}
+	if hv.String() != cv.String() {
+		t.Fatalf("parallel results diverge:\n  heuristic  %s\n  cost-based %s", hv, cv)
+	}
+}
+
+// TestPlannerEstRowsInExplain: EXPLAIN ANALYZE on a reordered plan must
+// surface est_rows counters beside the actual in/out counts, under a
+// join-order group node, through the one shared executor.
+func TestPlannerEstRowsInExplain(t *testing.T) {
+	_, cost := planqEngines(t, 1)
+	q := `SELECT VALUE {'x': l.x} FROM l AS l, m AS m, s AS s WHERE l.x = s.j AND m.y = s.j`
+	p, err := cost.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := p.ExplainAnalyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := st.Render(true)
+	for _, want := range []string{"join-order", "est_rows="} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("EXPLAIN ANALYZE tree lacks %q:\n%s", want, tree)
+		}
+	}
+	if n := len(res.(value.Bag)); n != 10 {
+		t.Errorf("adversarial join returned %d rows, want 10", n)
+	}
+}

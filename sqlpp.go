@@ -28,6 +28,7 @@ import (
 	"sqlpp/internal/funcs"
 	"sqlpp/internal/index"
 	"sqlpp/internal/parser"
+	"sqlpp/internal/stats"
 	"sqlpp/internal/plan"
 	"sqlpp/internal/rewrite"
 	"sqlpp/internal/sema"
@@ -69,6 +70,12 @@ type Options struct {
 	// row-at-a-time production. Results are identical; the option exists
 	// for debugging and A/B measurement (see BENCH_vector.json).
 	NoCompile bool
+	// NoStats disables statistics-driven cost-based planning (join
+	// reordering, index-vs-scan vetoes, parallel sizing, est_rows
+	// annotations); plans fall back to the pure heuristics. Results are
+	// identical; the option exists for debugging and the planner-quality
+	// A/B harness (see BENCH_planner.json).
+	NoStats bool
 	// Limits is the per-query resource budget enforced by the governor:
 	// output rows, materialized values/bytes, nesting depth, and wall
 	// time. The zero value means unlimited and costs nothing per row; a
@@ -286,6 +293,28 @@ func (e *Engine) Indexes() []IndexInfo {
 // compiled plans (the server does) can fold it into their cache keys.
 func (e *Engine) IndexEpoch() int64 { return e.cat.Epoch() }
 
+// CollectionStats pairs a collection name with its statistics summary.
+type CollectionStats struct {
+	Collection string        `json:"collection"`
+	Stats      stats.Summary `json:"stats"`
+}
+
+// Stats lists the per-collection statistics snapshots the planner's
+// cost-based decisions draw from, sorted by collection name.
+// Collections whose statistics build failed (resource budget, injected
+// fault) are absent — the planner treats them heuristically.
+func (e *Engine) Stats() []CollectionStats {
+	var out []CollectionStats
+	for _, name := range e.cat.Names() {
+		st := e.cat.StatsFor(name)
+		if st == nil {
+			continue
+		}
+		out = append(out, CollectionStats{Collection: name, Stats: st.Summarize()})
+	}
+	return out
+}
+
 // Names lists the registered named values, sorted.
 func (e *Engine) Names() []string { return e.cat.Names() }
 
@@ -375,13 +404,22 @@ func (e *Engine) optimize(core ast.Expr) []string {
 	if e.opts.StopOnError {
 		mode = eval.StopOnError
 	}
-	return plan.Optimize(core, plan.OptOptions{
-		Mode:    mode,
-		Indexes: e.cat,
-		Compat:  e.opts.Compat,
-		Compile: !e.opts.NoCompile,
-		Funcs:   e.funcs,
-	})
+	parallelism := e.opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	po := plan.OptOptions{
+		Mode:        mode,
+		Indexes:     e.cat,
+		Compat:      e.opts.Compat,
+		Compile:     !e.opts.NoCompile,
+		Funcs:       e.funcs,
+		Parallelism: parallelism,
+	}
+	if !e.opts.NoStats {
+		po.Stats = e.cat
+	}
+	return plan.Optimize(core, po)
 }
 
 // PlanNotes describes the physical optimizations applied to the prepared
