@@ -17,6 +17,9 @@
 //	sqlpp-bench -planner     run identical queries through the heuristic and the
 //	                         cost-based planner (one shared executor) and write
 //	                         BENCH_planner.json
+//	sqlpp-bench -shard       measure fault-tolerant scatter-gather over in-process
+//	                         shards (4-shard speedup, byte identity, failure
+//	                         policies) and write BENCH_shard.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -58,10 +61,12 @@ func main() {
 	vectorOut := flag.String("vector-out", "BENCH_vector.json", "machine-readable output of -vector")
 	planner := flag.Bool("planner", false, "run the planner-quality differential harness")
 	plannerOut := flag.String("planner-out", "BENCH_planner.json", "machine-readable output of -planner")
+	shardBench := flag.Bool("shard", false, "measure fault-tolerant scatter-gather over in-process shards")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "machine-readable output of -shard")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector && !*planner
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector && !*planner && !*shardBench
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -98,6 +103,9 @@ func main() {
 	}
 	if *planner || all {
 		failed = runPlanner(*scale, *plannerOut) || failed
+	}
+	if *shardBench || all {
+		failed = runShard(*scale, *shardOut) || failed
 	}
 	if failed {
 		os.Exit(1)

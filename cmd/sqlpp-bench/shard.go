@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/bench"
+	"sqlpp/internal/shard"
+	"sqlpp/internal/value"
+)
+
+// shardSpeedupGate is the acceptance floor for 4-shard scatter-gather
+// over the single-shard baseline on the GROUP BY workload. It is only
+// enforced when the host has enough cores for shard parallelism to
+// exist at all.
+const shardSpeedupGate = 2.5
+
+// shardReport is the machine-readable artifact of -shard.
+type shardReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      int    `json:"scale"`
+	Rows       int    `json:"rows"`
+	Query      string `json:"query"`
+	// SingleNodeNs is a plain engine with no coordinator in the path.
+	SingleNodeNs float64 `json:"single_node_ns_per_op"`
+	// OneShardNs is a 1-shard coordinator: scatter overhead, no
+	// parallelism — the baseline the speedup is measured against.
+	OneShardNs  float64 `json:"one_shard_ns_per_op"`
+	FourShardNs float64 `json:"four_shard_ns_per_op"`
+	// Speedup is one-shard-ns / four-shard-ns.
+	Speedup       float64 `json:"speedup_4x_vs_1x"`
+	ByteIdentical bool    `json:"byte_identical"`
+	SpeedupGate   float64 `json:"speedup_gate"`
+	// GateEnforced is false on hosts with fewer than 4 cores, where the
+	// four shard workers serialize and the gate is unmeetable by
+	// construction.
+	GateEnforced bool             `json:"gate_enforced"`
+	Partial      shardFaultResult `json:"partial_policy"`
+	FailFast     shardFaultResult `json:"fail_policy"`
+}
+
+// shardFaultResult records one fault-injected scenario: a 4-shard
+// fleet with one shard hard-down.
+type shardFaultResult struct {
+	OK            bool     `json:"ok"`
+	MissingShards []string `json:"missing_shards,omitempty"`
+	Error         string   `json:"error,omitempty"`
+	ElapsedUS     int64    `json:"elapsed_us"`
+	DeadlineUS    int64    `json:"deadline_us"`
+}
+
+// downExecutor wraps a shard executor and fails every call with a
+// transient error — a hard-down data node, as the retry loop sees one.
+type downExecutor struct {
+	shard.Executor
+}
+
+func (d downExecutor) Exec(ctx context.Context, req shard.Request) (*shard.Response, error) {
+	return nil, shard.Transient(fmt.Errorf("shard %s: injected outage", d.Name()))
+}
+
+func (d downExecutor) Ready(ctx context.Context) error {
+	return fmt.Errorf("shard %s: injected outage", d.Name())
+}
+
+// newShardBench builds an n-shard coordinator over sequential
+// (Parallelism=1) engines holding the scaled emp workload, so measured
+// speedup comes from sharding alone. faultIdx >= 0 replaces that shard
+// with a hard-down executor after distribution.
+func newShardBench(emp value.Value, n int, pol shard.Policy, faultIdx int) (*shard.Coordinator, error) {
+	opts := &sqlpp.Options{Parallelism: 1}
+	execs := make([]shard.Executor, n)
+	for i := range execs {
+		execs[i] = shard.NewLocal(fmt.Sprintf("s%d", i), sqlpp.New(opts))
+	}
+	if faultIdx >= 0 {
+		// Registration still lands (downExecutor only overrides Exec and
+		// Ready), so the dead shard holds its part — it just never answers.
+		execs[faultIdx] = downExecutor{execs[faultIdx]}
+	}
+	co := shard.NewCoordinator(sqlpp.New(opts), pol, execs...)
+	if err := co.Distribute("emp", emp, shard.Spec{}); err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+// runShard measures fault-tolerant scatter-gather: 4-shard vs
+// single-shard throughput on a 100k-row GROUP BY (byte-identity
+// enforced against a plain engine), then both partial-failure policies
+// with one shard hard-down, which must settle within the query deadline.
+func runShard(scale int, outPath string) bool {
+	fmt.Println("== Sharded scatter-gather (fault-tolerant scatter, partial aggregation merge) ==")
+	rows := 100000 * scale
+	emp := bench.FlatEmp(rows, 20, 42)
+	const query = `SELECT e.deptno AS dno, COUNT(*) AS c, SUM(e.salary) AS s, AVG(e.salary) AS a
+	               FROM emp AS e GROUP BY e.deptno ORDER BY dno`
+	report := shardReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       scale,
+		Rows:        rows,
+		Query:       query,
+		SpeedupGate: shardSpeedupGate,
+	}
+	failed := false
+	ctx := context.Background()
+
+	single := sqlpp.New(&sqlpp.Options{Parallelism: 1})
+	if err := single.Register("emp", emp); err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	want, err := single.Query(query)
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+
+	pol := shard.Policy{BreakerThreshold: -1}
+	co1, err := newShardBench(emp, 1, pol, -1)
+	if err == nil {
+		var co4 *shard.Coordinator
+		co4, err = newShardBench(emp, 4, pol, -1)
+		if err == nil {
+			res4, err4 := co4.Exec(ctx, query)
+			res1, err1 := co1.Exec(ctx, query)
+			switch {
+			case err4 != nil:
+				err = err4
+			case err1 != nil:
+				err = err1
+			default:
+				report.ByteIdentical = res4.Value.String() == want.String() &&
+					res1.Value.String() == want.String()
+				if !report.ByteIdentical {
+					fmt.Println("  RESULT MISMATCH: sharded result diverged from single-node")
+					failed = true
+				}
+				runtime.GC()
+				bs := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := single.Query(query); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				runtime.GC()
+				b1 := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := co1.Exec(ctx, query); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				runtime.GC()
+				b4 := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := co4.Exec(ctx, query); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				report.SingleNodeNs = float64(bs.NsPerOp())
+				report.OneShardNs = float64(b1.NsPerOp())
+				report.FourShardNs = float64(b4.NsPerOp())
+				if report.FourShardNs > 0 {
+					report.Speedup = report.OneShardNs / report.FourShardNs
+				}
+				report.GateEnforced = report.GOMAXPROCS >= 4
+				fmt.Printf("  %-22s %12.0f ns/op\n", "single-node", report.SingleNodeNs)
+				fmt.Printf("  %-22s %12.0f ns/op\n", "coordinator-1-shard", report.OneShardNs)
+				fmt.Printf("  %-22s %12.0f ns/op  (%.2fx vs 1 shard)\n", "coordinator-4-shards", report.FourShardNs, report.Speedup)
+				if report.GateEnforced && report.Speedup < shardSpeedupGate {
+					fmt.Printf("  SPEEDUP GATE FAILED: %.2fx < %.2fx\n", report.Speedup, shardSpeedupGate)
+					failed = true
+				} else if !report.GateEnforced {
+					fmt.Printf("  (speedup gate not enforced: GOMAXPROCS=%d < 4)\n", report.GOMAXPROCS)
+				}
+			}
+		}
+	}
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+
+	// Fault scenarios: one of four shards hard-down; both policies must
+	// settle inside the query deadline instead of hanging on the dead
+	// shard.
+	deadline := 10 * time.Second
+	faultPol := shard.Policy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond, BreakerThreshold: -1, OnFailure: shard.Partial}
+	if coP, err := newShardBench(emp, 4, faultPol, 2); err != nil {
+		fmt.Println("ERROR:", err)
+		failed = true
+	} else {
+		fctx, cancel := context.WithTimeout(ctx, deadline)
+		start := time.Now()
+		res, perr := coP.Exec(fctx, query)
+		elapsed := time.Since(start)
+		cancel()
+		r := shardFaultResult{ElapsedUS: elapsed.Microseconds(), DeadlineUS: deadline.Microseconds()}
+		if perr == nil && len(res.MissingShards) == 1 && elapsed < deadline {
+			r.OK = true
+			r.MissingShards = res.MissingShards
+			fmt.Printf("  %-22s partial result, missing %v, %s\n", "policy=partial", res.MissingShards, elapsed.Round(time.Millisecond))
+		} else {
+			if perr != nil {
+				r.Error = perr.Error()
+			}
+			fmt.Printf("  policy=partial FAILED: err=%v missing=%v elapsed=%s\n", perr, resMissing(res), elapsed)
+			failed = true
+		}
+		report.Partial = r
+	}
+
+	failPol := faultPol
+	failPol.OnFailure = shard.FailFast
+	if coF, err := newShardBench(emp, 4, failPol, 2); err != nil {
+		fmt.Println("ERROR:", err)
+		failed = true
+	} else {
+		fctx, cancel := context.WithTimeout(ctx, deadline)
+		start := time.Now()
+		_, ferr := coF.Exec(fctx, query)
+		elapsed := time.Since(start)
+		cancel()
+		r := shardFaultResult{ElapsedUS: elapsed.Microseconds(), DeadlineUS: deadline.Microseconds()}
+		var serr *shard.ShardError
+		if errors.As(ferr, &serr) && elapsed < deadline {
+			r.OK = true
+			r.Error = ferr.Error()
+			fmt.Printf("  %-22s typed error from %s after %d attempts, %s\n", "policy=fail", serr.Shard, serr.Attempts, elapsed.Round(time.Millisecond))
+		} else {
+			if ferr != nil {
+				r.Error = ferr.Error()
+			}
+			fmt.Printf("  policy=fail FAILED: err=%v elapsed=%s\n", ferr, elapsed)
+			failed = true
+		}
+		report.FailFast = r
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
+}
+
+// resMissing extracts the missing-shards list from a possibly-nil
+// result for failure messages.
+func resMissing(res *shard.Result) []string {
+	if res == nil {
+		return nil
+	}
+	return res.MissingShards
+}

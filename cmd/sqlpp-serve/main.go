@@ -27,6 +27,22 @@
 //	-drain d            graceful-shutdown drain window for in-flight queries (default 10s)
 //	-pprof              expose net/http/pprof profiling under /debug/pprof/
 //
+// Coordinator mode (scatter-gather over a shard fleet):
+//
+//	-shards n           run a coordinator over n in-process shard engines
+//	-shard-node url     add a remote sqlpp-serve data node (repeatable;
+//	                    implies coordinator mode, combines with -shards)
+//	-shard-coll spec    partitioning for a preloaded collection:
+//	                    name=range or name=hash:keypath (repeatable);
+//	                    unlisted collections shard by range, scalars broadcast
+//	-on-failure mode    partial-failure policy: fail (default) or partial
+//	-shard-attempts n   attempts per shard call (default 3)
+//	-shard-backoff d    base retry backoff, doubling per retry (default 25ms)
+//	-shard-hedge d      hedge a straggler shard call after d (default off)
+//	-shard-breaker n    open a shard's circuit breaker after n consecutive
+//	                    failures (default 5; -1 disables)
+//	-shard-cooldown d   breaker cooldown before a half-open probe (default 1s)
+//
 // On SIGINT/SIGTERM the server flips /readyz to "draining", stops
 // accepting new queries, and gives in-flight queries the -drain window
 // to finish; a second signal exits immediately.
@@ -56,6 +72,8 @@ import (
 
 	"sqlpp"
 	"sqlpp/internal/server"
+	"sqlpp/internal/shard"
+	"sqlpp/internal/value"
 )
 
 type dataFlags []string
@@ -93,22 +111,52 @@ func run() error {
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max admission-queue wait before shedding with 429")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+	var shardNodes, shardColls dataFlags
+	shards := flag.Int("shards", 0, "run a coordinator over n in-process shard engines")
+	flag.Var(&shardNodes, "shard-node", "remote sqlpp-serve data node URL (repeatable)")
+	flag.Var(&shardColls, "shard-coll", "partitioning spec name=range or name=hash:keypath (repeatable)")
+	onFailure := flag.String("on-failure", "fail", "partial-failure policy: fail or partial")
+	shardAttempts := flag.Int("shard-attempts", 3, "attempts per shard call")
+	shardBackoff := flag.Duration("shard-backoff", 25*time.Millisecond, "base retry backoff, doubling per retry")
+	shardHedge := flag.Duration("shard-hedge", 0, "hedge a straggler shard call after this delay (0 = off)")
+	shardBreaker := flag.Int("shard-breaker", 5, "open a shard's breaker after n consecutive failures (-1 disables)")
+	shardCooldown := flag.Duration("shard-cooldown", time.Second, "breaker cooldown before a half-open probe")
 	flag.Parse()
 
-	db := sqlpp.New(&sqlpp.Options{
+	opts := sqlpp.Options{
 		Compat:           *compat,
 		StopOnError:      *strict,
 		DisableOptimizer: *noOpt,
 		NoCompile:        *noCompile,
 		NoStats:          *noStats,
 		Parallelism:      *parallel,
-	})
+	}
+	db := sqlpp.New(&opts)
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			return fmt.Errorf("-data wants name=path, got %q", spec)
 		}
 		if err := loadFile(db, name, path); err != nil {
+			return err
+		}
+	}
+
+	var co *shard.Coordinator
+	if *shards > 0 || len(shardNodes) > 0 {
+		var err error
+		co, err = buildCoordinator(db, opts, coordinatorConfig{
+			shards:    *shards,
+			nodes:     shardNodes,
+			colls:     shardColls,
+			onFailure: *onFailure,
+			attempts:  *shardAttempts,
+			backoff:   *shardBackoff,
+			hedge:     *shardHedge,
+			breaker:   *shardBreaker,
+			cooldown:  *shardCooldown,
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -121,6 +169,7 @@ func run() error {
 		MaxQueueWait:         *queueWait,
 		MaxOutputRows:        *maxRows,
 		MaxMaterializedBytes: *maxBytes,
+		Coordinator:          co,
 	})
 	var handler http.Handler = svc
 	if *enablePprof {
@@ -144,7 +193,12 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "sqlpp-serve: listening on %s (%d collections preloaded)\n", *addr, len(db.Names()))
+		if co != nil {
+			fmt.Fprintf(os.Stderr, "sqlpp-serve: coordinator listening on %s (%d shards, %d collections preloaded)\n",
+				*addr, len(co.Shards()), len(db.Names()))
+		} else {
+			fmt.Fprintf(os.Stderr, "sqlpp-serve: listening on %s (%d collections preloaded)\n", *addr, len(db.Names()))
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -185,6 +239,77 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// coordinatorConfig gathers the coordinator-mode flag values.
+type coordinatorConfig struct {
+	shards    int
+	nodes     []string
+	colls     []string
+	onFailure string
+	attempts  int
+	backoff   time.Duration
+	hedge     time.Duration
+	breaker   int
+	cooldown  time.Duration
+}
+
+// buildCoordinator assembles the shard fleet (in-process engines first,
+// then remote data nodes), wraps it in the fault-tolerance policy, and
+// distributes the preloaded catalog: collections partition per their
+// -shard-coll spec (range by default), scalars broadcast.
+func buildCoordinator(db *sqlpp.Engine, opts sqlpp.Options, cfg coordinatorConfig) (*shard.Coordinator, error) {
+	mode, ok := shard.ParseFailMode(cfg.onFailure)
+	if !ok {
+		return nil, fmt.Errorf("-on-failure wants fail or partial, got %q", cfg.onFailure)
+	}
+	var execs []shard.Executor
+	for i := 0; i < cfg.shards; i++ {
+		execs = append(execs, shard.NewLocal(fmt.Sprintf("s%d", i), sqlpp.New(&opts)))
+	}
+	for i, u := range cfg.nodes {
+		execs = append(execs, shard.NewHTTP(fmt.Sprintf("n%d", i), u, nil))
+	}
+	co := shard.NewCoordinator(db, shard.Policy{
+		MaxAttempts:      cfg.attempts,
+		BaseBackoff:      cfg.backoff,
+		HedgeAfter:       cfg.hedge,
+		BreakerThreshold: cfg.breaker,
+		BreakerCooldown:  cfg.cooldown,
+		OnFailure:        mode,
+	}, execs...)
+
+	specs := map[string]shard.Spec{}
+	for _, sc := range cfg.colls {
+		name, val, ok := strings.Cut(sc, "=")
+		if !ok {
+			return nil, fmt.Errorf("-shard-coll wants name=range or name=hash:keypath, got %q", sc)
+		}
+		kindStr, key, _ := strings.Cut(val, ":")
+		kind, err := shard.ParseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		if kind == shard.Hash && key == "" {
+			return nil, fmt.Errorf("-shard-coll %q: hash partitioning needs a key path", sc)
+		}
+		specs[name] = shard.Spec{Kind: kind, Key: key}
+	}
+	for _, name := range db.Names() {
+		v, found := db.Lookup(name)
+		if !found {
+			continue
+		}
+		spec, listed := specs[name]
+		if _, isColl := value.Elements(v); isColl || listed {
+			if err := co.Distribute(name, v, spec); err != nil {
+				return nil, fmt.Errorf("distribute %s: %w", name, err)
+			}
+		} else if err := co.Broadcast(name, v); err != nil {
+			return nil, fmt.Errorf("broadcast %s: %w", name, err)
+		}
+	}
+	return co, nil
 }
 
 // loadFile registers path under name, inferring the format from the

@@ -17,6 +17,20 @@ import (
 	"sqlpp/internal/value"
 )
 
+// ShardMeta records how a collection is partitioned across a
+// coordinator's shards. It lives in the catalog so topology changes
+// bump the epoch — every plan fingerprint that folds the epoch in
+// (server plan cache, coordinator scatter-plan cache) invalidates
+// automatically when a collection is distributed or re-distributed.
+type ShardMeta struct {
+	// Kind is "range" or "hash".
+	Kind string
+	// Key is the hash key path ("" for range).
+	Key string
+	// Shards is the shard count the collection was partitioned into.
+	Shards int
+}
+
 // Catalog is a set of named values plus the secondary indexes and
 // statistics declared over them. The zero value is not usable; call New.
 type Catalog struct {
@@ -25,6 +39,7 @@ type Catalog struct {
 	indexes map[string]*index.Index      // by index name
 	byColl  map[string][]string          // collection name -> sorted index names
 	stats   map[string]*stats.Collection // collection name -> statistics snapshot
+	shards  map[string]ShardMeta         // collection name -> shard topology
 
 	// epoch counts catalog mutations. The server folds it into plan
 	// fingerprints so plans compiled before an index existed (or before
@@ -39,6 +54,7 @@ func New() *Catalog {
 		indexes: make(map[string]*index.Index),
 		byColl:  make(map[string][]string),
 		stats:   make(map[string]*stats.Collection),
+		shards:  make(map[string]ShardMeta),
 	}
 }
 
@@ -148,6 +164,7 @@ func (c *Catalog) Drop(name string) {
 	defer c.mu.Unlock()
 	delete(c.named, name)
 	delete(c.stats, name)
+	delete(c.shards, name)
 	for _, iname := range append([]string(nil), c.byColl[name]...) {
 		c.dropIndexLocked(iname)
 	}
@@ -214,6 +231,43 @@ func (c *Catalog) Namespaces() []string {
 
 // Epoch returns the catalog mutation counter.
 func (c *Catalog) Epoch() int64 { return c.epoch.Load() }
+
+// SetShardMeta records the shard topology of a distributed collection
+// and bumps the epoch, invalidating cached plans that predate the
+// distribution. Shards < 1 is rejected.
+func (c *Catalog) SetShardMeta(name string, m ShardMeta) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty name")
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("catalog: shard meta for %q: %d shards", name, m.Shards)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[name] = m
+	c.epoch.Add(1)
+	return nil
+}
+
+// ShardMetaFor reports the shard topology recorded for name.
+func (c *Catalog) ShardMetaFor(name string) (ShardMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.shards[name]
+	return m, ok
+}
+
+// ShardMetas returns all recorded shard topologies, keyed by collection
+// name, sorted iteration being the caller's concern.
+func (c *Catalog) ShardMetas() map[string]ShardMeta {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]ShardMeta, len(c.shards))
+	for k, v := range c.shards {
+		out[k] = v
+	}
+	return out
+}
 
 // CreateIndex builds spec over its (already registered) collection and
 // installs it. gov, when non-nil, bounds the build's memory.

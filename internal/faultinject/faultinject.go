@@ -40,9 +40,17 @@ const (
 	// StatsSketchAdd fires per element folded into a collection-statistics
 	// sketch during a build or an incremental extend.
 	StatsSketchAdd = "stats-sketch-add"
+	// ShardExec fires per shard execution attempt, before the shard runs
+	// its query — the scatter-gather layer's RPC boundary. Injected
+	// errors are classified transient, exercising retries, hedging, the
+	// circuit breaker, and the partial-failure policy.
+	ShardExec = "shard-exec"
+	// ShardGatherNext fires per row folded into the coordinator's
+	// gather/merge accumulator.
+	ShardGatherNext = "shard-gather-next"
 )
 
 // Points lists every injection point, for harness sweeps.
 func Points() []string {
-	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart, IndexBuildInsert, IndexProbeNext, StatsSketchAdd}
+	return []string{ScanNext, HashBuildInsert, PlanCacheGet, IngestDecode, WorkerStart, IndexBuildInsert, IndexProbeNext, StatsSketchAdd, ShardExec, ShardGatherNext}
 }

@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"sqlpp/internal/eval"
+)
+
+// Scatter-gather EXPLAIN ANALYZE composition. A sharded query has no
+// single operator tree: each shard ran its own plan and the coordinator
+// ran a merge plan over the partials. ScatterStats assembles those
+// pieces into one synthetic tree in the same StatsSnapshot vocabulary
+// the renderer and the HTTP API already speak:
+//
+//	scatter-gather group(orders) [shards=4 missing=1 retries=2]
+//	├── shard s0 … per-shard attempt counters + its local plan tree
+//	├── …
+//	└── merge … the coordinator's merge plan tree
+//
+// Failed shards stay in the tree with a failed=1 counter and no
+// children, so a partial-policy result shows exactly which slice of the
+// data is absent.
+
+// ShardStat is one shard's contribution to a scatter, as observed by
+// the coordinator's fault-tolerance layer.
+type ShardStat struct {
+	// Name identifies the shard executor.
+	Name string
+	// Rows is how many partial rows the shard contributed.
+	Rows int64
+	// Attempts, Retries, Hedges count the executions the coordinator
+	// issued for this shard during the query.
+	Attempts int64
+	Retries  int64
+	Hedges   int64
+	// Failed marks a shard that stayed down after retries (present in
+	// the tree under the partial policy).
+	Failed bool
+	// Tree is the shard-local EXPLAIN ANALYZE tree, when the transport
+	// carried one.
+	Tree *eval.StatsSnapshot
+}
+
+// ScatterStats assembles the composite stats tree for one scatter:
+// class and collection label the root, shards become one child each,
+// and the coordinator's merge (or gather re-execution) tree is the
+// final child.
+//
+// governor:bounded by the shard count (one node per shard, plan-time)
+func ScatterStats(class, collection string, shards []ShardStat, missing []string, merge *eval.StatsSnapshot) *eval.StatsSnapshot {
+	root := &eval.StatsSnapshot{
+		Op:    "scatter-gather",
+		Label: class + "(" + collection + ")",
+		Counters: map[string]int64{
+			"shards":         int64(len(shards)),
+			"missing_shards": int64(len(missing)),
+		},
+	}
+	for _, s := range shards {
+		child := &eval.StatsSnapshot{
+			Op:      "shard",
+			Label:   s.Name,
+			RowsOut: s.Rows,
+			Counters: map[string]int64{
+				"attempts": s.Attempts,
+				"retries":  s.Retries,
+				"hedges":   s.Hedges,
+			},
+		}
+		if s.Failed {
+			child.Counters["failed"] = 1
+		}
+		if s.Tree != nil {
+			child.Children = append(child.Children, s.Tree)
+		}
+		root.Counters["retries"] += s.Retries
+		root.Counters["hedges"] += s.Hedges
+		if !s.Failed {
+			root.RowsIn += s.Rows
+		}
+		root.Children = append(root.Children, child)
+	}
+	if merge != nil {
+		root.RowsOut = merge.RowsOut
+		root.Children = append(root.Children, &eval.StatsSnapshot{
+			Op:       "merge",
+			Label:    class,
+			RowsIn:   root.RowsIn,
+			RowsOut:  merge.RowsOut,
+			Children: []*eval.StatsSnapshot{merge},
+		})
+	}
+	return root
+}

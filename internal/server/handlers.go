@@ -44,6 +44,12 @@ type queryRequest struct {
 	// reject the query at compile time; the rejection carries the
 	// diagnostics. Warnings never block execution.
 	Vet bool `json:"vet,omitempty"`
+	// OnFailure selects the coordinator's partial-failure policy for
+	// this request: "fail" (default) surfaces a shard failure as an
+	// error, "partial" answers from the surviving shards and annotates
+	// the response with "missing_shards". Ignored outside coordinator
+	// mode.
+	OnFailure string `json:"on_failure,omitempty"`
 }
 
 type queryOptions struct {
@@ -88,6 +94,15 @@ type queryResponse struct {
 	// Diagnostics are the static analyzer's findings, present only when
 	// the request set "vet": true.
 	Diagnostics []sqlpp.Diagnostic `json:"diagnostics,omitempty"`
+	// Class is the scatter class that ran in coordinator mode: local,
+	// group, topk, concat, or gather.
+	Class string `json:"class,omitempty"`
+	// Sharded names the sharded collection that drove a coordinator-mode
+	// scatter.
+	Sharded string `json:"sharded,omitempty"`
+	// MissingShards lists the shards absent from a partial-policy
+	// result, in shard order.
+	MissingShards []string `json:"missing_shards,omitempty"`
 }
 
 type errorResponse struct {
@@ -170,7 +185,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ok, shed := s.acquire(ctx)
 	if !ok {
 		if shed {
-			w.Header().Set("Retry-After", retryAfter(s.cfg.MaxQueueWait))
+			// The hint scales with the queue depth, so clients (and the
+			// shard coordinator's backoff) wait longer the deeper the
+			// backlog.
+			w.Header().Set("Retry-After", retryAfter(s.retryAfterHint()))
 			s.fail(w, http.StatusTooManyRequests, "server at capacity: gave up after queueing %s", s.cfg.MaxQueueWait)
 			return
 		}
@@ -226,6 +244,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts.Limits.MaxMaterializedBytes = clampLimit(opts.Limits.MaxMaterializedBytes, s.cfg.MaxMaterializedBytes)
 	if opts != s.engine.Options() {
 		engine = s.engine.WithOptions(opts)
+	}
+
+	// Coordinator mode routes through the scatter-gather layer; its
+	// scatter-plan cache replaces the server's prepared-plan cache.
+	if s.coord != nil {
+		s.handleShardedQuery(ctx, w, req, opts, params, explain)
+		return
 	}
 
 	// Vetting changes Prepare's behavior (error-severity findings reject
@@ -631,16 +656,35 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "saturated"
 	}
-	writeJSON(w, status, map[string]any{
-		"status":   state,
+	body := map[string]any{
 		"draining": draining,
 		"waiting":  waiting,
 		"inflight": s.inflight.Load(),
-	})
+	}
+	// Coordinator mode folds the fleet in: the probe aggregates shard
+	// readiness under the partial-failure policy (fail-fast needs every
+	// shard, partial needs one) so load balancers route around a
+	// coordinator whose fleet cannot answer.
+	if s.coord != nil {
+		ready, states, unready := s.shardReadiness(r.Context())
+		body["shards"] = states
+		if len(unready) > 0 {
+			body["unready_shards"] = unready
+		}
+		if !ready && status == http.StatusOK {
+			status = http.StatusServiceUnavailable
+			state = "shards-unready"
+		}
+	}
+	body["status"] = state
+	writeJSON(w, status, body)
 }
 
 // handleMetrics renders the plain-text counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.WriteTo(w, s.cache.Hits(), s.cache.Misses(), s.cache.Len(), s.inflight.Load(), s.waiting.Load(), s.draining.Load())
+	if s.coord != nil {
+		s.writeShardMetrics(w)
+	}
 }

@@ -138,6 +138,10 @@ func (m *Metrics) WriteTo(w io.Writer, cacheHits, cacheMisses uint64, cacheEntri
 	fmt.Fprintf(w, "sqlpp_plan_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(w, "sqlpp_inflight_queries %d\n", inflight)
 	fmt.Fprintf(w, "sqlpp_waiting_queries %d\n", waiting)
+	// queue_depth aliases waiting_queries under the name the
+	// backpressure docs use: the admission-gate backlog that drives the
+	// dynamic Retry-After hint.
+	fmt.Fprintf(w, "sqlpp_queue_depth %d\n", waiting)
 	drainingGauge := 0
 	if draining {
 		drainingGauge = 1

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"sqlpp"
+)
+
+// TestRetryAfterHintScalesWithQueueDepth checks the dynamic shed hint:
+// deeper admission backlog yields a longer Retry-After, capped at four
+// queue waits.
+func TestRetryAfterHintScalesWithQueueDepth(t *testing.T) {
+	s := New(sqlpp.New(nil), Config{MaxQueueWait: 2 * time.Second})
+	idle := s.retryAfterHint()
+	if idle != time.Second {
+		t.Fatalf("idle hint = %v, want half the queue wait", idle)
+	}
+	s.waiting.Store(4)
+	backed := s.retryAfterHint()
+	if backed <= idle {
+		t.Fatalf("hint did not grow with queue depth: %v <= %v", backed, idle)
+	}
+	s.waiting.Store(1000)
+	if capped := s.retryAfterHint(); capped != 8*time.Second {
+		t.Fatalf("deep-queue hint = %v, want the 4× cap", capped)
+	}
+}

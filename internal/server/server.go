@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sqlpp"
+	"sqlpp/internal/shard"
 )
 
 // Config tunes the service. The zero value selects the defaults noted
@@ -61,6 +62,12 @@ type Config struct {
 	// MaxMaterializedBytes is the server-wide cap on a query's
 	// materialized-bytes budget, clamped like MaxOutputRows.
 	MaxMaterializedBytes int64
+	// Coordinator, when non-nil, switches the server into coordinator
+	// mode: queries route through the scatter-gather coordinator (whose
+	// engine should be the server's engine), /readyz aggregates shard
+	// readiness under the partial-failure policy, and /metrics exports
+	// the per-shard fault-tolerance counters.
+	Coordinator *shard.Coordinator
 }
 
 func (c *Config) fillDefaults() {
@@ -89,6 +96,7 @@ func (c *Config) fillDefaults() {
 type Server struct {
 	engine   *sqlpp.Engine
 	cfg      Config
+	coord    *shard.Coordinator
 	cache    *PlanCache
 	metrics  Metrics
 	gate     chan struct{}
@@ -111,6 +119,7 @@ func New(engine *sqlpp.Engine, cfg Config) *Server {
 	s := &Server{
 		engine:  engine,
 		cfg:     cfg,
+		coord:   cfg.Coordinator,
 		cache:   NewPlanCache(cfg.PlanCacheSize),
 		gate:    make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
@@ -182,6 +191,24 @@ func (s *Server) acquire(ctx context.Context) (ok, shed bool) {
 		s.metrics.Rejected.Add(1)
 		return false, false
 	}
+}
+
+// retryAfterHint scales the shed hint with the current queue depth: an
+// idle queue suggests retrying after half the queue wait, each waiting
+// request adds half that again, and the hint caps at four queue waits.
+// Deeper backlog means a stronger hint, and the coordinator's retry
+// loop honors it as a floor under its jittered backoff, so a saturated
+// data node sees its retry traffic spread out instead of stampeding.
+func (s *Server) retryAfterHint() time.Duration {
+	base := s.cfg.MaxQueueWait / 2
+	if base < time.Second {
+		base = time.Second
+	}
+	d := base + time.Duration(s.waiting.Load())*base/2
+	if max := 4 * s.cfg.MaxQueueWait; d > max {
+		d = max
+	}
+	return d
 }
 
 func (s *Server) release() {

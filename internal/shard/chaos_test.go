@@ -1,0 +1,297 @@
+//go:build faultinject
+
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/faultinject"
+)
+
+// chaosQuery splits into the group class: shard partials, coordinator
+// merge, both fault surfaces (shard-exec and shard-gather-next) on the
+// path.
+const chaosQuery = "SELECT x.g AS g, SUM(x.v) AS s, COUNT(*) AS c FROM data AS x GROUP BY x.g AS g ORDER BY g"
+
+// newChaosCluster builds a 3-shard cluster with a deterministic
+// heterogeneous dataset.
+func newChaosCluster(t *testing.T, pol Policy) *Coordinator {
+	t.Helper()
+	data := sqlpp.MustParseValue(`[
+		{'g': 'a', 'v': 1}, {'g': 'b', 'v': 2}, {'g': 'a', 'v': 3},
+		{'g': 'c', 'v': 4}, {'v': 5}, {'g': 'b', 'v': 6},
+		{'g': 'c', 'v': 7}, {'g': 'a', 'v': 8}, 42
+	]`)
+	co := NewLocalCluster(3, nil, pol)
+	if err := co.Distribute("data", data, Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+// chaosWaitGoroutines polls for the goroutine count to return to base,
+// catching leaked shard attempts.
+func chaosWaitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > base {
+		t.Errorf("goroutines leaked: %d before, %d after", base, after)
+	}
+}
+
+// TestChaosShardSweep drives error, panic, and stall schedules through
+// the scatter-gather fault points. Every armed run must end in a typed
+// error or a policy-conformant partial result — never a hang or a
+// crashed process — disarmed reruns must reproduce the baseline
+// byte-for-byte, and the circuit breaker must open and recover
+// deterministically under an injected failure storm.
+func TestChaosShardSweep(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	baseGoroutines := runtime.NumGoroutine()
+
+	fast := Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond, BreakerThreshold: -1}
+	baselineCo := newChaosCluster(t, fast)
+	base, err := baselineCo.Exec(context.Background(), chaosQuery)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	baseline := base.Value.String()
+
+	t.Run("error-exhausts-retries-fail-fast", func(t *testing.T) {
+		co := newChaosCluster(t, fast)
+		faultinject.Set(faultinject.ShardExec, 0, 1, 0, faultinject.Action{Err: faultinject.ErrInjected})
+		defer faultinject.Reset()
+		_, err := co.Exec(context.Background(), chaosQuery)
+		var serr *ShardError
+		if !errors.As(err, &serr) {
+			t.Fatalf("want *ShardError, got %v", err)
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("want injected root cause, got %v", err)
+		}
+		if serr.Attempts != fast.MaxAttempts {
+			t.Fatalf("attempts = %d, want %d", serr.Attempts, fast.MaxAttempts)
+		}
+		faultinject.Reset()
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil || res.Value.String() != baseline {
+			t.Fatalf("disarmed rerun: err=%v got %v want %s", err, res, baseline)
+		}
+	})
+
+	t.Run("partial-policy-annotates-faulted-shard", func(t *testing.T) {
+		pol := fast
+		pol.MaxAttempts = 1
+		pol.OnFailure = Partial
+		co := newChaosCluster(t, pol)
+		// Exactly one trigger with one attempt per shard: one shard drops
+		// out, the other two settle into an annotated partial result.
+		faultinject.Set(faultinject.ShardExec, 0, 1, 1, faultinject.Action{Err: faultinject.ErrInjected})
+		defer faultinject.Reset()
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil {
+			t.Fatalf("partial policy must not fail with survivors: %v", err)
+		}
+		if len(res.MissingShards) != 1 {
+			t.Fatalf("missing shards = %v, want exactly one", res.MissingShards)
+		}
+		found := false
+		for _, n := range res.Notes {
+			if n == "missing_shards: "+res.MissingShards[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("notes %v lack missing_shards annotation", res.Notes)
+		}
+		if got := faultinject.Fired(faultinject.ShardExec); got != 1 {
+			t.Fatalf("fired = %d, want 1", got)
+		}
+	})
+
+	t.Run("limited-errors-recover-bit-identical", func(t *testing.T) {
+		co := newChaosCluster(t, fast)
+		// Two triggers against nine retry slots: wherever they land, the
+		// retry loop absorbs them and the merged result is untouched.
+		faultinject.Set(faultinject.ShardExec, 0, 1, 2, faultinject.Action{Err: faultinject.ErrInjected})
+		defer faultinject.Reset()
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil {
+			t.Fatalf("retries should recover: %v", err)
+		}
+		if got := res.Value.String(); got != baseline {
+			t.Fatalf("armed-but-recovered result diverged:\n got  %s\n want %s", got, baseline)
+		}
+		if len(res.MissingShards) != 0 {
+			t.Fatalf("recovered run reported missing shards %v", res.MissingShards)
+		}
+		if got := faultinject.Fired(faultinject.ShardExec); got != 2 {
+			t.Fatalf("fired = %d, want 2", got)
+		}
+		var retries int64
+		for _, tl := range co.Telemetry() {
+			retries += tl.Retries
+		}
+		if retries != 2 {
+			t.Fatalf("telemetry retries = %d, want 2", retries)
+		}
+	})
+
+	t.Run("panic-contained-and-retried", func(t *testing.T) {
+		co := newChaosCluster(t, fast)
+		faultinject.Set(faultinject.ShardExec, 0, 1, 1, faultinject.Action{Panic: "chaos"})
+		defer faultinject.Reset()
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil {
+			t.Fatalf("one panic must be absorbed by a retry: %v", err)
+		}
+		if got := res.Value.String(); got != baseline {
+			t.Fatalf("post-panic result diverged:\n got  %s\n want %s", got, baseline)
+		}
+	})
+
+	t.Run("panic-exhausts-into-typed-error", func(t *testing.T) {
+		pol := fast
+		pol.MaxAttempts = 2
+		co := newChaosCluster(t, pol)
+		faultinject.Set(faultinject.ShardExec, 0, 1, 0, faultinject.Action{Panic: "chaos"})
+		defer faultinject.Reset()
+		_, err := co.Exec(context.Background(), chaosQuery)
+		var serr *ShardError
+		if !errors.As(err, &serr) {
+			t.Fatalf("want *ShardError, got %v", err)
+		}
+		var perr *sqlpp.PanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("want wrapped *PanicError, got %v", err)
+		}
+	})
+
+	t.Run("gather-fold-error-is-typed", func(t *testing.T) {
+		co := newChaosCluster(t, fast)
+		faultinject.Set(faultinject.ShardGatherNext, 0, 1, 1, faultinject.Action{Err: faultinject.ErrInjected})
+		defer faultinject.Reset()
+		_, err := co.Exec(context.Background(), chaosQuery)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("want injected gather error, got %v", err)
+		}
+		faultinject.Reset()
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil || res.Value.String() != baseline {
+			t.Fatalf("disarmed rerun: err=%v want %s", err, baseline)
+		}
+	})
+
+	t.Run("gather-fold-panic-is-contained", func(t *testing.T) {
+		co := newChaosCluster(t, fast)
+		faultinject.Set(faultinject.ShardGatherNext, 0, 1, 1, faultinject.Action{Panic: "chaos"})
+		defer faultinject.Reset()
+		_, err := co.Exec(context.Background(), chaosQuery)
+		var perr *sqlpp.PanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("want coordinator *PanicError, got %v", err)
+		}
+		faultinject.Reset()
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil || res.Value.String() != baseline {
+			t.Fatalf("disarmed rerun: err=%v want %s", err, baseline)
+		}
+	})
+
+	t.Run("stall-bounded-by-deadline", func(t *testing.T) {
+		pol := fast
+		pol.MaxAttempts = 2
+		co := newChaosCluster(t, pol)
+		faultinject.Set(faultinject.ShardExec, 0, 1, 0, faultinject.Action{Sleep: 400 * time.Millisecond})
+		defer faultinject.Reset()
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := co.Exec(ctx, chaosQuery)
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatal("stalled scatter must miss its deadline")
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want deadline exceeded, got %v", err)
+		}
+		if elapsed > 3*time.Second {
+			t.Fatalf("stalled scatter took %v; deadline did not bound it", elapsed)
+		}
+	})
+
+	t.Run("breaker-opens-and-recovers-deterministically", func(t *testing.T) {
+		var mu sync.Mutex
+		now := time.Unix(0, 0)
+		clock := func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}
+		advance := func(d time.Duration) {
+			mu.Lock()
+			now = now.Add(d)
+			mu.Unlock()
+		}
+		pol := Policy{
+			MaxAttempts:      1,
+			BreakerThreshold: 2,
+			BreakerCooldown:  time.Minute,
+			OnFailure:        FailFast,
+		}.WithClock(clock, func(context.Context, time.Duration) error { return nil })
+		co := newChaosCluster(t, pol)
+		faultinject.Set(faultinject.ShardExec, 0, 1, 0, faultinject.Action{Err: faultinject.ErrInjected})
+
+		// Two failing queries × one attempt per shard reach the threshold
+		// and trip every breaker.
+		for i := 0; i < 2; i++ {
+			if _, err := co.Exec(context.Background(), chaosQuery); err == nil {
+				t.Fatal("armed query must fail")
+			}
+		}
+		for _, tl := range co.Telemetry() {
+			if !tl.BreakerOpen || tl.BreakerOpens != 1 {
+				t.Fatalf("shard %s: open=%v opens=%d, want open after threshold", tl.Shard, tl.BreakerOpen, tl.BreakerOpens)
+			}
+		}
+
+		// While open, calls fail fast without touching the shards.
+		fired := faultinject.Fired(faultinject.ShardExec)
+		if _, err := co.Exec(context.Background(), chaosQuery); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("want breaker-open error, got %v", err)
+		}
+		if got := faultinject.Fired(faultinject.ShardExec); got != fired {
+			t.Fatalf("open breaker still contacted shards: fired %d -> %d", fired, got)
+		}
+
+		// Past the cooldown with the fault disarmed, the half-open probe
+		// succeeds, the breakers close, and results match the baseline.
+		faultinject.Reset()
+		advance(2 * time.Minute)
+		res, err := co.Exec(context.Background(), chaosQuery)
+		if err != nil {
+			t.Fatalf("probe after cooldown: %v", err)
+		}
+		if got := res.Value.String(); got != baseline {
+			t.Fatalf("post-recovery result diverged:\n got  %s\n want %s", got, baseline)
+		}
+		for _, tl := range co.Telemetry() {
+			if tl.BreakerOpen {
+				t.Fatalf("shard %s breaker still open after recovery", tl.Shard)
+			}
+		}
+	})
+
+	chaosWaitGoroutines(t, baseGoroutines)
+}

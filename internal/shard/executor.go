@@ -1,0 +1,388 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"sqlpp"
+	"sqlpp/internal/eval"
+	"sqlpp/internal/faultinject"
+	"sqlpp/internal/value"
+)
+
+// ExecOptions is the per-request slice of engine options a coordinator
+// forwards to every shard, so a request-level compat/strict/limit
+// override applies uniformly across the fleet.
+type ExecOptions struct {
+	Compat           bool
+	Strict           bool
+	DisableOptimizer bool
+	NoCompile        bool
+	NoStats          bool
+	Parallelism      int
+	MaxRows          int64
+	MaxBytes         int64
+}
+
+// OptionsFrom extracts the forwardable slice of engine options.
+func OptionsFrom(o sqlpp.Options) ExecOptions {
+	return ExecOptions{
+		Compat:           o.Compat,
+		Strict:           o.StopOnError,
+		DisableOptimizer: o.DisableOptimizer,
+		NoCompile:        o.NoCompile,
+		NoStats:          o.NoStats,
+		Parallelism:      o.Parallelism,
+		MaxRows:          o.Limits.MaxOutputRows,
+		MaxBytes:         o.Limits.MaxMaterializedBytes,
+	}
+}
+
+// apply overlays the forwarded options onto an engine's base options.
+func (eo ExecOptions) apply(base sqlpp.Options) sqlpp.Options {
+	base.Compat = eo.Compat
+	base.StopOnError = eo.Strict
+	base.DisableOptimizer = eo.DisableOptimizer
+	base.NoCompile = eo.NoCompile
+	base.NoStats = eo.NoStats
+	base.Parallelism = eo.Parallelism
+	base.Limits.MaxOutputRows = eo.MaxRows
+	base.Limits.MaxMaterializedBytes = eo.MaxBytes
+	return base
+}
+
+// Request is one shard-level query execution.
+type Request struct {
+	// Query is SQL++ text (a per-shard split, or a bare collection name
+	// for gathers).
+	Query string
+	// Options forwards the request-level engine options.
+	Options ExecOptions
+	// Explain asks for the per-operator stats tree alongside the result.
+	Explain bool
+}
+
+// Response is a shard's answer.
+type Response struct {
+	// Value is the query result.
+	Value value.Value
+	// Stats is the shard-local EXPLAIN ANALYZE tree when Explain was set
+	// (and the transport carries one).
+	Stats *eval.StatsSnapshot
+}
+
+// Executor runs queries on one shard. Implementations must be safe for
+// concurrent use; hedged requests run two Execs at once.
+type Executor interface {
+	// Name identifies the shard in errors, annotations, and metrics.
+	Name() string
+	// Exec runs one query under ctx. Errors that may succeed on retry
+	// (transport failures, shedding, attempt deadlines) are marked with
+	// Transient; all others are treated as semantic and final.
+	Exec(ctx context.Context, req Request) (*Response, error)
+	// Ready probes whether the shard can serve queries.
+	Ready(ctx context.Context) error
+	// Register installs a collection on the shard (data distribution).
+	Register(name string, v value.Value) error
+}
+
+// transientErr marks an error as retryable and optionally carries a
+// shard's Retry-After backoff hint.
+type transientErr struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (t *transientErr) Error() string { return t.err.Error() }
+func (t *transientErr) Unwrap() error { return t.err }
+
+// Transient marks err as retryable.
+func Transient(err error) error { return &transientErr{err: err} }
+
+// TransientHint marks err as retryable with a shard-supplied minimum
+// backoff (the Retry-After of a shedding shard).
+func TransientHint(err error, retryAfter time.Duration) error {
+	return &transientErr{err: err, retryAfter: retryAfter}
+}
+
+// IsTransient reports whether err is retryable, and any Retry-After
+// hint attached to it.
+func IsTransient(err error) (time.Duration, bool) {
+	var t *transientErr
+	if errors.As(err, &t) {
+		return t.retryAfter, true
+	}
+	return 0, false
+}
+
+// LocalExecutor runs shard queries on an in-process engine — the
+// single-binary topology, and the deterministic substrate for tests
+// and benchmarks.
+type LocalExecutor struct {
+	name   string
+	engine *sqlpp.Engine
+}
+
+// NewLocal wraps an engine as a shard executor.
+func NewLocal(name string, engine *sqlpp.Engine) *LocalExecutor {
+	return &LocalExecutor{name: name, engine: engine}
+}
+
+// Name identifies the shard.
+func (x *LocalExecutor) Name() string { return x.name }
+
+// Engine exposes the underlying engine (tests, data loading).
+func (x *LocalExecutor) Engine() *sqlpp.Engine { return x.engine }
+
+// Ready reports readiness; an in-process engine always is.
+func (x *LocalExecutor) Ready(ctx context.Context) error { return nil }
+
+// Register installs a collection on the shard's engine.
+func (x *LocalExecutor) Register(name string, v value.Value) error {
+	return x.engine.Register(name, v)
+}
+
+// Exec runs the query on the shard engine under ctx. The shard-exec
+// fault point models a transport failure: its injected errors are
+// transient, exercising the retry path.
+func (x *LocalExecutor) Exec(ctx context.Context, req Request) (*Response, error) {
+	if faultinject.Enabled {
+		if err := faultinject.Fire(faultinject.ShardExec); err != nil {
+			return nil, Transient(fmt.Errorf("shard %s: %w", x.name, err))
+		}
+	}
+	eng := x.engine.WithOptions(req.Options.apply(x.engine.Options()))
+	p, err := eng.Prepare(req.Query)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: compile: %w", x.name, err)
+	}
+	if req.Explain {
+		v, st, err := p.ExplainAnalyze(ctx)
+		if err != nil {
+			return nil, x.classify(err)
+		}
+		return &Response{Value: v, Stats: st}, nil
+	}
+	v, err := p.ExecContext(ctx)
+	if err != nil {
+		return nil, x.classify(err)
+	}
+	return &Response{Value: v}, nil
+}
+
+// classify wraps execution errors: deadline expiry and recovered panics
+// are transient (a retry may land inside the remaining budget or on a
+// healthy replica); semantic errors are final.
+func (x *LocalExecutor) classify(err error) error {
+	wrapped := fmt.Errorf("shard %s: %w", x.name, err)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return Transient(wrapped)
+	}
+	var pe *sqlpp.PanicError
+	if errors.As(err, &pe) {
+		return Transient(wrapped)
+	}
+	return wrapped
+}
+
+// HTTPExecutor runs shard queries on a remote sqlpp-serve data node
+// through the existing HTTP/JSON protocol. Results travel in the
+// paper's object notation (format "sion"), which is lossless for
+// MISSING and bag/array kinds, so remote shards merge bit-identically
+// to local ones. The data node's own admission gate, governor, and
+// deadline machinery provide per-shard backpressure; its 429 +
+// Retry-After shedding surfaces here as a transient error carrying the
+// backoff hint.
+type HTTPExecutor struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTP builds an executor for the data node at baseURL (e.g.
+// "http://10.0.0.7:8642"). client nil uses a dedicated default client.
+func NewHTTP(name, baseURL string, client *http.Client) *HTTPExecutor {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HTTPExecutor{name: name, base: trimSlash(baseURL), client: client}
+}
+
+// trimSlash trims a trailing slash so path joins stay canonical.
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Name identifies the shard.
+func (x *HTTPExecutor) Name() string { return x.name }
+
+// Ready probes GET /readyz.
+func (x *HTTPExecutor) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, x.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := x.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %s: readyz %s", x.name, resp.Status)
+	}
+	return nil
+}
+
+// Register ingests the collection on the data node in object notation.
+func (x *HTTPExecutor) Register(name string, v value.Value) error {
+	u := x.base + "/v1/collections/" + url.PathEscape(name) + "?format=sion"
+	resp, err := x.client.Post(u, "text/plain", bytes.NewBufferString(v.String()))
+	if err != nil {
+		return fmt.Errorf("shard %s: register %s: %w", x.name, name, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("shard %s: register %s: %s: %s", x.name, name, resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// wireRequest mirrors the server's queryRequest.
+type wireRequest struct {
+	Query     string      `json:"query"`
+	Options   wireOptions `json:"options"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Format    string      `json:"format"`
+	Explain   string      `json:"explain,omitempty"`
+}
+
+// wireOptions mirrors the server's queryOptions (pointer fields so the
+// node's own defaults are overridden explicitly).
+type wireOptions struct {
+	Compat           *bool  `json:"compat"`
+	Strict           *bool  `json:"strict"`
+	DisableOptimizer *bool  `json:"disable_optimizer"`
+	NoCompile        *bool  `json:"no_compile"`
+	NoStats          *bool  `json:"no_stats"`
+	Parallelism      *int   `json:"parallelism"`
+	MaxRows          *int64 `json:"max_rows"`
+	MaxBytes         *int64 `json:"max_bytes"`
+}
+
+// wireResponse mirrors the server's queryResponse/errorResponse union.
+type wireResponse struct {
+	Result json.RawMessage     `json:"result"`
+	Stats  *eval.StatsSnapshot `json:"stats"`
+	Error  string              `json:"error"`
+}
+
+// Exec posts the query to the data node and decodes the sion result.
+func (x *HTTPExecutor) Exec(ctx context.Context, req Request) (*Response, error) {
+	if faultinject.Enabled {
+		if err := faultinject.Fire(faultinject.ShardExec); err != nil {
+			return nil, Transient(fmt.Errorf("shard %s: %w", x.name, err))
+		}
+	}
+	wr := wireRequest{
+		Query:  req.Query,
+		Format: "sion",
+		Options: wireOptions{
+			Compat:           &req.Options.Compat,
+			Strict:           &req.Options.Strict,
+			DisableOptimizer: &req.Options.DisableOptimizer,
+			NoCompile:        &req.Options.NoCompile,
+			NoStats:          &req.Options.NoStats,
+			Parallelism:      &req.Options.Parallelism,
+			MaxRows:          &req.Options.MaxRows,
+			MaxBytes:         &req.Options.MaxBytes,
+		},
+	}
+	if req.Explain {
+		wr.Explain = "analyze"
+	}
+	// Forward the attempt deadline so the data node's governor stops the
+	// query server-side too, not only at the client socket.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		wr.TimeoutMS = ms
+	}
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: encode: %w", x.name, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, x.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", x.name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := x.client.Do(hreq)
+	if err != nil {
+		// Transport-level failure: connection refused, reset, deadline.
+		return nil, Transient(fmt.Errorf("shard %s: %w", x.name, err))
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, Transient(fmt.Errorf("shard %s: read response: %w", x.name, err))
+	}
+	var wresp wireResponse
+	if err := json.Unmarshal(raw, &wresp); err != nil && hresp.StatusCode == http.StatusOK {
+		return nil, fmt.Errorf("shard %s: decode response: %w", x.name, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		msg := wresp.Error
+		if msg == "" {
+			msg = hresp.Status
+		}
+		ferr := fmt.Errorf("shard %s: %s", x.name, msg)
+		switch hresp.StatusCode {
+		case http.StatusTooManyRequests:
+			// A shedding shard names its own backoff; honor it.
+			return nil, TransientHint(ferr, parseRetryAfter(hresp.Header.Get("Retry-After")))
+		case http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+			http.StatusInternalServerError, http.StatusBadGateway:
+			return nil, Transient(ferr)
+		}
+		return nil, ferr
+	}
+	// format "sion" returns the rendered text as a JSON string; parse it
+	// back to a value losslessly.
+	var text string
+	if err := json.Unmarshal(wresp.Result, &text); err != nil {
+		return nil, fmt.Errorf("shard %s: decode result: %w", x.name, err)
+	}
+	v, err := sqlpp.ParseValue(text)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: parse result: %w", x.name, err)
+	}
+	return &Response{Value: v, Stats: wresp.Stats}, nil
+}
+
+// parseRetryAfter parses a whole-seconds Retry-After header; 0 when
+// absent or malformed.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FailMode selects what a scatter does when a shard stays down after
+// retries.
+type FailMode int
+
+const (
+	// FailFast aborts the query with a *ShardError naming the shard.
+	FailFast FailMode = iota
+	// Partial answers from the shards that responded and annotates the
+	// result with the missing shards — the paper's configurable-semantics
+	// stance applied to availability: the caller opts into incomplete
+	// data explicitly and can see exactly what is missing.
+	Partial
+)
+
+// String names the mode for annotations and metrics.
+func (m FailMode) String() string {
+	if m == Partial {
+		return "partial"
+	}
+	return "fail"
+}
+
+// ParseFailMode parses "fail" or "partial".
+func ParseFailMode(s string) (FailMode, bool) {
+	switch s {
+	case "fail", "":
+		return FailFast, true
+	case "partial":
+		return Partial, true
+	}
+	return FailFast, false
+}
+
+// Policy tunes the fault-tolerance layer around a scatter. The zero
+// value selects the defaults noted on each field.
+type Policy struct {
+	// MaxAttempts bounds tries per shard per query, including the first.
+	// Default: 3. Only transient failures (transport errors, shed 429s,
+	// per-attempt deadline expiry) are retried; semantic query errors are
+	// not — they would fail identically again.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; each subsequent retry
+	// doubles it up to MaxBackoff, then jitter in [1/2, 1) of the value
+	// is applied. A Retry-After hint from a shedding shard raises the
+	// backoff to at least the hint. Default: 25ms, capped at 1s.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Default: 1s.
+	MaxBackoff time.Duration
+	// HedgeAfter launches a second, identical attempt when the first has
+	// not answered within this duration; the first response wins and the
+	// loser is cancelled. 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold opens a shard's circuit breaker after this many
+	// consecutive failed attempts; while open, calls fail immediately
+	// without contacting the shard. After BreakerCooldown the breaker
+	// goes half-open and admits one probe. Default: 5; negative disables.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before probing.
+	// Default: 1s.
+	BreakerCooldown time.Duration
+	// OnFailure selects fail-fast or annotated partial results.
+	OnFailure FailMode
+	// Seed makes retry jitter deterministic for tests; 0 uses a fixed
+	// default seed (jitter only runs on retries, so fault-free execution
+	// consumes no randomness).
+	Seed int64
+
+	// now and sleep are injectable for deterministic tests; nil selects
+	// time.Now and a context-aware timer sleep.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) error
+}
+
+// WithClock returns a copy of p using now for breaker/backoff decisions
+// and sleep for retry waits — the chaos battery's determinism hook.
+func (p Policy) WithClock(now func() time.Time, sleep func(context.Context, time.Duration) error) Policy {
+	p.now = now
+	p.sleep = sleep
+	return p
+}
+
+// filled normalizes defaults.
+func (p Policy) filled() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = time.Second
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.sleep == nil {
+		p.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return p
+}
+
+// jitterSource is a mutex-guarded deterministic PRNG shared by a
+// coordinator's retries.
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterSource(seed int64) *jitterSource {
+	if seed == 0 {
+		seed = 1
+	}
+	return &jitterSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// backoff computes the wait before retry number retry (1-based), as
+// exponential growth with half-to-full jitter, raised to at least the
+// shard's Retry-After hint when one was given.
+func (j *jitterSource) backoff(p Policy, retry int, hint time.Duration) time.Duration {
+	d := p.BaseBackoff << (retry - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	j.mu.Lock()
+	d = d/2 + time.Duration(j.rng.Int63n(int64(d/2)+1))
+	j.mu.Unlock()
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// breaker is a per-shard circuit breaker: closed → open after
+// BreakerThreshold consecutive failures → half-open (one probe) after
+// BreakerCooldown → closed on probe success or open again on failure.
+type breaker struct {
+	mu       sync.Mutex
+	failures int
+	state    breakerState
+	openedAt time.Time
+	opens    int64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow reports whether a call may proceed; a false return means the
+// breaker is open and the caller should fail fast with ErrBreakerOpen.
+func (b *breaker) allow(p Policy) bool {
+	if p.BreakerThreshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if p.now().Sub(b.openedAt) >= p.BreakerCooldown {
+			// Half-open: admit exactly one probe; concurrent callers keep
+			// failing fast until the probe resolves.
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		return false
+	}
+	return true
+}
+
+// onSuccess records a successful attempt.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.failures = 0
+	b.state = breakerClosed
+	b.mu.Unlock()
+}
+
+// onFailure records a failed attempt, opening the breaker at the
+// threshold (and re-opening after a failed half-open probe).
+func (b *breaker) onFailure(p Policy) {
+	if p.BreakerThreshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= p.BreakerThreshold {
+		if b.state != breakerOpen {
+			b.opens++
+		}
+		b.state = breakerOpen
+		b.openedAt = p.now()
+	}
+}
+
+// isOpen reports whether the breaker currently rejects calls.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen || b.state == breakerHalfOpen
+}
+
+// openCount reports how many times the breaker has transitioned to
+// open.
+func (b *breaker) openCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

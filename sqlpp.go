@@ -28,11 +28,11 @@ import (
 	"sqlpp/internal/funcs"
 	"sqlpp/internal/index"
 	"sqlpp/internal/parser"
-	"sqlpp/internal/stats"
 	"sqlpp/internal/plan"
 	"sqlpp/internal/rewrite"
 	"sqlpp/internal/sema"
 	"sqlpp/internal/sion"
+	"sqlpp/internal/stats"
 	"sqlpp/internal/types"
 	"sqlpp/internal/value"
 )
@@ -289,9 +289,30 @@ func (e *Engine) Indexes() []IndexInfo {
 }
 
 // IndexEpoch returns the catalog's mutation counter. It changes on
-// every index create/drop and data registration, so callers caching
-// compiled plans (the server does) can fold it into their cache keys.
+// every index create/drop, data registration, and shard-topology
+// change, so callers caching compiled plans (the server and the shard
+// coordinator do) can fold it into their cache keys.
 func (e *Engine) IndexEpoch() int64 { return e.cat.Epoch() }
+
+// ShardMeta records how a collection is partitioned across a
+// coordinator's shard fleet (see internal/shard). It lives in the
+// catalog so distributions bump the epoch like any other catalog
+// mutation.
+type ShardMeta = catalog.ShardMeta
+
+// SetShardMeta records a collection's shard topology, bumping the
+// catalog epoch.
+func (e *Engine) SetShardMeta(name string, m ShardMeta) error {
+	return e.cat.SetShardMeta(name, m)
+}
+
+// ShardMetaFor reports the shard topology recorded for name.
+func (e *Engine) ShardMetaFor(name string) (ShardMeta, bool) {
+	return e.cat.ShardMetaFor(name)
+}
+
+// ShardMetas returns all recorded shard topologies by collection name.
+func (e *Engine) ShardMetas() map[string]ShardMeta { return e.cat.ShardMetas() }
 
 // CollectionStats pairs a collection name with its statistics summary.
 type CollectionStats struct {

@@ -30,11 +30,16 @@ import (
 // charge or document its bound the same way. internal/stats is covered
 // because statistics builds walk whole collections at ingest: sketch
 // and summary accumulators must charge "stats-build" or document the
-// sketchK/maxPaths bound that caps them.
+// sketchK/maxPaths bound that caps them. internal/shard is covered
+// because the coordinator's merge side re-materializes shard output:
+// partial folds and gather reassembly buffers grow with the data and
+// must charge "shard-gather" or document their bound (partitioning at
+// Distribute time is data-sized too, and says so).
 func govcharge(f *srcFile) []finding {
 	covered := strings.HasPrefix(f.path, "internal/plan/") ||
 		strings.HasPrefix(f.path, "internal/index/") ||
 		strings.HasPrefix(f.path, "internal/stats/") ||
+		strings.HasPrefix(f.path, "internal/shard/") ||
 		f.path == "internal/eval/compile.go"
 	if !covered || strings.HasSuffix(f.path, "/optimize.go") ||
 		f.path == "internal/plan/optimize.go" {
