@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sqlpp/tools/analyzers/lint"
+)
+
+// lintBudget is the wall-clock ceiling for one full-repo analysis run.
+// The suite is part of the inner development loop (CI runs it on every
+// push, TestRepoClean runs it on every `go test`), so it has a latency
+// budget like any other query: if a whole-program pass grows past this,
+// it needs memoization work, not a bigger timeout.
+const lintBudget = 30 * time.Second
+
+// lintReport is the machine-readable artifact of -lint.
+type lintReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	BudgetSec  float64        `json:"budget_sec"`
+	LoadSec    float64        `json:"load_sec"`
+	TotalSec   float64        `json:"total_sec"`
+	Files      int            `json:"files"`
+	Packages   int            `json:"packages"`
+	Findings   int            `json:"findings"`
+	Analyzers  []lintAnalyzer `json:"analyzers"`
+}
+
+type lintAnalyzer struct {
+	Name     string  `json:"name"`
+	Sec      float64 `json:"sec"`
+	Findings int     `json:"findings"`
+}
+
+// runLintBench times the full static-analysis suite over this repo —
+// parse + type-check (the load) and then each analyzer separately — and
+// fails if the end-to-end run exceeds lintBudget or any analyzer
+// reports a finding. It is a smoke test for the analysis itself: the
+// suite must stay fast enough to run on every push and the tree must
+// stay clean under it.
+func runLintBench(root, outPath string) bool {
+	fmt.Println("== Static-analysis suite (full-repo load + all passes) ==")
+	report := lintReport{GOMAXPROCS: runtime.GOMAXPROCS(0), BudgetSec: lintBudget.Seconds()}
+	start := time.Now()
+	host, err := lint.NewHost(root)
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	repo, err := host.LoadRepo()
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return true
+	}
+	load := time.Since(start)
+	report.LoadSec = load.Seconds()
+	report.Files = len(repo.Files)
+	report.Packages = len(repo.Pkgs)
+	fmt.Printf("  %-12s %8.2fs   (%d files, %d typed packages)\n",
+		"load", load.Seconds(), len(repo.Files), len(repo.Pkgs))
+	failed := false
+	for _, a := range lint.All {
+		t0 := time.Now()
+		findings := lint.Dedup(a.Run(repo))
+		d := time.Since(t0)
+		report.Analyzers = append(report.Analyzers, lintAnalyzer{
+			Name: a.Name, Sec: d.Seconds(), Findings: len(findings),
+		})
+		report.Findings += len(findings)
+		status := ""
+		if len(findings) > 0 {
+			status = fmt.Sprintf("   %d FINDING(S)", len(findings))
+			failed = true
+			for _, f := range findings {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+		fmt.Printf("  %-12s %8.2fs%s\n", a.Name, d.Seconds(), status)
+	}
+	total := time.Since(start)
+	report.TotalSec = total.Seconds()
+	fmt.Printf("  %-12s %8.2fs   (budget %.0fs)\n", "total", total.Seconds(), lintBudget.Seconds())
+	if total > lintBudget {
+		fmt.Printf("  OVER BUDGET: full analysis took %.2fs, budget is %.0fs\n",
+			total.Seconds(), lintBudget.Seconds())
+		failed = true
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Println("ERROR encoding report:", err)
+		return true
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Println("ERROR writing report:", err)
+		return true
+	}
+	fmt.Printf("\nwrote %s\n\n", outPath)
+	return failed
+}

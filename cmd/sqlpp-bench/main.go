@@ -20,6 +20,9 @@
 //	sqlpp-bench -shard       measure fault-tolerant scatter-gather over in-process
 //	                         shards (4-shard speedup, byte identity, failure
 //	                         policies) and write BENCH_shard.json
+//	sqlpp-bench -lint        time the full static-analysis suite over this repo,
+//	                         fail if it exceeds its 30s budget or finds anything,
+//	                         and write BENCH_lint.json
 //	sqlpp-bench              all of the above
 //
 // The output tables are the ones recorded in EXPERIMENTS.md.
@@ -63,10 +66,13 @@ func main() {
 	plannerOut := flag.String("planner-out", "BENCH_planner.json", "machine-readable output of -planner")
 	shardBench := flag.Bool("shard", false, "measure fault-tolerant scatter-gather over in-process shards")
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "machine-readable output of -shard")
+	lintBench := flag.Bool("lint", false, "time the full static-analysis suite; fail if over budget")
+	lintOut := flag.String("lint-out", "BENCH_lint.json", "machine-readable output of -lint")
+	lintRoot := flag.String("lint-root", ".", "module root the -lint suite analyzes")
 	scale := flag.Int("scale", 1, "scale factor for the performance experiments")
 	flag.Parse()
 
-	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector && !*planner && !*shardBench
+	all := !*listings && !*kit && !*perf && !*formats && !*serve && !*joins && !*explain && !*governor && !*vet && !*indexBench && !*vector && !*planner && !*shardBench && !*lintBench
 	failed := false
 	if *listings || all {
 		failed = runListings() || failed
@@ -106,6 +112,9 @@ func main() {
 	}
 	if *shardBench || all {
 		failed = runShard(*scale, *shardOut) || failed
+	}
+	if *lintBench || all {
+		failed = runLintBench(*lintRoot, *lintOut) || failed
 	}
 	if failed {
 		os.Exit(1)

@@ -22,11 +22,16 @@
 //	-core             print the SQL++ Core rewriting instead of executing
 //	-vet              static analysis: print the semantic analyzer's
 //	                  diagnostics for the query (or for each .sqlpp file
-//	                  given as an argument) instead of executing; exits
-//	                  nonzero when any diagnostic is error-severity.
+//	                  given as an argument) instead of executing.
 //	                  Schemas are inferred for -data values without a
 //	                  -ddl declaration, so vetting is schema-aware out of
-//	                  the box.
+//	                  the box. Exit codes follow the repo's analyzer
+//	                  convention (tools/analyzers uses the same one):
+//	                  0 when every query is clean, 1 when any query has
+//	                  an error-severity diagnostic, 2 when the analysis
+//	                  itself could not run (unreadable file, schema
+//	                  inference failure, bad usage) — so CI can tell
+//	                  "the queries are wrong" from "the vet is broken".
 //	-explain          execute with EXPLAIN ANALYZE: print the per-operator
 //	                  stats tree (rows in/out, wall time, counters) after
 //	                  the result
@@ -56,6 +61,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -81,8 +87,27 @@ func (d *dataFlags) Set(s string) error {
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "sqlpp:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitError carries an explicit process exit code. -vet uses it to
+// distinguish "the queries are wrong" (1) from "the analysis could not
+// run" (2); everything else keeps the traditional exit 1.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+func exitCode(err error) int {
+	var xe *exitError
+	if errors.As(err, &xe) {
+		return xe.code
+	}
+	return 1
 }
 
 func run() error {
@@ -97,7 +122,7 @@ func run() error {
 	maxBytes := flag.Int64("max-bytes", 0, "abort a query once materialized state exceeds this many bytes (0 = no limit)")
 	outFormat := flag.String("out", "sion", "output format: sion, json, or pretty")
 	showCore := flag.Bool("core", false, "print the SQL++ Core rewriting instead of executing")
-	vet := flag.Bool("vet", false, "print static-analysis diagnostics instead of executing; nonzero exit on errors")
+	vet := flag.Bool("vet", false, "print static-analysis diagnostics instead of executing; exit 1 on error-severity diagnostics, 2 if the analysis itself fails")
 	explain := flag.Bool("explain", false, "execute with EXPLAIN ANALYZE and print the per-operator stats tree")
 	noOpt := flag.Bool("no-opt", false, "disable the physical optimizer")
 	noCompile := flag.Bool("no-compile", false, "disable closure compilation (evaluate through the interpreter)")
@@ -159,13 +184,22 @@ func run() error {
 // are vetted file by file (splitting on ';'); otherwise the arguments
 // are one query. Compile failures (parse and resolution errors) are
 // reported as error-severity findings rather than aborting the batch.
+// Infrastructure failures — an unreadable file, a schema inference
+// error, no input at all — exit 2 instead of 1: they mean the analysis
+// never ran, not that the queries are wrong.
 func runVet(db *sqlpp.Engine, args []string, queryFile string) error {
+	internal := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		return &exitError{code: 2, err: err}
+	}
 	// Vetting wants maximum static knowledge: infer a schema for every
 	// registered value that has no declared one.
 	for _, name := range db.Names() {
 		if _, ok := db.SchemaOf(name); !ok {
 			if _, err := db.InferSchema(name); err != nil {
-				return err
+				return internal(err)
 			}
 		}
 	}
@@ -187,7 +221,7 @@ func runVet(db *sqlpp.Engine, args []string, queryFile string) error {
 	}
 	if queryFile != "" {
 		if err := addFile(queryFile); err != nil {
-			return err
+			return internal(err)
 		}
 	}
 	allFiles := len(args) > 0
@@ -201,14 +235,14 @@ func runVet(db *sqlpp.Engine, args []string, queryFile string) error {
 	case allFiles:
 		for _, a := range args {
 			if err := addFile(a); err != nil {
-				return err
+				return internal(err)
 			}
 		}
 	case len(args) > 0:
 		units = append(units, unit{label: "<query>", query: strings.Join(args, " ")})
 	}
 	if len(units) == 0 {
-		return fmt.Errorf("-vet wants a query, -f file, or .sqlpp file arguments")
+		return internal(fmt.Errorf("-vet wants a query, -f file, or .sqlpp file arguments"))
 	}
 
 	errs := 0
@@ -227,7 +261,7 @@ func runVet(db *sqlpp.Engine, args []string, queryFile string) error {
 		}
 	}
 	if errs > 0 {
-		return fmt.Errorf("vet found %d error(s)", errs)
+		return &exitError{code: 1, err: fmt.Errorf("vet found %d error(s)", errs)}
 	}
 	return nil
 }

@@ -147,6 +147,8 @@ func (g *Governor) ChargeBindings(site string, vals []value.Value) error {
 	}
 	if g.lim.MaxMaterializedBytes > 0 {
 		var sz int64
+		// ctxpoll: vals is one row's bindings — bounded by the query's
+		// variable count, not the data; the byte charge below is the poll.
 		for _, v := range vals {
 			sz += value.ApproxSize(v)
 		}

@@ -232,6 +232,9 @@ func runSFWParallel(ctx *eval.Context, outer *eval.Env, q *ast.SFW, phys *sfwPhy
 		for i := range ws {
 			s := ws[i].sink
 			for j, v := range s.out {
+				if err := ctx.Interrupted(); err != nil {
+					return nil, true, err
+				}
 				if seen[s.keys[j]] {
 					continue
 				}

@@ -421,8 +421,9 @@ func (c *Coordinator) attempt(ctx context.Context, x Executor, req Request, atte
 	cancel := context.CancelFunc(func() {})
 	if dl, ok := ctx.Deadline(); ok {
 		left := p.MaxAttempts - attempt + 1
-		per := time.Until(dl) / time.Duration(left)
-		actx, cancel = context.WithDeadline(ctx, time.Now().Add(per))
+		now := p.now()
+		per := dl.Sub(now) / time.Duration(left)
+		actx, cancel = context.WithDeadline(ctx, now.Add(per))
 	} else {
 		actx, cancel = context.WithCancel(ctx)
 	}

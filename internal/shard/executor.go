@@ -316,6 +316,9 @@ func (x *HTTPExecutor) Exec(ctx context.Context, req Request) (*Response, error)
 	// Forward the attempt deadline so the data node's governor stops the
 	// query server-side too, not only at the client socket.
 	if dl, ok := ctx.Deadline(); ok {
+		// noclock: the wire timeout must be relative to the real clock the
+		// HTTP transport enforces the deadline against; chaos tests stub
+		// the Executor itself, so no fake-clock schedule flows through.
 		ms := time.Until(dl).Milliseconds()
 		if ms < 1 {
 			ms = 1

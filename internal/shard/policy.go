@@ -106,6 +106,8 @@ func (p Policy) filled() Policy {
 		p.BreakerCooldown = time.Second
 	}
 	if p.now == nil {
+		// noclock: this is the WithClock injection seam itself — the one
+		// place the real clock is allowed to enter the shard layer.
 		p.now = time.Now
 	}
 	if p.sleep == nil {

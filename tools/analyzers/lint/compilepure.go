@@ -1,10 +1,10 @@
-package main
+package lint
 
 import (
 	"go/ast"
 )
 
-// compilepure enforces the closure-compilation allocation discipline in
+// Compilepure enforces the closure-compilation allocation discipline in
 // internal/eval/compile.go: a compileX function may allocate exactly one
 // closure — the CompiledExpr it returns — and must do all of its
 // preparation (operand compilation, constant folding, matcher
@@ -14,29 +14,35 @@ import (
 // putting an allocation back on the per-row path the compiler exists to
 // clear. The check is lexical, so a violation is visible at the exact
 // line the nested closure appears.
-func compilepure(f *srcFile) []finding {
-	if f.path != "internal/eval/compile.go" {
+var Compilepure = &Analyzer{
+	Name: "compilepure",
+	Doc:  "internal/eval/compile.go never nests func literals: compiled closures allocate at prepare time only",
+	Run:  perFile(compilepure),
+}
+
+func compilepure(r *Repo, f *File) []Finding {
+	if f.Path != "internal/eval/compile.go" {
 		return nil
 	}
 	// Collect every func literal's body span, then flag literals that
 	// start inside another literal's body.
 	var bodies []span
-	ast.Inspect(f.ast, func(n ast.Node) bool {
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
 		if fl, ok := n.(*ast.FuncLit); ok {
 			bodies = append(bodies, span{fl.Body.Pos(), fl.Body.End()})
 		}
 		return true
 	})
-	var out []finding
-	ast.Inspect(f.ast, func(n ast.Node) bool {
+	var out []Finding
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
 		fl, ok := n.(*ast.FuncLit)
 		if !ok || !inAny(bodies, fl.Pos()) {
 			return true
 		}
-		out = append(out, finding{
-			pos:   f.fset.Position(fl.Pos()),
-			check: "compilepure",
-			msg: "func literal nested inside a compiled closure; closures must be " +
+		out = append(out, Finding{
+			Pos:   r.pos(fl),
+			Check: "compilepure",
+			Msg: "func literal nested inside a compiled closure; closures must be " +
 				"allocated at compile time only — hoist the inner literal into the compileX body",
 		})
 		return true

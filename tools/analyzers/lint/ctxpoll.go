@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxpoll enforces the cancellation-latency invariant in the execution
+// packages (internal/plan, internal/eval, internal/shard,
+// internal/index): a loop whose trip count depends on the data — a
+// range over a slice of values, or an index loop walking one — must
+// reach a cancellation/governor poll each iteration. The engine's
+// cancellation story is cooperative: a context switch costs nothing if
+// nobody checks the flag, and a data-sized loop that never polls turns
+// a cancelled query into a full-table burn.
+//
+// A loop polls if its body, each iteration, can reach one of the poll
+// points — eval.Context.Interrupted/InterruptedN/pollNow, or a
+// Governor CheckTime/CheckDepth/Charge* call (every charge checks the
+// budget) — either directly or through a statically-resolved module
+// call that transitively polls. Calls without a visible body
+// (interface dispatch, function values, compiled closures) are treated
+// optimistically as polling: the pass exists to catch the provable
+// straight-line burner, not to force annotations onto every dispatch
+// site.
+//
+// Functions with no reachable poller — no eval.Context, Governor, or
+// context.Context anywhere in their signature or body — are exempt:
+// they cannot poll by construction, and their callers hold the
+// responsibility (plan-time rewrites, value utilities). A loop that is
+// data-sized but intentionally unpolled (a tight fold the governor
+// already charged before entry) carries a `// ctxpoll:` marker saying
+// so.
+var Ctxpoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "data-dependent loops in the execution packages reach a cancellation/governor poll each iteration",
+	Run:  runCtxpoll,
+}
+
+// ctxpollDirs are the packages whose loops execute against data.
+var ctxpollDirs = []string{"internal/plan", "internal/eval", "internal/shard", "internal/index"}
+
+func runCtxpoll(r *Repo) []Finding {
+	ca := &ctxpollAnalysis{r: r, decls: r.declIndex(), polls: map[*types.Func]bool{}, visiting: map[*types.Func]bool{}}
+	var out []Finding
+	for _, p := range r.Pkgs {
+		if !pkgInDirs(p, ctxpollDirs) {
+			continue
+		}
+		p.funcs(func(f *File, fd *ast.FuncDecl) {
+			out = append(out, ca.checkFunc(p, f, fd)...)
+		})
+	}
+	return out
+}
+
+type ctxpollAnalysis struct {
+	r     *Repo
+	decls map[*types.Func]*declSite
+	// polls memoizes whether a function's body reaches a poll point on
+	// its straight-line path (any poll call anywhere in the body counts;
+	// the per-iteration requirement is the caller's loop-body check).
+	polls    map[*types.Func]bool
+	visiting map[*types.Func]bool
+}
+
+func (ca *ctxpollAnalysis) checkFunc(p *Package, f *File, fd *ast.FuncDecl) []Finding {
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "ctxpoll:") {
+		return nil
+	}
+	if !ca.canPoll(p, fd) {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		body, what := dataLoop(p.Info, n)
+		if body == nil {
+			return true
+		}
+		if ca.r.markerNear(f, n.Pos(), "ctxpoll:") {
+			return true
+		}
+		if ca.bodyPolls(p.Info, body) {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:   ca.r.pos(n),
+			Check: "ctxpoll",
+			Msg: what + " never reaches a cancellation/governor poll; a cancelled query burns the " +
+				"whole input here — call Interrupted()/CheckTime()/Charge* each iteration or " +
+				"document the bound with a `// ctxpoll:` marker",
+		})
+		return true
+	})
+	return out
+}
+
+// canPoll reports whether fd has any poller in reach: an eval.Context,
+// Governor, or context.Context typed expression in its signature or
+// body. Without one the function cannot poll by construction.
+func (ca *ctxpollAnalysis) canPoll(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if isPollerType(typeOf(p.Info, field.Type)) {
+				return true
+			}
+		}
+	}
+	// A method can reach a poller stored in a receiver field; the body
+	// scan below sees the field selection's type.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isPollerType(typeOf(p.Info, e)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPollerType reports whether t is one of the types that can poll:
+// eval.Context, eval.Governor (possibly behind pointers), or the
+// standard context.Context.
+func isPollerType(t types.Type) bool {
+	return namedPkgType(t, "internal/eval", "Context") ||
+		namedPkgType(t, "internal/eval", "Governor") ||
+		namedPkgType(t, "context", "Context")
+}
+
+// dataLoop classifies n as a data-dependent loop and returns its body:
+// a range over a slice of value.Value (or value.Array/value.Bag, which
+// are slices of Value), or a for statement whose body indexes such a
+// slice. Maps are excluded — the engine's maps are object fields,
+// bounded by schema width, not data size.
+func dataLoop(info *types.Info, n ast.Node) (*ast.BlockStmt, string) {
+	switch x := n.(type) {
+	case *ast.RangeStmt:
+		if isValueSlice(typeOf(info, x.X)) {
+			return x.Body, "range over a data-sized value slice"
+		}
+	case *ast.ForStmt:
+		// An index loop is data-dependent if its body indexes a slice of
+		// values: `for i := lo; i < hi; i++ { ... elems[i] ... }`.
+		if x.Body == nil {
+			return nil, ""
+		}
+		indexed := false
+		ast.Inspect(x.Body, func(m ast.Node) bool {
+			if indexed {
+				return false
+			}
+			ie, ok := m.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if isValueSlice(typeOf(info, ie.X)) {
+				indexed = true
+			}
+			return !indexed
+		})
+		if indexed {
+			return x.Body, "index loop over a data-sized value slice"
+		}
+	}
+	return nil, ""
+}
+
+// isValueSlice reports whether t is a slice whose element type is the
+// engine's value.Value (including named slice types like value.Array).
+func isValueSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := deref(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return namedPkgType(s.Elem(), "internal/value", "Value")
+}
+
+// bodyPolls reports whether the loop body reaches a poll point:
+// directly, through a statically-resolved module call that transitively
+// polls, or optimistically through a call with no visible body.
+func (ca *ctxpollAnalysis) bodyPolls(info *types.Info, body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPollCall(info, call):
+			polls = true
+		case isDynamicCall(info, call):
+			// No visible body: assume it polls. The pass targets provable
+			// straight-line burners, not every dispatch site.
+			polls = true
+		default:
+			if callee := calleeOf(info, call); callee != nil {
+				if ca.decls[callee] != nil {
+					if ca.funcPolls(callee) {
+						polls = true
+					}
+				} else if callee.Pkg() != nil && strings.Contains(callee.Pkg().Path(), "/") &&
+					!isStdlibPkg(callee.Pkg().Path()) {
+					// A module call whose body we cannot see (shouldn't
+					// happen; decl index covers the module) — optimistic.
+					polls = true
+				}
+			}
+		}
+		return !polls
+	})
+	return polls
+}
+
+// isStdlibPkg is a cheap test: stdlib import paths have no dot in their
+// first segment.
+func isStdlibPkg(ipath string) bool {
+	first := ipath
+	if i := strings.IndexByte(ipath, '/'); i >= 0 {
+		first = ipath[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+// isPollCall reports whether call is one of the poll points:
+// eval.Context.Interrupted/InterruptedN/pollNow or a Governor
+// CheckTime/CheckDepth/Charge* method.
+func isPollCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	recv := typeOf(info, sel.X)
+	switch {
+	case namedPkgType(recv, "internal/eval", "Context"):
+		return name == "Interrupted" || name == "InterruptedN" || name == "pollNow"
+	case namedPkgType(recv, "internal/eval", "Governor"):
+		return name == "CheckTime" || name == "CheckDepth" || strings.HasPrefix(name, "Charge")
+	case namedPkgType(recv, "context", "Context"):
+		// ctx.Err()/ctx.Done() checks count: shard-side loops poll the
+		// standard context directly.
+		return name == "Err" || name == "Done"
+	}
+	return false
+}
+
+// funcPolls memoizes whether fn's body reaches a poll point.
+func (ca *ctxpollAnalysis) funcPolls(fn *types.Func) bool {
+	if got, ok := ca.polls[fn]; ok {
+		return got
+	}
+	if ca.visiting[fn] {
+		return false
+	}
+	site := ca.decls[fn]
+	if site == nil {
+		return false
+	}
+	ca.visiting[fn] = true
+	defer delete(ca.visiting, fn)
+	polls := ca.bodyPolls(site.pkg.Info, site.decl.Body)
+	ca.polls[fn] = polls
+	return polls
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Errseam enforces the typed-error taxonomy at the engine's exported
+// seams (internal/plan, internal/eval, internal/shard, internal/index,
+// internal/stats, internal/catalog): errors crossing those package
+// boundaries must be classifiable — a ResourceError the server maps to
+// 429, a ShardError carrying the failed shard's identity, a PanicError
+// carrying the recovered stack, a VetError carrying positions — or a
+// wrapped error whose chain still reaches one. Two shapes defeat
+// classification and are banned:
+//
+//   - errors.New at a return site: a bare opaque error with no type and
+//     no chain. Package-level sentinel declarations (`var errStop =
+//     errors.New(...)`) are exempt — a sentinel compared with errors.Is
+//     is itself a classification scheme.
+//
+//   - fmt.Errorf that is handed an error argument but has no %w in its
+//     format: the cause is flattened into text, errors.Is/As stop
+//     seeing through it, and the server's taxonomy mapping silently
+//     degrades to "internal error".
+//
+// A site that genuinely wants an opaque error (a developer-facing
+// invariant message, never classified) carries a `// errseam:` marker
+// saying so.
+var Errseam = &Analyzer{
+	Name: "errseam",
+	Doc:  "seam packages return typed or %w-wrapped errors: no bare errors.New outside sentinels, no chain-breaking fmt.Errorf",
+	Run:  perPkg(errseam),
+}
+
+// errseamDirs are the exported seam packages.
+var errseamDirs = []string{
+	"internal/plan", "internal/eval", "internal/shard",
+	"internal/index", "internal/stats", "internal/catalog",
+}
+
+func errseam(r *Repo, p *Package) []Finding {
+	if !pkgInDirs(p, errseamDirs) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		sentinels := sentinelSpans(f.Ast)
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			switch {
+			case stdFunc(callee, "errors", "New"):
+				if inAny(sentinels, call.Pos()) || r.markerNear(f, call.Pos(), "errseam:") {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:   r.pos(call),
+					Check: "errseam",
+					Msg: "bare errors.New in a seam package escapes the typed-error taxonomy; return a " +
+						"ResourceError/ShardError/PanicError/VetError, wrap a cause with fmt.Errorf(...%w...), " +
+						"or hoist a sentinel into a package-level var (opaque-on-purpose sites take a `// errseam:` marker)",
+				})
+			case stdFunc(callee, "fmt", "Errorf"):
+				if !errorfBreaksChain(p, call) {
+					return true
+				}
+				if r.markerNear(f, call.Pos(), "errseam:") {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:   r.pos(call),
+					Check: "errseam",
+					Msg: "fmt.Errorf is handed an error but has no %w: the cause is flattened to text and " +
+						"errors.Is/As stop seeing through this seam; use %w (or a `// errseam:` marker if " +
+						"breaking the chain is intended)",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelSpans returns the spans of package-level var declarations in
+// f: errors.New inside them declares a sentinel, not a return value.
+func sentinelSpans(f *ast.File) []span {
+	var out []span
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			out = append(out, span{gd.Pos(), gd.End()})
+		}
+	}
+	return out
+}
+
+// errorfBreaksChain reports whether the fmt.Errorf call is handed at
+// least one error-typed argument while its format literal has no %w
+// verb. A non-literal format cannot be judged and reports false.
+func errorfBreaksChain(p *Package, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if implementsError(typeOf(p.Info, a)) {
+			return true
+		}
+	}
+	return false
+}

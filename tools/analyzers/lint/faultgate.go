@@ -1,11 +1,11 @@
-package main
+package lint
 
 import (
 	"go/ast"
 	"strings"
 )
 
-// faultgate enforces the fault-injection build discipline:
+// Faultgate enforces the fault-injection build discipline:
 //
 //  1. Outside the faultinject package itself, every call to
 //     faultinject.Fire must sit inside the body of an
@@ -17,15 +17,25 @@ import (
 //  2. Inside the faultinject package, any file that declares the
 //     Enabled constant must carry a //go:build constraint — the whole
 //     scheme collapses if a tag-free file redefines it.
-func faultgate(f *srcFile) []finding {
-	if strings.HasPrefix(f.path, "internal/faultinject/") {
-		return faultgateDecl(f)
+//
+// The check is per-file and syntactic on purpose: it must see the
+// tag-excluded armed implementation, which the type checker never
+// loads.
+var Faultgate = &Analyzer{
+	Name: "faultgate",
+	Doc:  "faultinject.Fire sites are guarded by `if faultinject.Enabled`; Enabled declarations carry //go:build tags",
+	Run:  perFile(faultgate),
+}
+
+func faultgate(r *Repo, f *File) []Finding {
+	if strings.HasPrefix(f.Path, "internal/faultinject/") {
+		return faultgateDecl(r, f)
 	}
 
 	// Collect the bodies of every if-statement whose condition reads
 	// faultinject.Enabled; Fire calls are legal only inside them.
 	var guarded []span
-	ast.Inspect(f.ast, func(n ast.Node) bool {
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
 		ifs, ok := n.(*ast.IfStmt)
 		if !ok || !mentions(ifs.Cond, "faultinject", "Enabled") {
 			return true
@@ -34,17 +44,17 @@ func faultgate(f *srcFile) []finding {
 		return true
 	})
 
-	var out []finding
-	ast.Inspect(f.ast, func(n ast.Node) bool {
+	var out []Finding
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || !isPkgSel(call.Fun, "faultinject", "Fire") {
 			return true
 		}
 		if !inAny(guarded, call.Pos()) {
-			out = append(out, finding{
-				pos:   f.fset.Position(call.Pos()),
-				check: "faultgate",
-				msg:   "faultinject.Fire call not guarded by `if faultinject.Enabled`; unguarded points survive into normal builds",
+			out = append(out, Finding{
+				Pos:   r.pos(call),
+				Check: "faultgate",
+				Msg:   "faultinject.Fire call not guarded by `if faultinject.Enabled`; unguarded points survive into normal builds",
 			})
 		}
 		return true
@@ -54,9 +64,9 @@ func faultgate(f *srcFile) []finding {
 
 // faultgateDecl checks rule 2: Enabled declarations live behind build
 // tags.
-func faultgateDecl(f *srcFile) []finding {
+func faultgateDecl(r *Repo, f *File) []Finding {
 	declares := false
-	ast.Inspect(f.ast, func(n ast.Node) bool {
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
 		vs, ok := n.(*ast.ValueSpec)
 		if !ok {
 			return true
@@ -71,16 +81,16 @@ func faultgateDecl(f *srcFile) []finding {
 	if !declares {
 		return nil
 	}
-	for _, cg := range f.ast.Comments {
+	for _, cg := range f.Ast.Comments {
 		for _, c := range cg.List {
 			if strings.HasPrefix(c.Text, "//go:build") {
 				return nil
 			}
 		}
 	}
-	return []finding{{
-		pos:   f.fset.Position(f.ast.Package),
-		check: "faultgate",
-		msg:   "file declares faultinject.Enabled without a //go:build constraint",
+	return []Finding{{
+		Pos:   r.Fset.Position(f.Ast.Package),
+		Check: "faultgate",
+		Msg:   "file declares faultinject.Enabled without a //go:build constraint",
 	}}
 }

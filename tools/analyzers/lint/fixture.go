@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFixture parses and type-checks the fixture tree rooted at dir —
+// the diff harness behind testdata/src. Each immediate or nested
+// directory of .go files becomes one fixture package, type-checked
+// against the real module through the host's importer, so a fixture
+// that says `ctx *eval.Context` resolves to the same type the repo run
+// sees.
+//
+// A fixture file may carry a `//lint:path <repo-relative path>`
+// directive on a line of its own; the file is then parsed under that
+// virtual path, so the path-scoped checks (noclock's internal/shard
+// rule, compilepure's compile.go rule) and the directory-scoped checks
+// (lockorder's internal/shard scope) fire exactly as they would on the
+// real tree. The fixture package's Dir is the directory of its first
+// file's virtual path. Build constraints are not evaluated for
+// fixtures: every file in the directory is part of the package.
+func (h *Host) LoadFixture(dir string) (*Repo, error) {
+	ld := h.ld
+	groups := map[string][]*File{}
+	var order []string
+	var all []*File
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		virt := fixtureVirtualPath(dir, p, string(src))
+		tree, err := parser.ParseFile(ld.fset, virt, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		f := &File{Path: virt, Ast: tree}
+		dd := filepath.Dir(p)
+		if _, ok := groups[dd]; !ok {
+			order = append(order, dd)
+		}
+		groups[dd] = append(groups[dd], f)
+		all = append(all, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("lint: no fixture files under %s", dir)
+	}
+	sort.Strings(order)
+	var pkgs []*Package
+	for _, dd := range order {
+		files := groups[dd]
+		sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+		p, err := ld.checkFixture(dir, dd, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Path < all[j].Path })
+	return &Repo{Root: dir, Fset: ld.fset, Files: all, Pkgs: pkgs}, nil
+}
+
+// fixtureVirtualPath extracts the //lint:path directive, defaulting to
+// a fixtures/-prefixed relative path when absent.
+func fixtureVirtualPath(root, p, src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "//lint:path "); ok {
+			return path.Clean(strings.TrimSpace(rest))
+		}
+	}
+	rel, err := filepath.Rel(root, p)
+	if err != nil {
+		rel = p
+	}
+	return path.Join("fixtures", filepath.ToSlash(rel))
+}
+
+// checkFixture type-checks one fixture package. Errors go to a local
+// collector — a broken fixture must not poison the host's repo state.
+func (ld *loader) checkFixture(root, diskDir string, files []*File) (*Package, error) {
+	rel, err := filepath.Rel(root, diskDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := path.Join("fixtures", filepath.Base(root), filepath.ToSlash(rel))
+	var errs []error
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(ld.importPkg),
+		Error: func(err error) {
+			if len(errs) < 20 {
+				errs = append(errs, err)
+			}
+		},
+	}
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.Ast
+	}
+	tp, _ := conf.Check(pkgPath, ld.fset, asts, info)
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("lint: fixture %s does not type-check:\n  %s", diskDir, strings.Join(msgs, "\n  "))
+	}
+	return &Package{
+		Dir:     path.Dir(files[0].Path),
+		PkgPath: pkgPath,
+		Files:   files,
+		Types:   tp,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFixtures is the diff harness over testdata/src: each directory
+// names one analyzer and holds fixture packages annotated with
+// `// want "substring"` comments. Every annotated line must produce a
+// finding whose message contains the substring, and every finding must
+// land on an annotated line — so both false negatives and false
+// positives fail the test. Every analyzer in the suite must have a
+// fixture directory.
+func TestFixtures(t *testing.T) {
+	host, _ := getRepo(t)
+	byName := map[string]*Analyzer{}
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		a := byName[e.Name()]
+		if a == nil {
+			t.Errorf("testdata/src/%s does not name an analyzer", e.Name())
+			continue
+		}
+		covered[a.Name] = true
+		t.Run(a.Name, func(t *testing.T) {
+			fix, err := host.LoadFixture(filepath.Join("testdata", "src", a.Name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWants(t, fix, Dedup(a.Run(fix)))
+		})
+	}
+	for _, a := range All {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no fixture directory under testdata/src", a.Name)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants scans fixture comments for `want "..."` expectations,
+// keyed by the line the comment sits on. Several quoted strings after
+// one want are several expectations for that line.
+func collectWants(t *testing.T, fix *Repo) map[lineKey][]string {
+	t.Helper()
+	wants := map[lineKey][]string{}
+	for _, f := range fix.Files {
+		for _, cg := range f.Ast.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, `want "`)
+				if i < 0 {
+					continue
+				}
+				line := fix.Fset.Position(c.Pos()).Line
+				k := lineKey{f.Path, line}
+				rest := c.Text[i+len("want "):]
+				for strings.HasPrefix(rest, `"`) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s:%d: malformed want expectation: %s", f.Path, line, rest)
+						break
+					}
+					s, _ := strconv.Unquote(q)
+					wants[k] = append(wants[k], s)
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fix *Repo, got []Finding) {
+	t.Helper()
+	wants := collectWants(t, fix)
+	matched := map[lineKey][]bool{}
+	for _, f := range got {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		ws := wants[k]
+		ok := false
+		for i, w := range ws {
+			if strings.Contains(f.Msg, w) {
+				if matched[k] == nil {
+					matched[k] = make([]bool, len(ws))
+				}
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, ws := range wants {
+		for i, w := range ws {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s:%d: no finding containing %q", k.file, k.line, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroleak requires every `go` statement in non-test code to have a
+// provable join — a leaked goroutine holds its stack, its captures, and
+// under the governor's accounting model, resources nobody ever releases.
+// A spawn passes if the spawned body:
+//
+//   - calls Done on a sync.WaitGroup that some function in the same
+//     package Waits on (the scatter/gather shape: workers Done, the
+//     gather side Waits), or
+//
+//   - sends on (or closes) a channel that the same package receives
+//     from — a receive expression, a range, or a select case — so the
+//     result is consumed and the buffered-send-then-abandon shape
+//     (hedged attempts) is recognized as joined, or
+//
+//   - carries a `// goroutine:` marker at the spawn site or in the
+//     enclosing function's doc comment explaining why the goroutine is
+//     deliberately abandoned (a daemon, an accept loop). The marker is
+//     forced documentation: the reviewer sees the lifetime claim next
+//     to the spawn.
+//
+// Spawns of named module functions are resolved through the declaration
+// index so `go c.gather()` is checked against gather's body; spawns of
+// local function variables (`launch := func(){...}; go launch()`)
+// resolve through the enclosing function's assignments. A spawn whose
+// body cannot be resolved at all (a function value from elsewhere, an
+// interface method) must carry the marker — if the analyzer cannot see
+// the join, the reader cannot either.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement joins: WaitGroup Done/Wait, a consumed result channel, or a documented `// goroutine:` abandon",
+	Run:  perPkg(goroleak),
+}
+
+func goroleak(r *Repo, p *Package) []Finding {
+	joins := packageJoinSites(p)
+	var out []Finding
+	p.funcs(func(f *File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if r.markerNear(f, g.Pos(), "goroutine:") {
+				return true
+			}
+			if spawnArgsJoin(p, g.Call, joins) {
+				return true
+			}
+			body, info := spawnedBody(r, p, fd, g.Call)
+			if body == nil {
+				out = append(out, Finding{
+					Pos:   r.pos(g),
+					Check: "goroleak",
+					Msg: "go statement spawns a function whose body the analyzer cannot see; " +
+						"spawn a literal or named function, or document the lifetime with a `// goroutine:` marker",
+				})
+				return true
+			}
+			if spawnJoins(info, body, joins) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   r.pos(g),
+				Check: "goroleak",
+				Msg: "go statement has no provable join: the spawned body neither calls Done on a " +
+					"WaitGroup this package Waits on nor sends on a channel this package receives from; " +
+					"join it or document the abandon with a `// goroutine:` marker",
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// joinSites records, per package, the identities a spawned goroutine
+// can join against: WaitGroup objects some function Waits on, and
+// channel objects some function receives from.
+type joinSites struct {
+	waited   map[types.Object]bool
+	received map[types.Object]bool
+}
+
+// packageJoinSites scans every function in p once for Wait calls and
+// channel receives. Join detection is package-scoped on purpose: the
+// scatter side and the gather side of a coordinator are different
+// methods, and a worker pool's Wait often lives in a Close.
+func packageJoinSites(p *Package) *joinSites {
+	js := &joinSites{waited: map[types.Object]bool{}, received: map[types.Object]bool{}}
+	addRecv := func(e ast.Expr) {
+		if o := rootObj(p.Info, e); o != nil {
+			js.received[o] = true
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+				if ok && sel.Sel.Name == "Wait" && isWaitGroupRecv(p.Info, x) {
+					if o := rootObj(p.Info, sel.X); o != nil {
+						js.waited[o] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					addRecv(x.X)
+				}
+			case *ast.RangeStmt:
+				if t := typeOf(p.Info, x.X); t != nil {
+					if _, ok := deref(t).Underlying().(*types.Chan); ok {
+						addRecv(x.X)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return js
+}
+
+// spawnArgsJoin reports whether the spawn hands the goroutine a join
+// seam as an argument: a channel this package receives from (`go
+// worker(resultCh)`) or a WaitGroup this package Waits on (`go
+// worker(&wg)`). Inside the spawned body those are different objects —
+// the worker's own parameters — so the join is recognized at the
+// hand-off instead.
+func spawnArgsJoin(p *Package, call *ast.CallExpr, joins *joinSites) bool {
+	for _, a := range call.Args {
+		t := typeOf(p.Info, a)
+		if t == nil {
+			continue
+		}
+		o := rootObj(p.Info, unaddr(a))
+		if o == nil {
+			continue
+		}
+		if _, ok := deref(t).Underlying().(*types.Chan); ok && joins.received[o] {
+			return true
+		}
+		if namedPkgType(t, "sync", "WaitGroup") && joins.waited[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// unaddr strips a leading & so `&wg` resolves to wg's object.
+func unaddr(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return e
+}
+
+// spawnedBody resolves the body the go statement runs: a literal's
+// body, a local function variable's literal, or a named module
+// function's declaration. Returns nil when the body is not visible.
+func spawnedBody(r *Repo, p *Package, fd *ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, *types.Info) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, p.Info
+	case *ast.Ident:
+		switch obj := p.Info.Uses[fun].(type) {
+		case *types.Var:
+			// A local function variable: find its literal assignment in the
+			// enclosing function (`launch := func(){...}; go launch()`).
+			if lit := localFuncLit(p.Info, fd, obj); lit != nil {
+				return lit.Body, p.Info
+			}
+			return nil, nil
+		case *types.Func:
+			if site := r.declIndex()[obj]; site != nil {
+				return site.decl.Body, site.pkg.Info
+			}
+		}
+	case *ast.SelectorExpr:
+		if callee := calleeOf(p.Info, call); callee != nil {
+			if site := r.declIndex()[callee]; site != nil {
+				return site.decl.Body, site.pkg.Info
+			}
+		}
+	}
+	return nil, nil
+}
+
+// localFuncLit finds the func literal assigned to v inside fd, for the
+// `launch := func(){...}` spawn shape. Only a single unconditional
+// assignment counts; a variable reassigned in branches has no one body.
+func localFuncLit(info *types.Info, fd *ast.FuncDecl, v *types.Var) *ast.FuncLit {
+	var lit *ast.FuncLit
+	n := 0
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			if info.Defs[id] != v && info.Uses[id] != v {
+				continue
+			}
+			n++
+			lit, _ = ast.Unparen(as.Rhs[i]).(*ast.FuncLit)
+		}
+		return true
+	})
+	if n != 1 {
+		return nil
+	}
+	return lit
+}
+
+// spawnJoins reports whether the spawned body reaches a join: Done on a
+// waited WaitGroup, or a send/close on a received channel.
+func spawnJoins(info *types.Info, body *ast.BlockStmt, joins *joinSites) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if o := rootObj(info, x.Chan); o != nil && joins.received[o] {
+				joined = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" && isWaitGroupRecv(info, x) {
+					if o := rootObj(info, sel.X); o != nil && joins.waited[o] {
+						joined = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if tv, ok := info.Types[x.Fun]; ok && tv.IsBuiltin() {
+					if o := rootObj(info, x.Args[0]); o != nil && joins.received[o] {
+						joined = true
+					}
+				}
+			}
+		}
+		return !joined
+	})
+	return joined
+}

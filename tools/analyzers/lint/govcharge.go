@@ -1,11 +1,11 @@
-package main
+package lint
 
 import (
 	"go/ast"
 	"strings"
 )
 
-// govcharge enforces the resource-governor discipline in internal/plan
+// Govcharge enforces the resource-governor discipline in internal/plan
 // and internal/index: any function that accumulates rows — an append
 // inside a loop — is a potential unbounded buffer, so it must either
 // charge the governor (a Charge*/CheckDepth call somewhere in the
@@ -35,19 +35,24 @@ import (
 // partial folds and gather reassembly buffers grow with the data and
 // must charge "shard-gather" or document their bound (partitioning at
 // Distribute time is data-sized too, and says so).
-func govcharge(f *srcFile) []finding {
-	covered := strings.HasPrefix(f.path, "internal/plan/") ||
-		strings.HasPrefix(f.path, "internal/index/") ||
-		strings.HasPrefix(f.path, "internal/stats/") ||
-		strings.HasPrefix(f.path, "internal/shard/") ||
-		f.path == "internal/eval/compile.go"
-	if !covered || strings.HasSuffix(f.path, "/optimize.go") ||
-		f.path == "internal/plan/optimize.go" {
+var Govcharge = &Analyzer{
+	Name: "govcharge",
+	Doc:  "row-accumulating loops in governed packages charge the governor or document their bound with `// governor:`",
+	Run:  perFile(govcharge),
+}
+
+func govcharge(r *Repo, f *File) []Finding {
+	covered := strings.HasPrefix(f.Path, "internal/plan/") ||
+		strings.HasPrefix(f.Path, "internal/index/") ||
+		strings.HasPrefix(f.Path, "internal/stats/") ||
+		strings.HasPrefix(f.Path, "internal/shard/") ||
+		f.Path == "internal/eval/compile.go"
+	if !covered || strings.HasSuffix(f.Path, "/optimize.go") {
 		return nil
 	}
 
-	var out []finding
-	for _, decl := range f.ast.Decls {
+	var out []Finding
+	for _, decl := range f.Ast.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
 		if !ok || fd.Body == nil {
 			continue
@@ -56,10 +61,10 @@ func govcharge(f *srcFile) []finding {
 			continue
 		}
 		if at, found := appendInLoop(fd.Body); found {
-			out = append(out, finding{
-				pos:   f.fset.Position(at.Pos()),
-				check: "govcharge",
-				msg: "function " + fd.Name.Name + " accumulates rows in a loop without charging the governor; " +
+			out = append(out, Finding{
+				Pos:   r.pos(at),
+				Check: "govcharge",
+				Msg: "function " + fd.Name.Name + " accumulates rows in a loop without charging the governor; " +
 					"add a Charge* call or a `// governor:` marker naming the charge site or bound",
 			})
 		}

@@ -1,0 +1,577 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder builds the mutex-acquisition graph across the engine's
+// concurrent packages from type-resolved Lock/RLock call sites and
+// enforces three invariants:
+//
+//  1. No cycles: if lock B is ever acquired while A is held and,
+//     anywhere else in the program, A is acquired while B is held, the
+//     two orders can deadlock under the right interleaving. Edges
+//     follow static calls, so an acquisition buried two calls deep
+//     still reaches the graph.
+//
+//  2. Nested acquisition is documented: a function that takes a second
+//     lock while holding a first must carry a `// lockorder:` marker in
+//     its doc comment naming the order it relies on. The marker is
+//     forced documentation — the reviewer sees the ordering claim next
+//     to the code that depends on it — and it never suppresses a cycle.
+//
+//  3. No blocking under a lock: while a mutex is held, channel
+//     operations, selects, WaitGroup.Wait, time.Sleep, calls that
+//     transitively reach any of those, and interface-dispatched exec
+//     calls (methods taking a context.Context — shard executors, engine
+//     execution) are flagged as potential deadlocks unless the site or
+//     the function documents the safety argument with `// lockorder:`.
+//
+// Held regions are computed lexically per region — a function body or a
+// func literal's body, each analyzed independently because a literal
+// usually runs on another goroutine. A Lock extends to the first
+// matching non-deferred Unlock on the same mutex, or to the region end
+// when the unlock is deferred. Mutex identity is type-resolved — the
+// owning named type plus field name for struct fields, the declaring
+// package plus name for package-level mutexes — so `c.mu` in two
+// different methods is one lock, and two different structs' `mu` fields
+// are two.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the mutex-acquisition graph across internal/{catalog,server,shard} is acyclic, documented, and never blocks under a lock",
+	Run:  runLockorder,
+}
+
+// lockorderDirs are the packages whose lock usage is enforced; the
+// acquisition graph itself is built module-wide so a cross-package
+// nesting (a server handler calling into the catalog under a lock)
+// still produces its edge.
+var lockorderDirs = []string{"internal/catalog", "internal/server", "internal/shard"}
+
+// mutexOp is one Lock/Unlock-family call site.
+type mutexOp struct {
+	pos      token.Pos
+	id       string
+	kind     string // "Lock", "RLock", "Unlock", "RUnlock"
+	deferred bool
+}
+
+// lockEdge records "to acquired while from was held" with a witness
+// position.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	fn       string
+}
+
+func runLockorder(r *Repo) []Finding {
+	la := newLockAnalysis(r)
+	var out []Finding
+	var edges []lockEdge
+	for _, p := range r.Pkgs {
+		inScope := pkgInDirs(p, lockorderDirs)
+		p.funcs(func(f *File, fd *ast.FuncDecl) {
+			fes, fs := la.analyzeFunc(p, f, fd, inScope)
+			edges = append(edges, fes...)
+			out = append(out, fs...)
+		})
+	}
+	out = append(out, cycleFindings(edges)...)
+	return out
+}
+
+// lockAnalysis carries the module-wide interprocedural state.
+type lockAnalysis struct {
+	r     *Repo
+	decls map[*types.Func]*declSite
+	// acquires memoizes the set of mutex identities a function may
+	// acquire, transitively over static calls.
+	acquires map[*types.Func]map[string]bool
+	// blocks memoizes whether a function may transitively block on a
+	// channel, select, WaitGroup.Wait, or time.Sleep.
+	blocks map[*types.Func]bool
+	// visiting guards both memoizations against recursion.
+	visiting map[*types.Func]bool
+}
+
+func newLockAnalysis(r *Repo) *lockAnalysis {
+	return &lockAnalysis{
+		r:        r,
+		decls:    r.declIndex(),
+		acquires: map[*types.Func]map[string]bool{},
+		blocks:   map[*types.Func]bool{},
+		visiting: map[*types.Func]bool{},
+	}
+}
+
+// analyzeFunc analyzes fd's body and every func literal inside it as
+// independent regions (a literal usually runs on another goroutine, so
+// its lock usage is its own story). Edges are collected module-wide;
+// findings only for in-scope packages.
+func (la *lockAnalysis) analyzeFunc(p *Package, f *File, fd *ast.FuncDecl, inScope bool) ([]lockEdge, []Finding) {
+	marked := fd.Doc != nil && strings.Contains(fd.Doc.Text(), "lockorder:")
+	fnName := funcDisplayName(p, fd)
+
+	var edges []lockEdge
+	var out []Finding
+	for _, region := range regionsOf(fd.Body) {
+		es, fs := la.analyzeRegion(p, f, fd, region, inScope, marked, fnName)
+		edges = append(edges, es...)
+		out = append(out, fs...)
+	}
+	return edges, out
+}
+
+// regionsOf returns fd.Body plus the body of every func literal inside
+// it, however deeply nested; each is analyzed as its own lock region.
+func regionsOf(body *ast.BlockStmt) []*ast.BlockStmt {
+	regions := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			regions = append(regions, fl.Body)
+		}
+		return true
+	})
+	return regions
+}
+
+// inspectRegion walks region without descending into nested func
+// literals (they are separate regions).
+func inspectRegion(region *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(region, func(n ast.Node) bool {
+		if n == nil {
+			return true // post-order exit callback
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != region {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func (la *lockAnalysis) analyzeRegion(p *Package, f *File, fd *ast.FuncDecl, region *ast.BlockStmt, inScope, marked bool, fnName string) ([]lockEdge, []Finding) {
+	ops := la.collectMutexOps(p.Info, region)
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	spans := heldSpans(ops, region.End())
+	if len(spans) == 0 {
+		return nil, nil
+	}
+
+	var edges []lockEdge
+	var out []Finding
+	seenEdge := map[string]bool{}
+	var nestedAt token.Pos
+	addEdge := func(from, to string, at token.Pos) {
+		if from == to {
+			return
+		}
+		key := from + "\x00" + to
+		if seenEdge[key] {
+			return
+		}
+		seenEdge[key] = true
+		edges = append(edges, lockEdge{from: from, to: to, pos: la.r.Fset.Position(at), fn: fnName})
+		if !nestedAt.IsValid() {
+			nestedAt = at
+		}
+	}
+	report := func(pos token.Pos, held, what string) {
+		if !inScope || marked || la.r.markerNear(f, pos, "lockorder:") {
+			return
+		}
+		out = append(out, Finding{
+			Pos:   la.r.Fset.Position(pos),
+			Check: "lockorder",
+			Msg: what + " while holding " + held + " is a potential deadlock; " +
+				"release the lock first or document the safety argument with a `// lockorder:` marker",
+		})
+	}
+
+	// Direct nested acquisitions within this region.
+	for _, op := range ops {
+		if op.kind != "Lock" && op.kind != "RLock" {
+			continue
+		}
+		for _, hs := range spans {
+			if hs.span.contains(op.pos) && hs.id != op.id && op.pos != hs.lockPos {
+				addEdge(hs.id, op.id, op.pos)
+			}
+		}
+	}
+
+	// Calls and blocking operations inside held regions.
+	deferred := deferredCalls(region)
+	inspectRegion(region, func(n ast.Node) bool {
+		held := heldAt(spans, n)
+		if held == "" {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			report(x.Pos(), held, "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(x.Pos(), held, "channel receive")
+			}
+		case *ast.SelectStmt:
+			report(x.Pos(), held, "select")
+		case *ast.RangeStmt:
+			if t := typeOf(p.Info, x.X); t != nil {
+				if _, ok := deref(t).Underlying().(*types.Chan); ok {
+					report(x.Pos(), held, "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if deferred[x] {
+				// A deferred call runs after the lexical region; it is not
+				// executed under the lock at this site.
+				return true
+			}
+			if isMutexMethod(p.Info, x) != "" {
+				return true // the ops pass handled lock nesting
+			}
+			callee := calleeOf(p.Info, x)
+			switch {
+			case stdFunc(callee, "sync", "Wait") && isWaitGroupRecv(p.Info, x):
+				report(x.Pos(), held, "sync.WaitGroup.Wait")
+			case stdFunc(callee, "time", "Sleep"):
+				report(x.Pos(), held, "time.Sleep")
+			case callee != nil && la.decls[callee] != nil:
+				// Static module call: propagate its acquisitions as edges,
+				// and its blocking behaviour as a finding.
+				for id := range la.funcAcquires(callee) {
+					addEdge(held, id, x.Pos())
+				}
+				if la.funcBlocks(callee) {
+					report(x.Pos(), held, "call to "+callee.Name()+" (transitively blocks on a channel)")
+				}
+			default:
+				if ic := interfaceCallee(p.Info, x); ic != nil && takesContext(ic) {
+					report(x.Pos(), held, "interface exec call "+ic.Name()+" (takes a context; may block on I/O)")
+				}
+			}
+		}
+		return true
+	})
+
+	if inScope && nestedAt.IsValid() && !marked {
+		out = append(out, Finding{
+			Pos:   la.r.Fset.Position(nestedAt),
+			Check: "lockorder",
+			Msg: "function " + fd.Name.Name + " acquires a lock while holding another without a " +
+				"`// lockorder:` marker documenting the acquisition order it relies on",
+		})
+	}
+	return edges, out
+}
+
+// funcAcquires memoizes the mutex identities fn may acquire,
+// transitively over static calls. Func literal bodies are skipped: a
+// literal stored and invoked later (or spawned) does not acquire at
+// this function's call sites.
+func (la *lockAnalysis) funcAcquires(fn *types.Func) map[string]bool {
+	if got, ok := la.acquires[fn]; ok {
+		return got
+	}
+	if la.visiting[fn] {
+		return nil
+	}
+	site := la.decls[fn]
+	if site == nil {
+		return nil
+	}
+	la.visiting[fn] = true
+	defer delete(la.visiting, fn)
+	out := map[string]bool{}
+	info := site.pkg.Info
+	inspectRegion(site.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch isMutexMethod(info, call) {
+		case "Lock", "RLock":
+			if id := mutexIdentOfCall(info, call); id != "" {
+				out[id] = true
+			}
+			return true
+		}
+		if callee := calleeOf(info, call); callee != nil && la.decls[callee] != nil {
+			for id := range la.funcAcquires(callee) {
+				out[id] = true
+			}
+		}
+		return true
+	})
+	la.acquires[fn] = out
+	return out
+}
+
+// funcBlocks memoizes whether fn may transitively block on a channel
+// operation, select, WaitGroup.Wait, or time.Sleep.
+func (la *lockAnalysis) funcBlocks(fn *types.Func) bool {
+	if got, ok := la.blocks[fn]; ok {
+		return got
+	}
+	if la.visiting[fn] {
+		return false
+	}
+	site := la.decls[fn]
+	if site == nil {
+		return false
+	}
+	la.visiting[fn] = true
+	defer delete(la.visiting, fn)
+	info := site.pkg.Info
+	blocks := false
+	inspectRegion(site.decl.Body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(info, x)
+			if (stdFunc(callee, "sync", "Wait") && isWaitGroupRecv(info, x)) || stdFunc(callee, "time", "Sleep") {
+				blocks = true
+			} else if callee != nil && la.decls[callee] != nil && la.funcBlocks(callee) {
+				blocks = true
+			}
+		}
+		return !blocks
+	})
+	la.blocks[fn] = blocks
+	return blocks
+}
+
+// heldSpan is one lexical region during which a mutex identity is held.
+type heldSpan struct {
+	id      string
+	lockPos token.Pos
+	span    span
+}
+
+// heldSpans pairs each Lock/RLock with its lexical release: the first
+// matching non-deferred unlock on the same identity after it, or the
+// region end when the unlock is deferred (or missing — conservative).
+func heldSpans(ops []mutexOp, regionEnd token.Pos) []heldSpan {
+	sorted := append([]mutexOp(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return posLess(sorted[i].pos, sorted[j].pos) })
+	var out []heldSpan
+	for _, op := range sorted {
+		var match string
+		switch op.kind {
+		case "Lock":
+			match = "Unlock"
+		case "RLock":
+			match = "RUnlock"
+		default:
+			continue
+		}
+		hi := regionEnd
+		for _, u := range sorted {
+			if u.kind == match && u.id == op.id && !u.deferred && posLess(op.pos, u.pos) {
+				hi = u.pos
+				break
+			}
+		}
+		out = append(out, heldSpan{id: op.id, lockPos: op.pos, span: span{op.pos + 1, hi}})
+	}
+	return out
+}
+
+// heldAt returns a mutex identity held at n's position, or "".
+func heldAt(spans []heldSpan, n ast.Node) string {
+	for _, hs := range spans {
+		if hs.span.contains(n.Pos()) {
+			return hs.id
+		}
+	}
+	return ""
+}
+
+// collectMutexOps finds every sync.Mutex/RWMutex Lock/Unlock-family
+// call in the region (not descending into nested func literals), with
+// its resolved identity and defer status.
+func (la *lockAnalysis) collectMutexOps(info *types.Info, region *ast.BlockStmt) []mutexOp {
+	deferred := deferredCalls(region)
+	var ops []mutexOp
+	inspectRegion(region, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := isMutexMethod(info, call)
+		if kind == "" {
+			return true
+		}
+		id := mutexIdentOfCall(info, call)
+		if id == "" {
+			return true
+		}
+		ops = append(ops, mutexOp{pos: call.Pos(), id: id, kind: kind, deferred: deferred[call]})
+		return true
+	})
+	return ops
+}
+
+// isMutexMethod reports the sync mutex method name the call resolves to
+// ("Lock", "RLock", "Unlock", "RUnlock"), or "".
+func isMutexMethod(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	return name
+}
+
+// isWaitGroupRecv reports whether the call's receiver is a
+// sync.WaitGroup (distinguishing Wait from other sync types' Wait).
+func isWaitGroupRecv(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return namedPkgType(typeOf(info, sel.X), "sync", "WaitGroup")
+}
+
+// mutexIdentOfCall renders the stable identity of the mutex a
+// Lock-family call operates on: "pkg.Type.field" for struct fields,
+// "pkg.name" for package-level variables, "name@offset" for locals.
+func mutexIdentOfCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return mutexIdent(info, sel.X)
+}
+
+func mutexIdent(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return shortPkg(v.Pkg()) + "." + v.Name()
+			}
+			// A local or parameter mutex: identify by declaration site so
+			// two locals in different functions stay distinct.
+			return fmt.Sprintf("%s@%d", v.Name(), v.Pos())
+		}
+		return ""
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			recv := deref(sel.Recv())
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return shortPkg(named.Obj().Pkg()) + "." + named.Obj().Name() + "." + sel.Obj().Name()
+			}
+			return sel.Obj().Name()
+		}
+		return ""
+	case *ast.IndexExpr:
+		// A mutex in a slice/map element: identify by the container.
+		return mutexIdent(info, x.X)
+	}
+	return ""
+}
+
+// shortPkg renders a package for identity strings: the last two path
+// segments ("internal/shard") so messages stay readable.
+func shortPkg(p *types.Package) string {
+	return shortPkgPath(p.Path())
+}
+
+func shortPkgPath(ipath string) string {
+	parts := strings.Split(ipath, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// takesContext reports whether the function's signature has a
+// context.Context parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedPkgType(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders pkg-qualified function names for edges.
+func funcDisplayName(p *Package, fd *ast.FuncDecl) string {
+	return shortPkgPath(p.PkgPath) + "." + fd.Name.Name
+}
+
+// cycleFindings reports every edge that participates in a cycle of the
+// acquisition graph. Markers never suppress these: a cycle is a
+// deadlock waiting for its interleaving.
+func cycleFindings(edges []lockEdge) []Finding {
+	adj := map[string][]lockEdge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			for _, e := range adj[n] {
+				stack = append(stack, e.to)
+			}
+		}
+		return false
+	}
+	var out []Finding
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			out = append(out, Finding{
+				Pos:   e.pos,
+				Check: "lockorder",
+				Msg: fmt.Sprintf("lock ordering cycle: %s acquired while %s is held (in %s), "+
+					"but elsewhere %s is acquired while %s is held — deadlock under the right interleaving",
+					e.to, e.from, e.fn, e.from, e.to),
+			})
+		}
+	}
+	return out
+}

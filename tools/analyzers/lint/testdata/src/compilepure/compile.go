@@ -1,0 +1,16 @@
+//lint:path internal/eval/compile.go
+
+package cpfix
+
+type expr func() int
+
+func compileAdd(a, b expr) expr {
+	return func() int { return a() + b() }
+}
+
+func compileBad(a expr) expr {
+	return func() int {
+		f := func() int { return a() } // want "nested inside a compiled closure"
+		return f()
+	}
+}

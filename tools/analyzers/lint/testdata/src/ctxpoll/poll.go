@@ -1,0 +1,78 @@
+//lint:path internal/plan/poll.go
+
+package pollfix
+
+import (
+	"sqlpp/internal/eval"
+	"sqlpp/internal/value"
+)
+
+func burn(ctx *eval.Context, vals []value.Value) int {
+	n := 0
+	for _, v := range vals { // want "never reaches a cancellation/governor poll"
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func burnIndexed(ctx *eval.Context, vals []value.Value) int {
+	n := 0
+	for i := 0; i < len(vals); i++ { // want "never reaches a cancellation/governor poll"
+		if vals[i] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func polite(ctx *eval.Context, vals []value.Value) (int, error) {
+	n := 0
+	for _, v := range vals {
+		if err := ctx.Interrupted(); err != nil {
+			return 0, err
+		}
+		if v != nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func helper(ctx *eval.Context) error { return ctx.Interrupted() }
+
+func politeTransitively(ctx *eval.Context, vals []value.Value) (int, error) {
+	n := 0
+	for range vals {
+		if err := helper(ctx); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// noPoller has no Context/Governor in reach — it cannot poll by
+// construction, so the responsibility is its caller's.
+func noPoller(vals []value.Value) int {
+	n := 0
+	for _, v := range vals {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func bounded(ctx *eval.Context, vals []value.Value) int {
+	n := 0
+	// ctxpoll: the caller charged the governor for vals before entry;
+	// this fold adds no latency beyond the already-charged batch.
+	for _, v := range vals {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,35 @@
+//lint:path internal/plan/seam.go
+
+package seamfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are a classification scheme of their own:
+// callers compare with errors.Is.
+var errSentinel = errors.New("plan: sentinel")
+
+func bare() error {
+	return errors.New("plan: something happened") // want "bare errors.New"
+}
+
+func flattened(cause error) error {
+	return fmt.Errorf("plan: merge failed: %v", cause) // want "has no %w"
+}
+
+func wrapped(cause error) error {
+	return fmt.Errorf("plan: merge failed: %w", cause)
+}
+
+func opaqueOnPurpose() error {
+	// errseam: developer-facing invariant message; never classified.
+	return errors.New("plan: impossible state")
+}
+
+func textOnly(n int) error {
+	return fmt.Errorf("plan: %d rows", n)
+}
+
+func useSentinel() error { return errSentinel }

@@ -1,0 +1,9 @@
+//lint:path internal/faultinject/enabled_plain.go
+
+package fifix // want "without a //go:build constraint"
+
+// Enabled redeclared in a tag-free file defeats the whole gating
+// scheme; the check fires on the file, anchored at the package clause.
+const Enabled = true
+
+var _ = Enabled

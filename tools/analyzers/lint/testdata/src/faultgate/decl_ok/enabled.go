@@ -1,0 +1,9 @@
+//go:build !faultinject
+
+//lint:path internal/faultinject/enabled_ok.go
+
+package fifix
+
+const Enabled = false
+
+var _ = Enabled

@@ -1,0 +1,18 @@
+//lint:path internal/plan/fire.go
+
+package fgfix
+
+import "sqlpp/internal/faultinject"
+
+func guarded() error {
+	if faultinject.Enabled {
+		if err := faultinject.Fire(faultinject.ShardExec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func unguarded() error {
+	return faultinject.Fire(faultinject.ShardExec) // want "not guarded"
+}

@@ -1,0 +1,57 @@
+//lint:path internal/server/leak.go
+
+package leakfix
+
+import "sync"
+
+func leak() {
+	go func() {}() // want "no provable join"
+}
+
+func joinedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func joinedChannel() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+func documented() {
+	// goroutine: daemon — lives for the process, reaped at exit.
+	go func() {
+		select {}
+	}()
+}
+
+func opaque(fn func()) {
+	go fn() // want "cannot see"
+}
+
+func launchVariable() int {
+	ch := make(chan int, 1)
+	launch := func() { ch <- 2 }
+	go launch()
+	return <-ch
+}
+
+func worker(ch chan int) { ch <- 3 }
+
+func namedSpawn() int {
+	ch := make(chan int, 1)
+	go worker(ch)
+	return <-ch
+}
+
+func wgWorker(wg *sync.WaitGroup) { wg.Done() }
+
+func handedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go wgWorker(&wg)
+	wg.Wait()
+}

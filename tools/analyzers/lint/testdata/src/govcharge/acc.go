@@ -1,0 +1,39 @@
+//lint:path internal/plan/acc.go
+
+package accfix
+
+type gov struct{}
+
+func (gov) ChargeValues(n int) error { return nil }
+
+func accumulate(in []int) []int {
+	var out []int
+	for _, v := range in {
+		out = append(out, v) // want "accumulates rows in a loop"
+	}
+	return out
+}
+
+func accumulateCharged(g gov, in []int) ([]int, error) {
+	var out []int
+	for _, v := range in {
+		if err := g.ChargeValues(1); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// governor:bounded by the clause count of the query, not the data.
+func accumulateBounded(in []int) []int {
+	var out []int
+	for _, v := range in {
+		out = append(out, v)
+	}
+	return out
+}
+
+func noLoop(in []int) []int {
+	return append([]int(nil), in...)
+}

@@ -1,0 +1,46 @@
+//lint:path internal/shard/block.go
+
+package blockfix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding"
+	s.mu.Unlock()
+}
+
+func (s *S) sendUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 2 // want "channel send while holding"
+}
+
+func (s *S) sendAfterUnlock() {
+	s.mu.Lock()
+	v := 3
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func waiter(s *S) int { return <-s.ch }
+
+func (s *S) indirect() int {
+	s.mu.Lock()
+	v := waiter(s) // want "transitively blocks"
+	s.mu.Unlock()
+	return v
+}
+
+// lockorder: the channel is buffered with headroom for every possible
+// sender, so the send under the lock cannot block.
+func (s *S) documented() {
+	s.mu.Lock()
+	s.ch <- 4
+	s.mu.Unlock()
+}

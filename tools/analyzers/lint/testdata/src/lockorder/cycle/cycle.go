@@ -1,0 +1,26 @@
+//lint:path internal/shard/cycle.go
+
+package cyclefix
+
+import "sync"
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// lockorder: C.mu before D.mu on the read path.
+func readPath(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock() // want "lock ordering cycle"
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// lockorder: D.mu before C.mu on the write path — contradicts readPath;
+// the cycle finding fires regardless of the markers.
+func writePath(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want "lock ordering cycle"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}

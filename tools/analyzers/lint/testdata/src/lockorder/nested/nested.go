@@ -1,0 +1,31 @@
+//lint:path internal/shard/nested.go
+
+package nestedfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func bothUnmarked(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "acquires a lock while holding another"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockorder: A.mu before B.mu, always; the reverse order never occurs.
+func bothMarked(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

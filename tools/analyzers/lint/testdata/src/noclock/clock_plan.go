@@ -1,0 +1,15 @@
+//lint:path internal/plan/clock.go
+
+package ncfix
+
+import "time"
+
+func planNow() int64 {
+	return time.Now().UnixNano() // want "time.Now in internal/plan"
+}
+
+func planSleepIsFine(d time.Duration) {
+	// Only time.Now is banned in plan; sleeps live behind the shard
+	// policy seam, which plan never touches.
+	time.Sleep(d)
+}

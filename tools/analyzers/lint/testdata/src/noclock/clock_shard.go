@@ -1,0 +1,18 @@
+//lint:path internal/shard/clock.go
+
+package ncfix
+
+import "time"
+
+func shardSleep() {
+	time.Sleep(time.Millisecond) // want "bypasses the Policy.WithClock"
+}
+
+func shardElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "bypasses the Policy.WithClock"
+}
+
+func shardInjectionPoint() func() time.Time {
+	// noclock: the fixture's injection seam — mirrors Policy.filled.
+	return time.Now
+}

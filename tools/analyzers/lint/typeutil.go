@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The typed passes share a small vocabulary for talking about the
+// module's types without hard-coding the module name: a package is
+// recognized by the suffix of its import path ("internal/eval"), so the
+// fixture corpus — whose packages type-check against the real module —
+// exercises the same resolution the repo run uses.
+
+// declSite is one function declaration with its location.
+type declSite struct {
+	pkg  *Package
+	file *File
+	decl *ast.FuncDecl
+}
+
+// declIndex maps every function object defined in the loaded packages
+// to its declaration, for the interprocedural passes (built once per
+// Repo).
+func (r *Repo) declIndex() map[*types.Func]*declSite {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.decls != nil {
+		return r.decls
+	}
+	idx := map[*types.Func]*declSite{}
+	for _, p := range r.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Ast.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = &declSite{pkg: p, file: f, decl: fd}
+				}
+			}
+		}
+	}
+	r.decls = idx
+	return idx
+}
+
+// deref unwraps pointers.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// namedPkgType reports whether t (possibly behind pointers) is the
+// named type name declared in a package whose import path ends in
+// pkgSuffix.
+func namedPkgType(t types.Type, pkgSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// pathHasSuffix reports whether ipath is pkgSuffix or ends in
+// "/"+pkgSuffix.
+func pathHasSuffix(ipath, pkgSuffix string) bool {
+	return ipath == pkgSuffix || strings.HasSuffix(ipath, "/"+pkgSuffix)
+}
+
+// calleeOf resolves a call's static callee: a declared function or a
+// concrete method. Calls through function values, interface methods,
+// builtins, and type conversions resolve to nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[fun]
+		if ok {
+			// Interface dispatch has no static body; report nil so the
+			// interprocedural passes treat it as unresolvable.
+			if types.IsInterface(deref(sel.Recv())) {
+				return nil
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (fmt.Errorf).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// interfaceCallee resolves a call dispatched through an interface value
+// to the interface method object, or nil.
+func interfaceCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || !types.IsInterface(deref(s.Recv())) {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Func)
+	return f
+}
+
+// stdFunc reports whether fn is the function or method name declared in
+// the standard-library package pkg (exact import path).
+func stdFunc(fn *types.Func, pkg, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+// isDynamicCall reports whether call invokes something without a static
+// body we can see: a function value, an interface method, or a method
+// value. Builtins and type conversions are not calls into unknown code
+// and report false.
+func isDynamicCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return false
+	}
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		return false // body is right there; callers inspect it lexically
+	case *ast.Ident:
+		switch info.Uses[f].(type) {
+		case *types.Func:
+			return false
+		case *types.Var:
+			return true // call through a function-typed variable
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if types.IsInterface(deref(sel.Recv())) {
+				return true
+			}
+			_, isVar := sel.Obj().(*types.Var)
+			return isVar // function-typed field
+		}
+		return false
+	}
+	return true
+}
+
+// rootObj resolves the identity behind an expression used as a channel
+// or sync primitive: the variable for identifiers, the field object for
+// selections, nil when no stable identity exists.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			return o
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return rootObj(info, x.X)
+	}
+	return nil
+}
+
+// typeOf is info.Types[e].Type with nil safety.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// deferredCalls collects the call expressions that are the immediate
+// target of a defer statement in body.
+func deferredCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			out[d.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// posLess orders token positions within one file set.
+func posLess(a, b token.Pos) bool { return a < b }

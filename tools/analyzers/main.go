@@ -1,167 +1,119 @@
-// Command analyzers is the repo's invariant linter: a stdlib-only
-// static analysis driver (go/parser + go/ast, no external analysis
-// framework) that enforces engine-wide structural invariants the type
-// system cannot express. It is run in CI's vet job as
+// Command analyzers runs the repo's static-analysis suite (see
+// tools/analyzers/lint) over a module tree and reports every invariant
+// violation.
 //
-//	go run ./tools/analyzers
+// Usage:
 //
-// and exits non-zero when any invariant is violated. The checks:
+//	go run ./tools/analyzers [-root dir] [-check name,...] [-json file] [-baseline file] [-list]
 //
-//   - faultgate: every faultinject.Fire call site is lexically guarded
-//     by `if faultinject.Enabled`, so normal builds (where Enabled is a
-//     constant false) compile the injection points away; and the
-//     Enabled constant itself is only ever declared under a //go:build
-//     constraint.
-//
-//   - govcharge: every function in internal/plan that materializes rows
-//     (appends inside a loop) either charges the resource governor or
-//     carries a `// governor:` marker comment naming the charge site or
-//     the bound that makes charging unnecessary. This keeps "operator
-//     buffers are governed" true as the engine grows.
-//
-//   - noclock: internal/plan never calls time.Now. Per-operator timing
-//     belongs to the stats sink (internal/eval), which is sampled once
-//     per batch — a clock read inside a row loop would put a syscall on
-//     the per-row path.
-//
-//   - compilepure: internal/eval/compile.go never nests a func literal
-//     inside another func literal. Compiled closures are allocated once
-//     at prepare time; a nested literal would be re-allocated on every
-//     evaluation, putting per-row allocation back on the path closure
-//     compilation exists to clear.
+// Exit codes follow the suite's convention (mirrored by `sqlpp -vet`):
+// 0 when the tree is clean, 1 when findings are reported, 2 when the
+// analysis itself failed (parse error, type-check error, bad flags) —
+// so CI can tell "the code is wrong" from "the analyzer is broken".
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
+
+	"sqlpp/tools/analyzers/lint"
 )
 
-// finding is one invariant violation.
-type finding struct {
-	pos   token.Position
-	check string
-	msg   string
-}
-
-// srcFile is one parsed source file handed to the checks.
-type srcFile struct {
-	path string // slash-separated, relative to the repo root
-	fset *token.FileSet
-	ast  *ast.File
-}
-
 func main() {
-	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
+	os.Exit(run())
+}
+
+func run() int {
+	root := flag.String("root", ".", "module root to analyze")
+	checks := flag.String("check", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.String("json", "", "also write findings as a JSON array to this file ('-' for stdout)")
+	baseline := flag.String("baseline", "", "baseline file of grandfathered finding keys to suppress")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
 	}
-	files, err := parseTree(root)
+
+	selected := lint.All
+	if *checks != "" {
+		selected = nil
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range lint.All {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(*checks, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "analyzers: unknown check %q (use -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	repo, err := lint.Load(*root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
-		os.Exit(2)
+		return 2
+	}
+	findings := lint.Run(repo, selected)
+	if *baseline != "" {
+		base, err := lint.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
+			return 2
+		}
+		findings = lint.FilterBaseline(findings, base)
 	}
 
-	var findings []finding
-	for _, f := range files {
-		findings = append(findings, faultgate(f)...)
-		findings = append(findings, govcharge(f)...)
-		findings = append(findings, noclock(f)...)
-		findings = append(findings, compilepure(f)...)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
+			return 2
+		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
-		}
-		if a.pos.Line != b.pos.Line {
-			return a.pos.Line < b.pos.Line
-		}
-		return a.check < b.check
-	})
 	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", f.pos, f.check, f.msg)
+		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "analyzers: %d invariant violation(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "analyzers: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
-// parseTree parses every non-test Go file under root, skipping vendored
-// and non-source trees. Test files are exempt from the invariants: they
-// may use clocks freely and arm injection points directly.
-func parseTree(root string) ([]*srcFile, error) {
-	var files []*srcFile
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		name := d.Name()
-		if d.IsDir() {
-			if name == ".git" || name == "testdata" || name == "examples" || name == ".github" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		fset := token.NewFileSet()
-		tree, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return err
-		}
-		files = append(files, &srcFile{path: filepath.ToSlash(rel), fset: fset, ast: tree})
-		return nil
-	})
-	return files, err
+// jsonFinding is the stable JSON shape CI artifacts carry.
+type jsonFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Check  string `json:"check"`
+	Msg    string `json:"msg"`
 }
 
-// span is a half-open byte-position interval within a file.
-type span struct{ lo, hi token.Pos }
-
-func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
-
-func inAny(spans []span, p token.Pos) bool {
-	for _, s := range spans {
-		if s.contains(p) {
-			return true
+func writeJSON(path string, findings []lint.Finding) error {
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Check: f.Check, Msg: f.Msg,
 		}
 	}
-	return false
-}
-
-// isPkgSel reports whether e is the selector pkg.name on a plain
-// package identifier.
-func isPkgSel(e ast.Expr, pkg, name string) bool {
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != name {
-		return false
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
 	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && id.Name == pkg
-}
-
-// mentions reports whether the selector pkg.name occurs anywhere in n.
-func mentions(n ast.Node, pkg, name string) bool {
-	found := false
-	ast.Inspect(n, func(c ast.Node) bool {
-		if e, ok := c.(ast.Expr); ok && isPkgSel(e, pkg, name) {
-			found = true
-			return false
-		}
-		return !found
-	})
-	return found
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
